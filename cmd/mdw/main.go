@@ -1,0 +1,543 @@
+// Command mdw is the meta-data warehouse command-line frontend: it
+// generates synthetic landscapes, loads meta-data through the Figure 4
+// pipeline, and exposes the paper's services — search (Section IV.A),
+// lineage (Section IV.B), SPARQL / SEM_MATCH queries, and the Table I
+// census reports.
+//
+// Usage:
+//
+//	mdw generate     -scale small|paper -out DIR   write XML exports + ontology
+//	mdw search       [-data DIR] [flags] TERM      search the graph (§IV.A)
+//	mdw lineage      [-data DIR] [flags] ITEM      trace provenance (§IV.B)
+//	mdw query        [-data DIR] [-explain] 'SPARQL'
+//	mdw semmatch     [-data DIR] 'SEM_MATCH(...)'  Oracle-style call (Listings 1/2)
+//	mdw audit        [-data DIR] ITEM              who can access the item
+//	mdw impact       [-wh DUMP] -from N -to M      release change impact
+//	mdw stats        [-data DIR] [-validate]       census + validation
+//	mdw learn-schema [-data DIR] [-migrate]        §VII schema learning
+//	mdw report       table1|subjects|scale|figure6|figure7|growth
+//
+// Without -data, commands operate on the built-in Figure 3 example
+// landscape, so every command works out of the box.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mdw/internal/audit"
+	"mdw/internal/core"
+	"mdw/internal/dbpedia"
+	"mdw/internal/impact"
+	"mdw/internal/landscape"
+	"mdw/internal/lineage"
+	"mdw/internal/ntriples"
+	"mdw/internal/ontology"
+	"mdw/internal/rdf"
+	"mdw/internal/relstore"
+	"mdw/internal/schemalearn"
+	"mdw/internal/search"
+	"mdw/internal/sparql"
+	"mdw/internal/staging"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "generate":
+		return cmdGenerate(rest)
+	case "search":
+		return cmdSearch(rest)
+	case "lineage":
+		return cmdLineage(rest)
+	case "query":
+		return cmdQuery(rest)
+	case "semmatch":
+		return cmdSemMatch(rest)
+	case "audit":
+		return cmdAudit(rest)
+	case "impact":
+		return cmdImpact(rest)
+	case "stats":
+		return cmdStats(rest)
+	case "learn-schema":
+		return cmdLearnSchema(rest)
+	case "report":
+		return cmdReport(rest)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mdw <command> [flags] [args]
+
+commands:
+  generate   write a synthetic landscape (XML exports + ontology) to a directory
+  search     search the meta-data graph for a term (Section IV.A)
+  lineage    trace the lineage of an information item (Section IV.B)
+  query      run a SPARQL query against the graph
+  semmatch   run an Oracle-style SEM_MATCH call (Listings 1 and 2)
+  audit      report which users and roles can access an information item
+  impact     analyze the downstream impact of changes between two releases
+  stats        print graph statistics, the Table I census, and validation issues
+  learn-schema derive a relational schema from the evolved graph (Section VII)
+  report       reproduce a paper artifact: table1, subjects, scale, figure6, figure7`)
+}
+
+// cmdGenerate writes a landscape to disk.
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	scale := fs.String("scale", "small", "landscape scale: small or paper")
+	out := fs.String("out", "mdw-data", "output directory")
+	seed := fs.Int64("seed", 0, "override the generator seed (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := scaleConfig(*scale)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	l := landscape.Generate(cfg)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, e := range l.Exports {
+		doc, err := e.Encode()
+		if err != nil {
+			return err
+		}
+		name := filepath.Join(*out, staging.Slug(e.Source)+".xml")
+		if err := os.WriteFile(name, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", name)
+	}
+	ont := filepath.Join(*out, "ontology.ttl")
+	if err := os.WriteFile(ont, []byte(l.Ontology.Turtle()), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", ont)
+	if extra := l.ExtraTriples(); len(extra) > 0 {
+		nt := filepath.Join(*out, "auxiliary.nt")
+		if err := os.WriteFile(nt, []byte(ntriples.Marshal(extra)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", nt)
+	}
+	dbp := filepath.Join(*out, "dbpedia.nt")
+	if err := os.WriteFile(dbp, []byte(ntriples.Marshal(dbpedia.Banking())), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", dbp)
+	fmt.Printf("generated %d mapping chains across %d source applications\n",
+		len(l.Chains), cfg.SourceApps)
+	return nil
+}
+
+func scaleConfig(scale string) (landscape.Config, error) {
+	switch scale {
+	case "small":
+		return landscape.Small(), nil
+	case "paper":
+		return landscape.PaperScale(), nil
+	default:
+		return landscape.Config{}, fmt.Errorf("unknown scale %q (want small or paper)", scale)
+	}
+}
+
+// buildWarehouse loads a warehouse either from a data directory written
+// by `mdw generate` or from the built-in Figure 3 example.
+func buildWarehouse(dataDir string) (*core.Warehouse, error) {
+	w := core.New("")
+	if dataDir == "" {
+		if _, err := w.LoadOntology(ontology.DWH()); err != nil {
+			return nil, err
+		}
+		if _, err := w.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
+			return nil, err
+		}
+		w.IntegrateDBpedia(dbpedia.Banking())
+		return w, nil
+	}
+	return core.LoadDir(dataDir)
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	classes := fs.String("class", "", "comma-separated class local names (dm:) the hits must all belong to")
+	area := fs.String("area", "", "restrict to items under a container with this name")
+	layer := fs.String("layer", "", "restrict to a schema layer (conceptual or physical)")
+	semantic := fs.Bool("semantic", false, "expand the term with DBpedia synonyms")
+	desc := fs.Bool("desc", false, "also match descriptions")
+	tag := fs.String("tag", "", "restrict to items carrying this governance tag (e.g. pii)")
+	hits := fs.Int("hits", 5, "max instances listed per class group")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("search: want exactly one TERM argument")
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	opt := search.Options{
+		Area:              *area,
+		Layer:             *layer,
+		Semantic:          *semantic,
+		MatchDescriptions: *desc,
+		Tag:               *tag,
+		MaxHitsPerGroup:   *hits,
+	}
+	for _, c := range splitList(*classes) {
+		opt.FilterClasses = append(opt.FilterClasses, rdf.DMNS+c)
+	}
+	res, err := w.Search(fs.Arg(0), opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(search.FormatResult(res))
+	return nil
+}
+
+func cmdLineage(args []string) error {
+	fs := flag.NewFlagSet("lineage", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	dir := fs.String("dir", "backward", "traversal direction: backward (provenance) or forward (impact)")
+	depth := fs.Int("depth", 0, "maximum hops (0 = unbounded)")
+	level := fs.String("level", "attribute", "roll-up level: attribute, relation, schema, application")
+	rule := fs.String("rule", "", "only follow mappings whose rule contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("lineage: want exactly one ITEM-PATH argument (e.g. application1/dwhdb/mart/v_customer/customer_id)")
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	direction := lineage.Backward
+	if *dir == "forward" {
+		direction = lineage.Forward
+	} else if *dir != "backward" {
+		return fmt.Errorf("lineage: unknown direction %q", *dir)
+	}
+	opt := lineage.Options{MaxDepth: *depth}
+	if *rule != "" {
+		needle := *rule
+		opt.RuleFilter = func(r string) bool { return strings.Contains(r, needle) }
+	}
+	item := staging.InstanceIRI(strings.Split(fs.Arg(0), "/")...)
+	svc := w.LineageService()
+	g, err := svc.Trace(item, direction, opt)
+	if err != nil {
+		return err
+	}
+	lvl, err := parseLevel(*level)
+	if err != nil {
+		return err
+	}
+	g, err = svc.Rollup(g, lvl)
+	if err != nil {
+		return err
+	}
+	fmt.Print(lineage.Format(g))
+	return nil
+}
+
+func parseLevel(s string) (lineage.Level, error) {
+	switch s {
+	case "attribute":
+		return lineage.LevelAttribute, nil
+	case "relation":
+		return lineage.LevelRelation, nil
+	case "schema":
+		return lineage.LevelSchema, nil
+	case "application":
+		return lineage.LevelApplication, nil
+	default:
+		return 0, fmt.Errorf("lineage: unknown level %q", s)
+	}
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	factsOnly := fs.Bool("facts-only", false, "query base facts without the OWLPRIME index")
+	explain := fs.Bool("explain", false, "print the evaluation plan instead of executing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query: want exactly one SPARQL argument")
+	}
+	if *explain {
+		q, err := sparql.Parse(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Print(q.Explain())
+		return nil
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	res, err := w.Query(fs.Arg(0))
+	if *factsOnly {
+		res, err = w.QueryFacts(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	if len(res.Triples) > 0 {
+		fmt.Print(ntriples.Marshal(res.Triples))
+		fmt.Printf("(%d triples)\n", len(res.Triples))
+		return nil
+	}
+	printResultTable(res.Vars, resultRows(res))
+	return nil
+}
+
+func cmdSemMatch(args []string) error {
+	fs := flag.NewFlagSet("semmatch", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("semmatch: want exactly one SEM_MATCH(...) argument")
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	res, err := w.SemMatch(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	printResultTable(res.Vars, resultRows(res))
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	withLineage := fs.Bool("lineage", true, "extend the audit across the item's data flows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("audit: want exactly one ITEM-PATH argument")
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	item := staging.InstanceIRI(strings.Split(fs.Arg(0), "/")...)
+	rep, err := w.Audit(item, *withLineage)
+	if err != nil {
+		return err
+	}
+	fmt.Print(audit.Format(rep))
+	return nil
+}
+
+func cmdImpact(args []string) error {
+	fs := flag.NewFlagSet("impact", flag.ContinueOnError)
+	dump := fs.String("wh", "", "warehouse dump (with release history) written by core.Warehouse.Save")
+	from := fs.Int("from", 1, "baseline release number")
+	to := fs.Int("to", 2, "target release number")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var w *core.Warehouse
+	var err error
+	if *dump != "" {
+		w, err = core.Open(*dump, "")
+		if err != nil {
+			return err
+		}
+	} else {
+		// Built-in demo: Figure 3 with a release-2 change to the source
+		// application's column.
+		w, err = buildWarehouse("")
+		if err != nil {
+			return err
+		}
+		if _, err := w.Snapshot("R1", time.Date(2009, 1, 15, 0, 0, 0, 0, time.UTC)); err != nil {
+			return err
+		}
+		src := staging.InstanceIRI("pb_frontend", "pbdb", "clients", "client_info", "client_information_id")
+		w.LoadTriples([]rdf.Triple{rdf.T(src, rdf.IRI(rdf.MDWLength), rdf.Integer(64))})
+		if _, err := w.Snapshot("R2", time.Date(2009, 3, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+			return err
+		}
+		fmt.Println("(no -wh given: analyzing the built-in Figure 3 demo scenario)")
+	}
+	an, err := w.ImpactOfRelease(*from, *to)
+	if err != nil {
+		return err
+	}
+	fmt.Print(impact.Format(an))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	validate := fs.Bool("validate", false, "also run convention validation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Reindex(); err != nil {
+		return err
+	}
+	s := w.Stats()
+	fmt.Printf("model      %s\n", s.Model)
+	fmt.Printf("triples    %d base + %d derived = %d total\n", s.Triples, s.Derived, s.Triples+s.Derived)
+	fmt.Printf("nodes      %d\n", s.Nodes)
+	fmt.Printf("versions   %d\n", s.Versions)
+	fmt.Println()
+	fmt.Println(w.Census().Table1())
+	if *validate {
+		issues := w.Validate()
+		fmt.Printf("validation: %d issues\n", len(issues))
+		for i, is := range issues {
+			if i >= 20 {
+				fmt.Printf("  ... and %d more\n", len(issues)-20)
+				break
+			}
+			fmt.Printf("  %s\n", is)
+		}
+	}
+	return nil
+}
+
+func cmdLearnSchema(args []string) error {
+	fs := flag.NewFlagSet("learn-schema", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	minInstances := fs.Int("min-instances", 3, "skip classes with fewer direct instances")
+	minFill := fs.Float64("min-fill", 0.5, "skip properties used by less than this fraction of instances")
+	migrate := fs.Bool("migrate", false, "also migrate the instances into the learned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	src := w.Store().ViewOf(w.Model())
+	schema := schemalearn.Learn(src, w.Store().Dict(), schemalearn.Options{
+		MinInstances: *minInstances,
+		MinFill:      *minFill,
+	})
+	for _, ddl := range schema.DDL() {
+		fmt.Println(ddl)
+		fmt.Println()
+	}
+	fmt.Printf("-- %d tables; schema covers %.1f%% of instance fact triples (%d of %d)\n",
+		len(schema.Tables), schema.Coverage()*100, schema.Covered, schema.Total)
+	if *migrate {
+		cat := relstore.New()
+		if err := schema.Apply(cat); err != nil {
+			return err
+		}
+		rows, uncovered, err := schemalearn.Migrate(src, w.Store().Dict(), schema, cat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- migrated %d rows; %d fact triples did not fit the schema\n", rows, uncovered)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// printResultTable renders a query result as an aligned table.
+func printResultTable(vars []string, rows [][]string) {
+	widths := make([]int, len(vars))
+	for i, v := range vars {
+		widths[i] = len(v)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+	line(vars)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}
+
+// resultRows flattens a SPARQL result into printable cells; IRIs are
+// abbreviated with the well-known prefixes.
+func resultRows(res *sparql.Result) [][]string {
+	out := make([][]string, 0, len(res.Rows))
+	for _, b := range res.Rows {
+		row := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			if t, ok := b[v]; ok {
+				if t.IsIRI() {
+					row[i] = rdf.QName(t.Value)
+				} else {
+					row[i] = t.Value
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestSearchCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"search", "customer"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, `Search Results for "customer"`) || !contains(out, "Attribute") {
+		t.Errorf("output:\n%s", out)
+	}
+	if err := run([]string{"search"}); err == nil {
+		t.Error("missing term should error")
+	}
+}
+
+func TestSearchCommandFlags(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"search", "-class", "Application1_Item,Interface_Item", "-semantic", "customer"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "1 matching instances") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestLineageCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"lineage", "application1/dwhdb/mart/v_customer/customer_id"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "backward lineage of customer_id") || !contains(out, "partner_id -> customer_id") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Roll-up and direction flags.
+	out, err = capture(t, func() error {
+		return run([]string{"lineage", "-level", "application",
+			"application1/dwhdb/mart/v_customer/customer_id"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "pb_frontend -> application1") {
+		t.Errorf("app-level output:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"lineage", "-dir", "forward",
+			"pb_frontend/pbdb/clients/client_info/client_information_id"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "forward lineage") {
+		t.Errorf("forward output:\n%s", out)
+	}
+	if err := run([]string{"lineage", "-dir", "sideways", "x"}); err == nil {
+		t.Error("bad direction should error")
+	}
+	if err := run([]string{"lineage", "-level", "galaxy", "x"}); err == nil {
+		t.Error("bad level should error")
+	}
+	if err := run([]string{"lineage"}); err == nil {
+		t.Error("missing item should error")
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	q := `PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+		SELECT ?name WHERE { ?x a dm:Attribute . ?x dm:hasName ?name } ORDER BY ?name`
+	out, err := capture(t, func() error { return run([]string{"query", q}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "customer_id") || !contains(out, "rows)") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Facts-only sees nothing inferred.
+	out, err = capture(t, func() error { return run([]string{"query", "-facts-only", q}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "(0 rows)") {
+		t.Errorf("facts-only output:\n%s", out)
+	}
+	if err := run([]string{"query", "NOT SPARQL"}); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestSemMatchCommand(t *testing.T) {
+	call := `SEM_MATCH(
+		{?source_id dt:isMappedTo ?target_id .
+		 ?target_id rdf:type dm:Application1_View_Column .
+		 ?target_id dm:hasName ?target_name},
+		SEM_MODELS('DWH_CURR'),
+		SEM_RULEBASES('OWLPRIME'),
+		SEM_ALIASES(
+			SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#'),
+			SEM_ALIAS('dt', 'http://www.credit-suisse.com/dwh/mdm/data_transfer#')),
+		null)`
+	out, err := capture(t, func() error { return run([]string{"semmatch", call}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "customer_id") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"stats", "-validate"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"triples", "nodes", "Facts", "validation:"} {
+		if !contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateAndDataRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	out, err := capture(t, func() error {
+		return run([]string{"generate", "-scale", "small", "-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "ontology.ttl") || !contains(out, "mapping chains") {
+		t.Errorf("generate output:\n%s", out)
+	}
+	// The generated directory is loadable by every command.
+	out, err = capture(t, func() error {
+		return run([]string{"search", "-data", dir, "-desc", "customer"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "matching instances") {
+		t.Errorf("search -data output:\n%s", out)
+	}
+	if err := run([]string{"generate", "-scale", "bogus", "-out", dir}); err == nil {
+		t.Error("bad scale should error")
+	}
+}
+
+func TestReportCommands(t *testing.T) {
+	for _, artifact := range []string{"table1", "subjects", "figure6", "figure7"} {
+		out, err := capture(t, func() error { return run([]string{"report", artifact}) })
+		if err != nil {
+			t.Fatalf("report %s: %v", artifact, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("report %s output suspiciously short:\n%s", artifact, out)
+		}
+	}
+	if err := run([]string{"report"}); err == nil {
+		t.Error("missing artifact should error")
+	}
+	if err := run([]string{"report", "bogus"}); err == nil {
+		t.Error("unknown artifact should error")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func TestImpactCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"impact"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "impact of release R1 -> R2") || !contains(out, "application1") {
+		t.Errorf("output:\n%s", out)
+	}
+	if err := run([]string{"impact", "-from", "1", "-to", "9"}); err == nil {
+		t.Error("missing release should error")
+	}
+}
+
+func TestAuditCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"audit", "application1/dwhdb/mart/v_customer/customer_id"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "access audit for customer_id") || !contains(out, "carol") {
+		t.Errorf("output:\n%s", out)
+	}
+	if err := run([]string{"audit"}); err == nil {
+		t.Error("missing item should error")
+	}
+}
+
+func TestLearnSchemaCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"learn-schema", "-min-instances", "1", "-migrate"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "CREATE TABLE") || !contains(out, "migrated") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestQueryExplain(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-explain", "SELECT ?x WHERE { ?x ?p ?o }"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, "BGP") {
+		t.Errorf("output:\n%s", out)
+	}
+	if err := run([]string{"query", "-explain", "BAD"}); err == nil {
+		t.Error("bad query should error in explain")
+	}
+}

@@ -1,0 +1,90 @@
+// Command mdwd serves the meta-data warehouse over HTTP: the JSON API
+// and the single-page frontend that reproduce the paper's search and
+// provenance screens (Figures 6 and 7).
+//
+// Usage:
+//
+//	mdwd [-addr :8080] [-data DIR | -wh DUMP]
+//
+// Without -data/-wh the server hosts the built-in Figure 3 example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"mdw/internal/core"
+	"mdw/internal/dbpedia"
+	"mdw/internal/httpapi"
+	"mdw/internal/landscape"
+	"mdw/internal/ontology"
+	"mdw/internal/staging"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "data directory written by `mdw generate`")
+	dump := flag.String("wh", "", "warehouse dump written by core.Warehouse.Save")
+	scale := flag.String("scale", "", "serve a freshly generated landscape: small or paper")
+	flag.Parse()
+
+	w, err := buildWarehouse(*data, *dump, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdwd:", err)
+		os.Exit(1)
+	}
+	if _, err := w.Reindex(); err != nil {
+		fmt.Fprintln(os.Stderr, "mdwd:", err)
+		os.Exit(1)
+	}
+	s := w.Stats()
+	log.Printf("serving model %s (%d base + %d derived triples) on %s",
+		s.Model, s.Triples, s.Derived, *addr)
+	if err := http.ListenAndServe(*addr, httpapi.NewServer(w)); err != nil {
+		fmt.Fprintln(os.Stderr, "mdwd:", err)
+		os.Exit(1)
+	}
+}
+
+func buildWarehouse(dataDir, dump, scale string) (*core.Warehouse, error) {
+	switch {
+	case dump != "":
+		return core.Open(dump, "")
+	case scale != "":
+		var cfg landscape.Config
+		switch scale {
+		case "small":
+			cfg = landscape.Small()
+		case "paper":
+			cfg = landscape.PaperScale()
+		default:
+			return nil, fmt.Errorf("unknown scale %q", scale)
+		}
+		l := landscape.Generate(cfg)
+		w := core.New("")
+		if _, err := w.LoadOntology(l.Ontology); err != nil {
+			return nil, err
+		}
+		if _, err := w.LoadExports(l.Exports); err != nil {
+			return nil, err
+		}
+		w.LoadTriples(l.ExtraTriples())
+		w.IntegrateDBpedia(dbpedia.Banking())
+		return w, nil
+	case dataDir != "":
+		return core.LoadDir(dataDir)
+	default:
+		w := core.New("")
+		if _, err := w.LoadOntology(ontology.DWH()); err != nil {
+			return nil, err
+		}
+		if _, err := w.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
+			return nil, err
+		}
+		w.IntegrateDBpedia(dbpedia.Banking())
+		return w, nil
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"mdw/internal/httpapi"
+)
+
+func TestBuildWarehouseDefault(t *testing.T) {
+	w, err := buildWarehouse("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Triples == 0 {
+		t.Error("default warehouse empty")
+	}
+}
+
+func TestBuildWarehouseScale(t *testing.T) {
+	w, err := buildWarehouse("", "", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Triples < 1000 {
+		t.Errorf("small landscape too small: %d", w.Stats().Triples)
+	}
+	if _, err := buildWarehouse("", "", "bogus"); err == nil {
+		t.Error("bad scale should error")
+	}
+}
+
+func TestBuildWarehouseFromDump(t *testing.T) {
+	w, err := buildWarehouse("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wh.mdw")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := buildWarehouse("", path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats().Triples != w.Stats().Triples {
+		t.Error("dump round trip lost triples")
+	}
+	if _, err := buildWarehouse("", "/no/such/file", ""); err == nil {
+		t.Error("missing dump should error")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	w, err := buildWarehouse("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.NewServer(w))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

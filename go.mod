@@ -1,0 +1,3 @@
+module mdw
+
+go 1.22

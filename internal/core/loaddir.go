@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mdw/internal/ntriples"
+	"mdw/internal/ontology"
+	"mdw/internal/rdf"
+	"mdw/internal/staging"
+	"mdw/internal/turtle"
+)
+
+// LoadDir builds a warehouse from a data directory in the layout written
+// by `mdw generate`: *.xml meta-data exports, *.ttl ontology documents,
+// dbpedia.nt synonym/homonym extract, and any other *.nt raw triples.
+func LoadDir(dir string) (*Warehouse, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := New("")
+	var exports []*staging.Export
+	var ontTriples []rdf.Triple
+	var raw []rdf.Triple
+	var dbp []rdf.Triple
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasSuffix(ent.Name(), ".xml"):
+			e, err := staging.Decode(string(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			exports = append(exports, e)
+		case strings.HasSuffix(ent.Name(), ".ttl"):
+			ts, err := turtle.Unmarshal(string(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			ontTriples = append(ontTriples, ts...)
+		case ent.Name() == "dbpedia.nt":
+			ts, err := ntriples.Unmarshal(string(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			dbp = ts
+		case strings.HasSuffix(ent.Name(), ".nt"):
+			ts, err := ntriples.Unmarshal(string(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			raw = append(raw, ts...)
+		}
+	}
+	if len(ontTriples) > 0 {
+		if _, err := w.LoadOntology(ontology.FromTriples("loaded", ontTriples)); err != nil {
+			return nil, err
+		}
+	}
+	if len(exports) > 0 {
+		if _, err := w.LoadExports(exports); err != nil {
+			return nil, err
+		}
+	}
+	if len(raw) > 0 {
+		w.LoadTriples(raw)
+	}
+	if len(dbp) > 0 {
+		w.IntegrateDBpedia(dbp)
+	}
+	return w, nil
+}

@@ -1,0 +1,227 @@
+// Package core is the public face of the meta-data warehouse: a
+// Warehouse value wires together the storage, load pipeline, entailment,
+// historization, and the search and lineage services, exposing the
+// operations the paper's users perform — load meta-data, search for
+// concepts, trace lineage, snapshot releases, and query the graph
+// directly with SPARQL or SEM_MATCH calls.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mdw/internal/audit"
+	"mdw/internal/dbpedia"
+	"mdw/internal/history"
+	"mdw/internal/impact"
+	"mdw/internal/lineage"
+	"mdw/internal/metamodel"
+	"mdw/internal/ontology"
+	"mdw/internal/rdf"
+	"mdw/internal/reason"
+	"mdw/internal/search"
+	"mdw/internal/semmatch"
+	"mdw/internal/sparql"
+	"mdw/internal/staging"
+	"mdw/internal/store"
+)
+
+// DefaultModel is the model name used when none is given; it matches the
+// SEM_MODELS('DWH_CURR') of the paper's listings.
+const DefaultModel = "DWH_CURR"
+
+// Warehouse is one meta-data warehouse instance.
+type Warehouse struct {
+	st        *store.Store
+	model     string
+	hist      *history.Historian
+	thesaurus *dbpedia.Thesaurus
+	ontology  *ontology.Ontology
+}
+
+// New returns an empty warehouse storing its graph in the named model
+// ("" selects DefaultModel).
+func New(model string) *Warehouse {
+	if model == "" {
+		model = DefaultModel
+	}
+	st := store.New()
+	st.Model(model) // ensure the base model exists even before any load
+	return &Warehouse{
+		st:    st,
+		model: model,
+		hist:  history.NewHistorian(st, model),
+	}
+}
+
+// Store exposes the underlying triple store.
+func (w *Warehouse) Store() *store.Store { return w.st }
+
+// Model returns the base model name.
+func (w *Warehouse) Model() string { return w.model }
+
+// Ontology returns the last loaded ontology (nil before LoadOntology).
+func (w *Warehouse) Ontology() *ontology.Ontology { return w.ontology }
+
+// Thesaurus returns the integrated thesaurus (nil before
+// IntegrateDBpedia).
+func (w *Warehouse) Thesaurus() *dbpedia.Thesaurus { return w.thesaurus }
+
+// LoadOntology stages and loads an ontology (the Protégé export path of
+// Figure 4) and remembers it for hierarchy queries.
+func (w *Warehouse) LoadOntology(o *ontology.Ontology) (staging.LoadStats, error) {
+	if errs := o.Validate(); len(errs) > 0 {
+		return staging.LoadStats{}, fmt.Errorf("core: ontology invalid: %v", errs[0])
+	}
+	tbl := staging.NewTable()
+	tbl.InsertTriples(o.Triples())
+	stats, err := tbl.BulkLoad(w.st, w.model, true)
+	if err != nil {
+		return stats, err
+	}
+	w.ontology = o
+	return stats, nil
+}
+
+// LoadExports runs the Figure 4 pipeline for the given XML meta-data
+// exports, rebuilding the entailment index afterwards.
+func (w *Warehouse) LoadExports(exports []*staging.Export) (staging.LoadStats, error) {
+	return staging.Pipeline{Store: w.st, Model: w.model}.Run(exports, nil)
+}
+
+// LoadTriples adds raw triples (e.g. auxiliary relatedness edges) and
+// invalidates the entailment index.
+func (w *Warehouse) LoadTriples(ts []rdf.Triple) int {
+	n := w.st.AddAll(w.model, ts)
+	w.invalidateIndex()
+	return n
+}
+
+// IntegrateDBpedia loads a DBpedia-style extract (Section III.B),
+// derives synonym/homonym edges, and enables semantic search expansion.
+func (w *Warehouse) IntegrateDBpedia(extract []rdf.Triple) int {
+	n := dbpedia.Integrate(w.st, w.model, extract)
+	w.thesaurus = dbpedia.FromTriples(extract)
+	w.invalidateIndex()
+	return n
+}
+
+func (w *Warehouse) invalidateIndex() {
+	w.st.DropModel(reason.IndexModelName(w.model, reason.RulebaseOWLPrime))
+}
+
+// Reindex forces rematerialization of the OWLPRIME index and returns the
+// number of derived triples.
+func (w *Warehouse) Reindex() (int, error) {
+	_, n, err := reason.NewEngine(w.st).Materialize(w.model)
+	return n, err
+}
+
+// Search runs the Section IV.A search service.
+func (w *Warehouse) Search(term string, opt search.Options) (*search.Result, error) {
+	return search.New(w.st, w.model, w.thesaurus).Search(term, opt)
+}
+
+// Lineage runs the Section IV.B provenance service.
+func (w *Warehouse) Lineage(item rdf.Term, dir lineage.Direction, opt lineage.Options) (*lineage.Graph, error) {
+	return lineage.New(w.st, w.model).Trace(item, dir, opt)
+}
+
+// LineageService exposes the full lineage API (roll-ups, path counting).
+func (w *Warehouse) LineageService() *lineage.Service {
+	return lineage.New(w.st, w.model)
+}
+
+// Sources returns the ultimate origins of an information item.
+func (w *Warehouse) Sources(item rdf.Term) ([]rdf.Term, error) {
+	return lineage.New(w.st, w.model).Sources(item, lineage.Options{})
+}
+
+// Impact returns everything transitively derived from an item.
+func (w *Warehouse) Impact(item rdf.Term) ([]rdf.Term, error) {
+	return lineage.New(w.st, w.model).Impact(item, lineage.Options{})
+}
+
+// Audit runs the access audit of the roles use case: which users and
+// roles can reach the item, optionally extended across its lineage.
+func (w *Warehouse) Audit(item rdf.Term, includeLineage bool) (*audit.Report, error) {
+	return audit.New(w.st, w.model).WhoCanAccess(item, includeLineage)
+}
+
+// ImpactOfRelease analyzes the meta-data changes between two historized
+// releases and follows them forward to the affected applications and
+// reports — the change-management use case.
+func (w *Warehouse) ImpactOfRelease(from, to int) (*impact.Analysis, error) {
+	return impact.New(w.st, w.hist).Analyze(from, to)
+}
+
+// Query parses and executes a SPARQL query against the base model plus
+// its OWLPRIME index (materializing it if needed).
+func (w *Warehouse) Query(query string) (*sparql.Result, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	idx := reason.IndexModelName(w.model, reason.RulebaseOWLPrime)
+	if !w.st.HasModel(idx) {
+		if _, err := w.Reindex(); err != nil {
+			return nil, err
+		}
+	}
+	return q.Exec(w.st.ViewOf(w.model, idx), w.st.Dict())
+}
+
+// QueryFacts executes a SPARQL query against the base facts only — the
+// paper's default when no rulebase is named.
+func (w *Warehouse) QueryFacts(query string) (*sparql.Result, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Exec(w.st.ViewOf(w.model), w.st.Dict())
+}
+
+// SemMatch executes an Oracle-style SEM_MATCH call (Listings 1 and 2).
+func (w *Warehouse) SemMatch(call string) (*sparql.Result, error) {
+	return semmatch.Exec(w.st, call)
+}
+
+// Snapshot historizes the current graph as a new release version.
+func (w *Warehouse) Snapshot(tag string, at time.Time) (history.Version, error) {
+	return w.hist.Snapshot(tag, at)
+}
+
+// History exposes the historian for diffs, as-of access, and pruning.
+func (w *Warehouse) History() *history.Historian { return w.hist }
+
+// Census computes the Table I population counts of the base graph.
+func (w *Warehouse) Census() *metamodel.Census {
+	cs, _ := metamodel.TakeCensus(w.st.ViewOf(w.model), w.st.Dict())
+	return cs
+}
+
+// Validate checks the graph against the warehouse conventions.
+func (w *Warehouse) Validate() []metamodel.Issue {
+	return metamodel.Validate(w.st.ViewOf(w.model), w.st.Dict())
+}
+
+// Stats summarizes the warehouse state.
+type Stats struct {
+	Model    string
+	Triples  int
+	Derived  int
+	Nodes    int
+	Versions int
+}
+
+// Stats reports the current graph and version sizes.
+func (w *Warehouse) Stats() Stats {
+	cs := w.Census()
+	return Stats{
+		Model:    w.model,
+		Triples:  w.st.Len(w.model),
+		Derived:  w.st.Len(reason.IndexModelName(w.model, reason.RulebaseOWLPrime)),
+		Nodes:    cs.NodeTotal(),
+		Versions: len(w.hist.Versions()),
+	}
+}

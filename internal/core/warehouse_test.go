@@ -1,0 +1,220 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mdw/internal/dbpedia"
+	"mdw/internal/landscape"
+	"mdw/internal/lineage"
+	"mdw/internal/ontology"
+	"mdw/internal/rdf"
+	"mdw/internal/search"
+	"mdw/internal/staging"
+)
+
+func buildWarehouse(t *testing.T) *Warehouse {
+	t.Helper()
+	w := New("")
+	if _, err := w.LoadOntology(ontology.DWH()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDefaultModelName(t *testing.T) {
+	w := New("")
+	if w.Model() != "DWH_CURR" {
+		t.Errorf("model = %q", w.Model())
+	}
+	if New("other").Model() != "other" {
+		t.Error("explicit model name ignored")
+	}
+}
+
+func TestLoadAndStats(t *testing.T) {
+	w := buildWarehouse(t)
+	s := w.Stats()
+	if s.Triples == 0 || s.Nodes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if _, err := w.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Derived == 0 {
+		t.Error("no derived triples after reindex")
+	}
+}
+
+func TestLoadOntologyRejectsInvalid(t *testing.T) {
+	w := New("")
+	o := ontology.New("bad")
+	o.AddClass("http://x/A", "A", "http://x/B")
+	o.AddClass("http://x/B", "B", "http://x/A")
+	if _, err := w.LoadOntology(o); err == nil {
+		t.Error("cyclic ontology accepted")
+	}
+}
+
+func TestEndToEndSearch(t *testing.T) {
+	w := buildWarehouse(t)
+	res, err := w.Search("customer", search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances == 0 {
+		t.Fatal("no search hits")
+	}
+}
+
+func TestEndToEndLineage(t *testing.T) {
+	w := buildWarehouse(t)
+	paths := landscape.Figure3Paths()
+	item := staging.InstanceIRI(strings.Split(paths[3], "/")...)
+	g, err := w.Lineage(item, lineage.Backward, lineage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 4 {
+		t.Errorf("lineage nodes = %d", len(g.Nodes))
+	}
+	srcs, err := w.Sources(item)
+	if err != nil || len(srcs) != 1 {
+		t.Errorf("sources = %v, %v", srcs, err)
+	}
+	origin := staging.InstanceIRI(strings.Split(paths[0], "/")...)
+	impact, err := w.Impact(origin)
+	if err != nil || len(impact) != 3 {
+		t.Errorf("impact = %v, %v", impact, err)
+	}
+	if w.LineageService() == nil {
+		t.Error("LineageService nil")
+	}
+}
+
+func TestQueryWithAndWithoutIndex(t *testing.T) {
+	w := buildWarehouse(t)
+	q := `PREFIX dm: <` + rdf.DMNS + `> SELECT ?x WHERE { ?x a dm:Attribute }`
+	withIdx, err := w.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factsOnly, err := w.QueryFacts(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withIdx.Rows) == 0 {
+		t.Error("indexed query found nothing")
+	}
+	if len(factsOnly.Rows) != 0 {
+		t.Errorf("facts-only query saw %d inferred rows", len(factsOnly.Rows))
+	}
+	if _, err := w.Query("NOT SPARQL"); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := w.QueryFacts("NOT SPARQL"); err == nil {
+		t.Error("bad facts query accepted")
+	}
+}
+
+func TestSemMatchListing(t *testing.T) {
+	w := buildWarehouse(t)
+	res, err := w.SemMatch(`SEM_MATCH(
+		{?object rdf:type dm:Application1_View_Column .
+		 ?object dm:hasName ?term},
+		SEM_MODELS('DWH_CURR'),
+		SEM_RULEBASES('OWLPRIME'),
+		SEM_ALIASES(SEM_ALIAS('dm', '` + rdf.DMNS + `')),
+		null)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["term"].Value != "customer_id" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSnapshotAndHistory(t *testing.T) {
+	w := buildWarehouse(t)
+	v1, err := w.Snapshot("2009-R1", time.Date(2009, 3, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.LoadTriples([]rdf.Triple{
+		rdf.T(rdf.IRI(rdf.InstNS+"new_item"), rdf.Type, rdf.IRI(rdf.DMNS+"Table")),
+	})
+	v2, err := w.Snapshot("2009-R2", time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Triples != v1.Triples+1 {
+		t.Errorf("v2 = %d triples, v1 = %d", v2.Triples, v1.Triples)
+	}
+	d, err := w.History().DiffVersions(1, 2)
+	if err != nil || len(d.Added) != 1 {
+		t.Errorf("diff = %+v, %v", d, err)
+	}
+	if w.Stats().Versions != 2 {
+		t.Error("version count wrong")
+	}
+}
+
+func TestIntegrateDBpediaEnablesSemanticSearch(t *testing.T) {
+	w := buildWarehouse(t)
+	if w.Thesaurus() != nil {
+		t.Error("thesaurus should be nil before integration")
+	}
+	n := w.IntegrateDBpedia(dbpedia.Banking())
+	if n == 0 {
+		t.Fatal("nothing integrated")
+	}
+	if w.Thesaurus() == nil {
+		t.Fatal("thesaurus missing after integration")
+	}
+	res, err := w.Search("client", search.Options{Semantic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Expanded) < 2 {
+		t.Errorf("expanded = %v", res.Expanded)
+	}
+}
+
+func TestCensusAndValidate(t *testing.T) {
+	w := buildWarehouse(t)
+	cs := w.Census()
+	if cs.Nodes[0] < 0 || cs.Total == 0 {
+		t.Error("census empty")
+	}
+	// The curated fixture should produce no untyped instances.
+	for _, issue := range w.Validate() {
+		if issue.Code == "untyped-instance" {
+			t.Errorf("unexpected issue: %v", issue)
+		}
+	}
+}
+
+func TestLoadInvalidatesIndex(t *testing.T) {
+	w := buildWarehouse(t)
+	if _, err := w.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	// A new subclass plus instance loaded AFTER indexing must still be
+	// visible to Query (the facade drops the stale index).
+	w.LoadTriples([]rdf.Triple{
+		rdf.T(rdf.IRI(rdf.DMNS+"Fresh"), rdf.SubClassOf, rdf.IRI(rdf.DMNS+"Attribute")),
+		rdf.T(rdf.IRI(rdf.InstNS+"fresh1"), rdf.Type, rdf.IRI(rdf.DMNS+"Fresh")),
+	})
+	res, err := w.Query(`PREFIX dm: <` + rdf.DMNS + `> PREFIX inst: <` + rdf.InstNS + `>
+		ASK { inst:fresh1 a dm:Attribute }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ask {
+		t.Error("stale index served after load")
+	}
+}

@@ -1,0 +1,199 @@
+// Package history implements the full historization mechanism of
+// Section III.A: "each meta-data graph is historized completely into a
+// dedicated set of historization tables. ... The number of versions is
+// following the release cycles of the major Credit Suisse applications,
+// i.e. up to eight versions in one year."
+//
+// A Historian snapshots the current model into a per-version historization
+// model, tracks release metadata, computes diffs between versions, and
+// answers as-of queries by exposing any version as a read view.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mdw/internal/rdf"
+	"mdw/internal/store"
+)
+
+// Version describes one historized release of the meta-data graph.
+type Version struct {
+	// Number is the 1-based release number.
+	Number int
+	// Tag is the release label, e.g. "2009-R3".
+	Tag string
+	// At is the release timestamp.
+	At time.Time
+	// Triples is the size of the historized graph.
+	Triples int
+	// Model is the historization model holding the snapshot.
+	Model string
+}
+
+// Historian manages the versions of one base model.
+type Historian struct {
+	st       *store.Store
+	base     string
+	versions []Version
+}
+
+// NewHistorian returns a historian for the named base model of st.
+func NewHistorian(st *store.Store, baseModel string) *Historian {
+	return &Historian{st: st, base: baseModel}
+}
+
+// Base returns the base model name.
+func (h *Historian) Base() string { return h.base }
+
+// histModel names the historization model for version n.
+func (h *Historian) histModel(n int) string {
+	return fmt.Sprintf("%s$HIST%04d", h.base, n)
+}
+
+// Snapshot historizes the current contents of the base model as a new
+// version with the given tag and timestamp.
+func (h *Historian) Snapshot(tag string, at time.Time) (Version, error) {
+	n := len(h.versions) + 1
+	model := h.histModel(n)
+	if err := h.st.CloneModel(h.base, model); err != nil {
+		return Version{}, fmt.Errorf("history: snapshot: %w", err)
+	}
+	v := Version{
+		Number:  n,
+		Tag:     tag,
+		At:      at,
+		Triples: h.st.Len(model),
+		Model:   model,
+	}
+	h.versions = append(h.versions, v)
+	return v, nil
+}
+
+// Restore replaces the historian's version records, e.g. after loading a
+// store dump whose historization models are already present. Versions
+// must be ordered oldest first with contiguous numbers starting at 1.
+func (h *Historian) Restore(versions []Version) error {
+	for i, v := range versions {
+		if v.Number != i+1 {
+			return fmt.Errorf("history: restore: version %d out of order (number %d)", i+1, v.Number)
+		}
+		if !h.st.HasModel(v.Model) {
+			return fmt.Errorf("history: restore: historization model %q missing", v.Model)
+		}
+	}
+	h.versions = append([]Version(nil), versions...)
+	return nil
+}
+
+// Versions returns all versions, oldest first.
+func (h *Historian) Versions() []Version {
+	out := make([]Version, len(h.versions))
+	copy(out, h.versions)
+	return out
+}
+
+// Version returns the metadata for release n.
+func (h *Historian) Version(n int) (Version, error) {
+	if n < 1 || n > len(h.versions) {
+		return Version{}, fmt.Errorf("history: no version %d (have %d)", n, len(h.versions))
+	}
+	return h.versions[n-1], nil
+}
+
+// AsOf returns the newest version at or before t.
+func (h *Historian) AsOf(t time.Time) (Version, error) {
+	idx := sort.Search(len(h.versions), func(i int) bool {
+		return h.versions[i].At.After(t)
+	})
+	if idx == 0 {
+		return Version{}, fmt.Errorf("history: no version at or before %s", t.Format(time.RFC3339))
+	}
+	return h.versions[idx-1], nil
+}
+
+// ViewOf returns a read view over the historized graph of version n.
+func (h *Historian) ViewOf(n int) (*store.View, error) {
+	v, err := h.Version(n)
+	if err != nil {
+		return nil, err
+	}
+	return h.st.ViewOf(v.Model), nil
+}
+
+// Diff describes the triple-level changes between two versions.
+type Diff struct {
+	From, To int
+	Added    []rdf.Triple
+	Removed  []rdf.Triple
+}
+
+// DiffVersions computes the triples added and removed between versions a
+// and b (a < b is conventional but not required).
+func (h *Historian) DiffVersions(a, b int) (*Diff, error) {
+	va, err := h.Version(a)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := h.Version(b)
+	if err != nil {
+		return nil, err
+	}
+	d := &Diff{From: a, To: b}
+	h.st.ForEach(vb.Model, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+		if !h.st.Contains(va.Model, t) {
+			d.Added = append(d.Added, t)
+		}
+		return true
+	})
+	h.st.ForEach(va.Model, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+		if !h.st.Contains(vb.Model, t) {
+			d.Removed = append(d.Removed, t)
+		}
+		return true
+	})
+	rdf.SortTriples(d.Added)
+	rdf.SortTriples(d.Removed)
+	return d, nil
+}
+
+// GrowthReport summarizes how the graph grows across versions — the
+// paper estimates "about 20 to 30% every year" on top of the release
+// cadence.
+type GrowthReport struct {
+	Versions []Version
+	// Growth[i] is the relative size change from version i to i+1.
+	Growth []float64
+}
+
+// Growth computes the per-release growth factors.
+func (h *Historian) Growth() GrowthReport {
+	r := GrowthReport{Versions: h.Versions()}
+	for i := 1; i < len(h.versions); i++ {
+		prev := float64(h.versions[i-1].Triples)
+		cur := float64(h.versions[i].Triples)
+		if prev > 0 {
+			r.Growth = append(r.Growth, cur/prev-1)
+		} else {
+			r.Growth = append(r.Growth, 0)
+		}
+	}
+	return r
+}
+
+// Prune removes the historization models of all versions older than
+// keep (the most recent `keep` versions are retained); version records
+// stay so numbering is stable, but their models are dropped.
+func (h *Historian) Prune(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	dropped := 0
+	for i := 0; i < len(h.versions)-keep; i++ {
+		if h.st.DropModel(h.versions[i].Model) {
+			dropped++
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,202 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"mdw/internal/rdf"
+	"mdw/internal/store"
+)
+
+func iri(s string) rdf.Term { return rdf.IRI("http://t/" + s) }
+
+func day(n int) time.Time {
+	return time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, n)
+}
+
+func TestSnapshotAndVersions(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("b")))
+	h := NewHistorian(st, "base")
+
+	v1, err := h.Snapshot("2009-R1", day(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Number != 1 || v1.Triples != 1 {
+		t.Errorf("v1 = %+v", v1)
+	}
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("c")))
+	v2, err := h.Snapshot("2009-R2", day(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Number != 2 || v2.Triples != 2 {
+		t.Errorf("v2 = %+v", v2)
+	}
+	if len(h.Versions()) != 2 {
+		t.Errorf("versions = %v", h.Versions())
+	}
+	// Snapshots are isolated from later base mutations.
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("d")))
+	if st.Len(v1.Model) != 1 || st.Len(v2.Model) != 2 {
+		t.Error("snapshot contents drifted")
+	}
+}
+
+func TestVersionLookupErrors(t *testing.T) {
+	h := NewHistorian(store.New(), "missing")
+	if _, err := h.Snapshot("r1", day(0)); err == nil {
+		t.Error("snapshot of missing base should fail")
+	}
+	if _, err := h.Version(1); err == nil {
+		t.Error("missing version lookup should fail")
+	}
+	if _, err := h.AsOf(day(10)); err == nil {
+		t.Error("AsOf with no versions should fail")
+	}
+	if _, err := h.ViewOf(3); err == nil {
+		t.Error("ViewOf missing version should fail")
+	}
+}
+
+func TestAsOf(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("b")))
+	h := NewHistorian(st, "base")
+	h.Snapshot("r1", day(0))
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("c")))
+	h.Snapshot("r2", day(60))
+
+	v, err := h.AsOf(day(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 1 {
+		t.Errorf("AsOf(day30) = v%d, want v1", v.Number)
+	}
+	v, err = h.AsOf(day(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 2 {
+		t.Errorf("AsOf(day60) = v%d, want v2 (inclusive)", v.Number)
+	}
+	if _, err := h.AsOf(day(-1)); err == nil {
+		t.Error("AsOf before first release should fail")
+	}
+}
+
+func TestAsOfQueryOnOldVersion(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("x"), rdf.Type, iri("Old")))
+	h := NewHistorian(st, "base")
+	h.Snapshot("r1", day(0))
+	st.Remove("base", rdf.T(iri("x"), rdf.Type, iri("Old")))
+	st.Add("base", rdf.T(iri("x"), rdf.Type, iri("New")))
+	h.Snapshot("r2", day(30))
+
+	view1, err := h.ViewOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.Dict()
+	typeID, _ := d.Lookup(rdf.Type)
+	oldID, _ := d.Lookup(iri("Old"))
+	if got := view1.Subjects(typeID, oldID); len(got) != 1 {
+		t.Errorf("old version lost the Old typing: %v", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	st := store.New()
+	keep := rdf.T(iri("k"), iri("p"), iri("v"))
+	gone := rdf.T(iri("g"), iri("p"), iri("v"))
+	st.AddAll("base", []rdf.Triple{keep, gone})
+	h := NewHistorian(st, "base")
+	h.Snapshot("r1", day(0))
+
+	st.Remove("base", gone)
+	added := rdf.T(iri("n"), iri("p"), iri("v"))
+	st.Add("base", added)
+	h.Snapshot("r2", day(30))
+
+	d, err := h.DiffVersions(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 || d.Added[0] != added {
+		t.Errorf("Added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != gone {
+		t.Errorf("Removed = %v", d.Removed)
+	}
+	// Reverse diff swaps the sets.
+	rd, err := h.DiffVersions(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Added) != 1 || rd.Added[0] != gone {
+		t.Errorf("reverse Added = %v", rd.Added)
+	}
+	if _, err := h.DiffVersions(1, 9); err == nil {
+		t.Error("diff against missing version should fail")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("v0")))
+	h := NewHistorian(st, "base")
+	h.Snapshot("r1", day(0))
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("v1")))
+	h.Snapshot("r2", day(45))
+
+	g := h.Growth()
+	if len(g.Growth) != 1 {
+		t.Fatalf("growth = %v", g.Growth)
+	}
+	if g.Growth[0] < 0.99 || g.Growth[0] > 1.01 {
+		t.Errorf("growth[0] = %f, want 1.0 (doubled)", g.Growth[0])
+	}
+}
+
+func TestReleaseCadence(t *testing.T) {
+	// Up to eight versions in one year (Section III.A).
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("v")))
+	h := NewHistorian(st, "base")
+	for i := 0; i < 8; i++ {
+		if _, err := h.Snapshot("2009-R"+string(rune('1'+i)), day(i*45)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(h.Versions()) != 8 {
+		t.Errorf("versions = %d", len(h.Versions()))
+	}
+}
+
+func TestPrune(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("v")))
+	h := NewHistorian(st, "base")
+	for i := 0; i < 4; i++ {
+		h.Snapshot("r", day(i))
+	}
+	if n := h.Prune(2); n != 2 {
+		t.Errorf("Prune dropped %d, want 2", n)
+	}
+	if st.HasModel(h.histModel(1)) || st.HasModel(h.histModel(2)) {
+		t.Error("old historization models still present")
+	}
+	if !st.HasModel(h.histModel(3)) || !st.HasModel(h.histModel(4)) {
+		t.Error("recent historization models dropped")
+	}
+	// Version records survive pruning.
+	if len(h.Versions()) != 4 {
+		t.Error("version records lost")
+	}
+	if n := h.Prune(10); n != 0 {
+		t.Errorf("second Prune dropped %d, want 0", n)
+	}
+}

@@ -1,0 +1,380 @@
+// Package httpapi exposes the meta-data warehouse services over HTTP —
+// the role of the web frontend whose screenshots are Figures 6 and 7 of
+// the paper. The JSON API mirrors the two use cases (search and
+// lineage/provenance) plus direct SPARQL access and the statistics
+// reports; GET / serves a minimal single-page frontend.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mdw/internal/core"
+	"mdw/internal/lineage"
+	"mdw/internal/rdf"
+	"mdw/internal/search"
+	"mdw/internal/staging"
+)
+
+// Server wraps a warehouse with HTTP handlers.
+type Server struct {
+	w   *core.Warehouse
+	mux *http.ServeMux
+}
+
+// NewServer returns a server for the given warehouse.
+func NewServer(w *core.Warehouse) *Server {
+	s := &Server{w: w, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/lineage", s.handleLineage)
+	s.mux.HandleFunc("GET /api/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/semmatch", s.handleSemMatch)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/versions", s.handleVersions)
+	s.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+	})
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(rw, r)
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, status int, err error) {
+	writeJSON(rw, status, map[string]string{"error": err.Error()})
+}
+
+// --- search ---
+
+// SearchHit is the JSON shape of one search hit.
+type SearchHit struct {
+	IRI     string `json:"iri"`
+	Name    string `json:"name"`
+	Matched string `json:"matched"`
+}
+
+// SearchGroup is one class bucket of the Figure 6 result list.
+type SearchGroup struct {
+	Class string      `json:"class"`
+	Label string      `json:"label"`
+	Count int         `json:"count"`
+	Hits  []SearchHit `json:"hits,omitempty"`
+}
+
+// SearchResponse is the JSON shape of a search result.
+type SearchResponse struct {
+	Term      string        `json:"term"`
+	Expanded  []string      `json:"expanded"`
+	Instances int           `json:"instances"`
+	Groups    []SearchGroup `json:"groups"`
+}
+
+func (s *Server) handleSearch(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	term := q.Get("term")
+	if term == "" {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("missing ?term"))
+		return
+	}
+	opt := search.Options{
+		Area:              q.Get("area"),
+		Layer:             q.Get("layer"),
+		Tag:               q.Get("tag"),
+		Semantic:          q.Get("semantic") == "true" || q.Get("semantic") == "1",
+		MatchDescriptions: q.Get("desc") == "true" || q.Get("desc") == "1",
+		MaxHitsPerGroup:   10,
+	}
+	if n, err := strconv.Atoi(q.Get("hits")); err == nil && n >= 0 {
+		opt.MaxHitsPerGroup = n
+	}
+	for _, c := range strings.Split(q.Get("class"), ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			if !strings.Contains(c, "://") {
+				c = rdf.DMNS + c
+			}
+			opt.FilterClasses = append(opt.FilterClasses, c)
+		}
+	}
+	res, err := s.w.Search(term, opt)
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	resp := SearchResponse{
+		Term:      res.Term,
+		Expanded:  res.Expanded,
+		Instances: res.Instances,
+	}
+	for _, g := range res.Groups {
+		sg := SearchGroup{Class: g.Class.Value, Label: g.Label, Count: g.Count}
+		for _, h := range g.Hits {
+			sg.Hits = append(sg.Hits, SearchHit{IRI: h.IRI.Value, Name: h.Name, Matched: h.Matched})
+		}
+		resp.Groups = append(resp.Groups, sg)
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// --- lineage ---
+
+// LineageNode is the JSON shape of one lineage node.
+type LineageNode struct {
+	IRI     string   `json:"iri"`
+	Name    string   `json:"name"`
+	Depth   int      `json:"depth"`
+	Classes []string `json:"classes,omitempty"`
+}
+
+// LineageEdge is one mapping hop.
+type LineageEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Rule string `json:"rule,omitempty"`
+}
+
+// LineageResponse is the JSON shape of a lineage graph.
+type LineageResponse struct {
+	Root      string        `json:"root"`
+	Direction string        `json:"direction"`
+	Level     string        `json:"level"`
+	Nodes     []LineageNode `json:"nodes"`
+	Edges     []LineageEdge `json:"edges"`
+}
+
+func (s *Server) handleLineage(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	itemPath := q.Get("item")
+	if itemPath == "" {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("missing ?item (slash-separated path or full IRI)"))
+		return
+	}
+	var item rdf.Term
+	if strings.Contains(itemPath, "://") {
+		item = rdf.IRI(itemPath)
+	} else {
+		item = staging.InstanceIRI(strings.Split(itemPath, "/")...)
+	}
+	dir := lineage.Backward
+	switch q.Get("dir") {
+	case "", "backward":
+	case "forward":
+		dir = lineage.Forward
+	default:
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("bad ?dir (want backward or forward)"))
+		return
+	}
+	opt := lineage.Options{}
+	if n, err := strconv.Atoi(q.Get("depth")); err == nil && n > 0 {
+		opt.MaxDepth = n
+	}
+	if rule := q.Get("rule"); rule != "" {
+		opt.RuleFilter = func(r string) bool { return strings.Contains(r, rule) }
+	}
+	svc := s.w.LineageService()
+	g, err := svc.Trace(item, dir, opt)
+	if err != nil {
+		writeError(rw, http.StatusNotFound, err)
+		return
+	}
+	level := lineage.LevelAttribute
+	switch q.Get("level") {
+	case "", "attribute":
+	case "relation":
+		level = lineage.LevelRelation
+	case "schema":
+		level = lineage.LevelSchema
+	case "application":
+		level = lineage.LevelApplication
+	default:
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("bad ?level"))
+		return
+	}
+	if g, err = svc.Rollup(g, level); err != nil {
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	resp := LineageResponse{
+		Root:      g.Root.Value,
+		Direction: g.Direction.String(),
+		Level:     level.String(),
+	}
+	for _, n := range g.Nodes {
+		node := LineageNode{IRI: n.IRI.Value, Name: n.Name, Depth: n.Depth}
+		for _, c := range n.Classes {
+			node.Classes = append(node.Classes, rdf.LocalName(c))
+		}
+		resp.Nodes = append(resp.Nodes, node)
+	}
+	for _, e := range g.Edges {
+		resp.Edges = append(resp.Edges, LineageEdge{From: e.From.Value, To: e.To.Value, Rule: e.Rule})
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// --- audit ---
+
+// AuditGrant is one access relationship in the JSON report.
+type AuditGrant struct {
+	User      string `json:"user"`
+	Role      string `json:"role"`
+	RoleClass string `json:"roleClass,omitempty"`
+	App       string `json:"app"`
+	Via       string `json:"via"`
+}
+
+// AuditResponse is the JSON shape of an access audit.
+type AuditResponse struct {
+	Item   string       `json:"item"`
+	Apps   []string     `json:"apps"`
+	Users  []string     `json:"users"`
+	Grants []AuditGrant `json:"grants"`
+}
+
+func (s *Server) handleAudit(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	itemPath := q.Get("item")
+	if itemPath == "" {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("missing ?item"))
+		return
+	}
+	var item rdf.Term
+	if strings.Contains(itemPath, "://") {
+		item = rdf.IRI(itemPath)
+	} else {
+		item = staging.InstanceIRI(strings.Split(itemPath, "/")...)
+	}
+	withLineage := q.Get("lineage") != "false"
+	rep, err := s.w.Audit(item, withLineage)
+	if err != nil {
+		writeError(rw, http.StatusNotFound, err)
+		return
+	}
+	resp := AuditResponse{Item: rep.Item.Value, Users: rep.Users()}
+	for _, a := range rep.Apps {
+		resp.Apps = append(resp.Apps, a.Value)
+	}
+	for _, g := range rep.Grants {
+		resp.Grants = append(resp.Grants, AuditGrant{
+			User: g.UserName, Role: g.RoleName, RoleClass: g.RoleClass,
+			App: g.AppName, Via: g.Via,
+		})
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// --- query ---
+
+// QueryResponse is the JSON shape of a SPARQL result.
+type QueryResponse struct {
+	Vars []string            `json:"vars"`
+	Rows []map[string]string `json:"rows"`
+	Ask  *bool               `json:"ask,omitempty"`
+	// Triples carries CONSTRUCT results in N-Triples syntax.
+	Triples []string `json:"triples,omitempty"`
+}
+
+func (s *Server) handleQuery(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("missing ?q"))
+		return
+	}
+	var res, err = s.w.Query(q)
+	if r.URL.Query().Get("facts") == "only" {
+		res, err = s.w.QueryFacts(q)
+	}
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{Vars: res.Vars}
+	if len(res.Triples) > 0 {
+		for _, tr := range res.Triples {
+			resp.Triples = append(resp.Triples, tr.NTriple())
+		}
+	} else if len(res.Vars) == 0 && len(res.Rows) == 0 {
+		ask := res.Ask
+		resp.Ask = &ask
+	}
+	for _, b := range res.Rows {
+		row := map[string]string{}
+		for v, t := range b {
+			row[v] = t.Value
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// handleSemMatch executes an Oracle-style SEM_MATCH call posted as the
+// request body (text/plain).
+func (s *Server) handleSemMatch(rw http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, 1<<20))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.w.SemMatch(string(body))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{Vars: res.Vars}
+	for _, b := range res.Rows {
+		row := map[string]string{}
+		for v, t := range b {
+			row[v] = t.Value
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// --- stats / versions ---
+
+func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	st := s.w.Stats()
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"model":    st.Model,
+		"triples":  st.Triples,
+		"derived":  st.Derived,
+		"nodes":    st.Nodes,
+		"versions": st.Versions,
+	})
+}
+
+func (s *Server) handleVersions(rw http.ResponseWriter, _ *http.Request) {
+	type ver struct {
+		Number  int    `json:"number"`
+		Tag     string `json:"tag"`
+		At      string `json:"at"`
+		Triples int    `json:"triples"`
+	}
+	var out []ver
+	for _, v := range s.w.History().Versions() {
+		out = append(out, ver{Number: v.Number, Tag: v.Tag, At: v.At.Format("2006-01-02"), Triples: v.Triples})
+	}
+	writeJSON(rw, http.StatusOK, out)
+}
+
+func (s *Server) handleIndex(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = rw.Write([]byte(indexHTML))
+}

@@ -1,0 +1,248 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"mdw/internal/core"
+	"mdw/internal/dbpedia"
+	"mdw/internal/landscape"
+	"mdw/internal/ontology"
+	"mdw/internal/staging"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	w := core.New("")
+	if _, err := w.LoadOntology(ontology.DWH()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
+		t.Fatal(err)
+	}
+	w.IntegrateDBpedia(dbpedia.Banking())
+	if _, err := w.Snapshot("2009-R1", time.Date(2009, 3, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(w))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var res SearchResponse
+	if code := getJSON(t, srv, "/api/search?term=customer", &res); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if res.Instances == 0 || len(res.Groups) == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	found := false
+	for _, g := range res.Groups {
+		if g.Label == "Attribute" && g.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no Attribute group: %+v", res.Groups)
+	}
+}
+
+func TestSearchEndpointSemantic(t *testing.T) {
+	srv := testServer(t)
+	var plain, semantic SearchResponse
+	getJSON(t, srv, "/api/search?term=client", &plain)
+	getJSON(t, srv, "/api/search?term=client&semantic=true", &semantic)
+	if semantic.Instances <= plain.Instances {
+		t.Errorf("semantic %d <= plain %d", semantic.Instances, plain.Instances)
+	}
+}
+
+func TestSearchEndpointClassFilter(t *testing.T) {
+	srv := testServer(t)
+	var res SearchResponse
+	getJSON(t, srv, "/api/search?term=customer&class=Application1_Item,Interface_Item", &res)
+	if res.Instances != 1 {
+		t.Errorf("instances = %d, want 1", res.Instances)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	if code := getJSON(t, srv, "/api/search", nil); code != 400 {
+		t.Errorf("missing term: status = %d", code)
+	}
+}
+
+func TestLineageEndpoint(t *testing.T) {
+	srv := testServer(t)
+	item := url.QueryEscape("application1/dwhdb/mart/v_customer/customer_id")
+	var res LineageResponse
+	if code := getJSON(t, srv, "/api/lineage?item="+item, &res); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(res.Nodes) != 4 || len(res.Edges) != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Direction != "backward" || res.Level != "attribute" {
+		t.Errorf("dir/level = %s/%s", res.Direction, res.Level)
+	}
+	// Roll up to application level.
+	getJSON(t, srv, "/api/lineage?item="+item+"&level=application", &res)
+	if len(res.Nodes) != 2 || len(res.Edges) != 1 {
+		t.Errorf("app level = %+v", res)
+	}
+	// Forward direction from the origin.
+	origin := url.QueryEscape("pb_frontend/pbdb/clients/client_info/client_information_id")
+	getJSON(t, srv, "/api/lineage?item="+origin+"&dir=forward", &res)
+	if len(res.Nodes) != 4 {
+		t.Errorf("forward = %+v", res)
+	}
+	// Rule filter.
+	getJSON(t, srv, "/api/lineage?item="+item+"&rule=partner", &res)
+	if len(res.Edges) != 1 {
+		t.Errorf("rule filtered = %+v", res)
+	}
+}
+
+func TestLineageEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	if code := getJSON(t, srv, "/api/lineage", nil); code != 400 {
+		t.Errorf("missing item: %d", code)
+	}
+	if code := getJSON(t, srv, "/api/lineage?item=no/such/thing", nil); code != 404 {
+		t.Errorf("unknown item: %d", code)
+	}
+	if code := getJSON(t, srv, "/api/lineage?item=x&dir=sideways", nil); code != 400 {
+		t.Errorf("bad dir: %d", code)
+	}
+	item := url.QueryEscape("application1/dwhdb/mart/v_customer/customer_id")
+	if code := getJSON(t, srv, "/api/lineage?item="+item+"&level=galaxy", nil); code != 400 {
+		t.Errorf("bad level: %d", code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	q := url.QueryEscape(`PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+		SELECT ?name WHERE { ?x a dm:Attribute . ?x dm:hasName ?name }`)
+	var res QueryResponse
+	if code := getJSON(t, srv, "/api/query?q="+q, &res); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Facts-only sees no inferred Attribute typings.
+	getJSON(t, srv, "/api/query?facts=only&q="+q, &res)
+	if len(res.Rows) != 0 {
+		t.Errorf("facts-only rows = %d", len(res.Rows))
+	}
+	// ASK result shape.
+	ask := url.QueryEscape(`ASK { ?s ?p ?o }`)
+	getJSON(t, srv, "/api/query?q="+ask, &res)
+	if res.Ask == nil || !*res.Ask {
+		t.Errorf("ask = %+v", res)
+	}
+	if code := getJSON(t, srv, "/api/query?q=NOT+SPARQL", nil); code != 400 {
+		t.Errorf("bad query: %d", code)
+	}
+	if code := getJSON(t, srv, "/api/query", nil); code != 400 {
+		t.Errorf("missing q: %d", code)
+	}
+}
+
+func TestStatsAndVersionsEndpoints(t *testing.T) {
+	srv := testServer(t)
+	var stats map[string]any
+	if code := getJSON(t, srv, "/api/stats", &stats); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if stats["model"] != "DWH_CURR" {
+		t.Errorf("stats = %v", stats)
+	}
+	var versions []map[string]any
+	getJSON(t, srv, "/api/versions", &versions)
+	if len(versions) != 1 || versions[0]["tag"] != "2009-R1" {
+		t.Errorf("versions = %v", versions)
+	}
+}
+
+func TestIndexAndHealth(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body[:n]), "Meta-data Warehouse") {
+		t.Errorf("index page wrong: %d", resp.StatusCode)
+	}
+	if code := getJSON(t, srv, "/healthz", nil); code != 200 {
+		t.Errorf("healthz = %d", code)
+	}
+}
+
+func TestSemMatchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	call := `SEM_MATCH(
+		{?object rdf:type dm:Application1_View_Column .
+		 ?object dm:hasName ?term},
+		SEM_MODELS('DWH_CURR'),
+		SEM_RULEBASES('OWLPRIME'),
+		SEM_ALIASES(SEM_ALIAS('dm', 'http://www.credit-suisse.com/dwh/mdm/data_modeling#')),
+		null)`
+	resp, err := http.Post(srv.URL+"/api/semmatch", "text/plain", strings.NewReader(call))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || len(res.Rows) != 1 || res.Rows[0]["term"] != "customer_id" {
+		t.Errorf("status %d, rows %v", resp.StatusCode, res.Rows)
+	}
+	// Bad call errors.
+	bad, err := http.Post(srv.URL+"/api/semmatch", "text/plain", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != 400 {
+		t.Errorf("bad call status = %d", bad.StatusCode)
+	}
+}
+
+func TestSearchEndpointTagFilter(t *testing.T) {
+	srv := testServer(t)
+	var res SearchResponse
+	getJSON(t, srv, "/api/search?term=customer&tag=no_such_tag", &res)
+	if res.Instances != 0 {
+		t.Errorf("tag filter ignored: %d", res.Instances)
+	}
+}

@@ -1,0 +1,109 @@
+package httpapi
+
+// indexHTML is the minimal single-page frontend: a search pane shaped
+// like Figure 6 (class groups with counts) and a lineage pane shaped
+// like Figure 7 (source → target hops with granularity drill-down).
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Meta-data Warehouse</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 60rem; }
+  h1 { font-size: 1.4rem; }
+  fieldset { margin-bottom: 1.5rem; border: 1px solid #ccc; padding: 1rem; }
+  legend { font-weight: 600; }
+  input, select, button { font: inherit; padding: .25rem .5rem; }
+  ul { list-style: none; padding-left: 0; }
+  li { padding: .15rem 0; }
+  .count { color: #666; }
+  .rule { color: #a60; font-size: .85em; }
+  pre { background: #f6f6f6; padding: .75rem; overflow-x: auto; }
+</style>
+</head>
+<body>
+<h1>Credit Suisse Meta-data Warehouse — reproduction</h1>
+
+<fieldset>
+  <legend>Search (Section IV.A, Figure 6)</legend>
+  <input id="term" placeholder="search term, e.g. customer" size="28">
+  <label><input type="checkbox" id="semantic"> semantic (DBpedia synonyms)</label>
+  <label><input type="checkbox" id="desc"> match descriptions</label>
+  <button onclick="doSearch()">Search</button>
+  <ul id="searchResults"></ul>
+</fieldset>
+
+<fieldset>
+  <legend>Lineage (Section IV.B, Figure 7)</legend>
+  <input id="item" placeholder="item path, e.g. application1/dwhdb/mart/v_customer/customer_id" size="52">
+  <select id="dir"><option>backward</option><option>forward</option></select>
+  <select id="level">
+    <option>attribute</option><option>relation</option><option>schema</option><option>application</option>
+  </select>
+  <button onclick="doLineage()">Trace</button>
+  <ul id="lineageResults"></ul>
+</fieldset>
+
+<fieldset>
+  <legend>SPARQL</legend>
+  <input id="sparql" placeholder="SELECT ?x WHERE { ?x a dm:Attribute }" size="60">
+  <button onclick="doQuery()">Run</button>
+  <pre id="queryResults"></pre>
+</fieldset>
+
+<script>
+function esc(s) {
+  return String(s).replace(/[&<>"]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c]));
+}
+async function getJSON(url) {
+  const r = await fetch(url);
+  const j = await r.json();
+  if (!r.ok) throw new Error(j.error || r.statusText);
+  return j;
+}
+async function doSearch() {
+  const ul = document.getElementById('searchResults');
+  ul.innerHTML = '';
+  try {
+    const p = new URLSearchParams({term: document.getElementById('term').value});
+    if (document.getElementById('semantic').checked) p.set('semantic', 'true');
+    if (document.getElementById('desc').checked) p.set('desc', 'true');
+    const j = await getJSON('/api/search?' + p);
+    ul.innerHTML = '<li><b>Search Results for "' + esc(j.term) + '"</b>' +
+      (j.expanded.length > 1 ? ' <span class="count">(expanded: ' + esc(j.expanded.join(', ')) + ')</span>' : '') + '</li>';
+    for (const g of j.groups || []) {
+      ul.innerHTML += '<li>' + esc(g.label) + ' <span class="count">(' + g.count + ')</span></li>';
+    }
+    ul.innerHTML += '<li class="count">' + j.instances + ' matching instances</li>';
+  } catch (e) { ul.innerHTML = '<li>' + esc(e.message) + '</li>'; }
+}
+async function doLineage() {
+  const ul = document.getElementById('lineageResults');
+  ul.innerHTML = '';
+  try {
+    const p = new URLSearchParams({
+      item: document.getElementById('item').value,
+      dir: document.getElementById('dir').value,
+      level: document.getElementById('level').value,
+    });
+    const j = await getJSON('/api/lineage?' + p);
+    ul.innerHTML = '<li><b>' + esc(j.direction) + ' lineage at ' + esc(j.level) + ' level: ' +
+      (j.nodes || []).length + ' nodes, ' + (j.edges || []).length + ' edges</b></li>';
+    for (const e of j.edges || []) {
+      const name = iri => iri.split('/').pop();
+      ul.innerHTML += '<li>' + esc(name(e.from)) + ' → ' + esc(name(e.to)) +
+        (e.rule ? ' <span class="rule">[rule: ' + esc(e.rule) + ']</span>' : '') + '</li>';
+    }
+  } catch (e) { ul.innerHTML = '<li>' + esc(e.message) + '</li>'; }
+}
+async function doQuery() {
+  const pre = document.getElementById('queryResults');
+  try {
+    const j = await getJSON('/api/query?q=' + encodeURIComponent(document.getElementById('sparql').value));
+    pre.textContent = JSON.stringify(j, null, 2);
+  } catch (e) { pre.textContent = e.message; }
+}
+</script>
+</body>
+</html>
+`

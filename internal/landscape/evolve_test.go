@@ -1,0 +1,127 @@
+package landscape
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+	"mdw/internal/staging"
+	"mdw/internal/store"
+)
+
+func TestEvolveGrowsLandscape(t *testing.T) {
+	l := Generate(Small())
+	chainsBefore := len(l.Chains)
+
+	st := store.New()
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, l.Ontology.Triples()); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Len("m")
+
+	stats, err := Evolve(l, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NewColumns == 0 {
+		t.Fatal("no growth")
+	}
+	// Reload: only additions appear (the pipeline deduplicates).
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Len("m")
+	if after <= before {
+		t.Fatalf("graph did not grow: %d -> %d", before, after)
+	}
+	growth := float64(after-before) / float64(before)
+	if growth <= 0 || growth > 0.5 {
+		t.Errorf("growth = %.2f, implausible for 10%% column growth", growth)
+	}
+	if len(l.Chains) <= chainsBefore && stats.NewChains > 0 {
+		t.Error("chains not recorded")
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	a := Generate(Small())
+	b := Generate(Small())
+	sa, err := Evolve(a, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Evolve(b, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+	ax, _ := a.exportBySource("application-catalog").Encode()
+	bx, _ := b.exportBySource("application-catalog").Encode()
+	if ax != bx {
+		t.Error("evolved exports differ between identical runs")
+	}
+}
+
+func TestEvolveNewChainsAreTraceable(t *testing.T) {
+	l := Generate(Small())
+	chainsBefore := len(l.Chains)
+	if _, err := Evolve(l, 2, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Chains) == chainsBefore {
+		t.Skip("no new chains this seed")
+	}
+	st := store.New()
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, l.Ontology.Triples()); err != nil {
+		t.Fatal(err)
+	}
+	for _, chain := range l.Chains[chainsBefore:] {
+		for i := 0; i+1 < len(chain); i++ {
+			from := staging.InstanceIRI(strings.Split(chain[i], "/")...)
+			to := staging.InstanceIRI(strings.Split(chain[i+1], "/")...)
+			if !st.Contains("m", rdf.T(from, rdf.IsMappedTo, to)) {
+				t.Fatalf("new chain edge missing: %s -> %s", chain[i], chain[i+1])
+			}
+		}
+	}
+}
+
+func TestEvolveErrors(t *testing.T) {
+	l := Generate(Small())
+	if _, err := Evolve(l, 1, 0.1); err == nil {
+		t.Error("release 1 should error")
+	}
+	if _, err := Evolve(l, 2, 0); err == nil {
+		t.Error("zero growth should error")
+	}
+	if _, err := Evolve(&Landscape{Config: Small()}, 2, 0.1); err == nil {
+		t.Error("landscape without exports should error")
+	}
+}
+
+func TestEightReleaseCompoundGrowth(t *testing.T) {
+	// Eight releases at ~3% compound to the 20–30% annual growth of
+	// Section III.A.
+	l := Generate(Small())
+	st := store.New()
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, l.Ontology.Triples()); err != nil {
+		t.Fatal(err)
+	}
+	first := st.Len("m")
+	for r := 2; r <= 8; r++ {
+		if _, err := Evolve(l, r, 0.035); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, nil); err != nil {
+		t.Fatal(err)
+	}
+	last := st.Len("m")
+	annual := float64(last-first) / float64(first)
+	if annual < 0.10 || annual > 0.45 {
+		t.Errorf("annual growth = %.1f%%, want roughly 20-30%%", annual*100)
+	}
+	t.Logf("annual growth: %.1f%%", annual*100)
+}

@@ -1,0 +1,126 @@
+package landscape
+
+import "mdw/internal/staging"
+
+// Figure3Export reconstructs the exact meta-data snippet of Figures 2, 3,
+// 5, and 8: the customer identification data flow. A private-banking
+// source application delivers client information into the warehouse's
+// inbound area, where the Client Information Id is mapped to the Partner
+// Id of the integration area, which in turn is mapped to the Customer Id
+// of a data-mart view (the paper's Application1 view).
+func Figure3Export() *staging.Export {
+	return &staging.Export{
+		Source: "figure3-customer-identification",
+		Applications: []staging.ApplicationDoc{
+			{
+				Name:  "pb_frontend",
+				Owner: "alice",
+				Area:  "crm",
+				Databases: []staging.DatabaseDoc{{
+					Name: "pbdb",
+					Schemas: []staging.SchemaDoc{{
+						Name:  "clients",
+						Layer: "physical",
+						Tables: []staging.TableDoc{{
+							Name: "client_info",
+							Columns: []staging.ColumnDoc{
+								{Name: "client_information_id", DataType: "VARCHAR"},
+								{Name: "client_name", DataType: "VARCHAR"},
+							},
+						}},
+					}},
+				}},
+			},
+			{
+				Name:  "application1",
+				Owner: "bob",
+				Area:  "Integration_Area",
+				Databases: []staging.DatabaseDoc{{
+					Name: "dwhdb",
+					Schemas: []staging.SchemaDoc{
+						{
+							Name:  "inbound",
+							Layer: "physical",
+							Files: []staging.TableDoc{{
+								Name: "customer_feed",
+								Columns: []staging.ColumnDoc{
+									// The staging-area customer_id of
+									// Figure 2 (a string).
+									{Name: "source_customer_id", DataType: "VARCHAR", Class: "Source_File_Column"},
+								},
+							}},
+						},
+						{
+							Name:  "integration",
+							Layer: "physical",
+							Tables: []staging.TableDoc{{
+								Name: "partner",
+								Columns: []staging.ColumnDoc{
+									// The integration-area partner_id (an
+									// integer).
+									{Name: "partner_id", DataType: "INTEGER", Class: "Application1_Table_Column"},
+								},
+							}},
+						},
+						{
+							Name:  "mart",
+							Layer: "conceptual",
+							Views: []staging.TableDoc{{
+								Name: "v_customer",
+								Columns: []staging.ColumnDoc{
+									// The data-mart customer_id of the
+									// Application1 view (Figure 3).
+									{Name: "customer_id", DataType: "INTEGER", Class: "Application1_View_Column"},
+								},
+							}},
+						},
+					},
+				}},
+			},
+		},
+		Interfaces: []staging.InterfaceDoc{
+			{Name: "itf_pb_to_dwh", From: "pb_frontend", To: "application1"},
+		},
+		Mappings: []staging.MappingDoc{
+			{
+				From: "pb_frontend/pbdb/clients/client_info/client_information_id",
+				To:   "application1/dwhdb/inbound/customer_feed/source_customer_id",
+			},
+			{
+				From: "application1/dwhdb/inbound/customer_feed/source_customer_id",
+				To:   "application1/dwhdb/integration/partner/partner_id",
+				Rule: "customer_id is numeric",
+			},
+			{
+				From: "application1/dwhdb/integration/partner/partner_id",
+				To:   "application1/dwhdb/mart/v_customer/customer_id",
+				Rule: "partner is client",
+			},
+		},
+		Users: []staging.UserDoc{
+			{Name: "alice", Roles: []staging.RoleDoc{{Name: "business_owner", App: "pb_frontend"}}},
+			{Name: "bob", Roles: []staging.RoleDoc{{Name: "administrator", App: "application1"}}},
+			{Name: "carol", Roles: []staging.RoleDoc{{Name: "business_user", App: "application1"}}},
+		},
+		Concepts: []staging.ConceptDoc{
+			{
+				Name:  "customer",
+				Class: "Customer",
+				Implements: []string{
+					"application1/dwhdb/mart/v_customer/customer_id",
+				},
+			},
+		},
+	}
+}
+
+// Figure3Paths returns the instance paths of the Figure 3 mapping chain,
+// source first.
+func Figure3Paths() []string {
+	return []string{
+		"pb_frontend/pbdb/clients/client_info/client_information_id",
+		"application1/dwhdb/inbound/customer_feed/source_customer_id",
+		"application1/dwhdb/integration/partner/partner_id",
+		"application1/dwhdb/mart/v_customer/customer_id",
+	}
+}

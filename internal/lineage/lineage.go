@@ -1,0 +1,383 @@
+// Package lineage implements the provenance tool of Section IV.B: given
+// an information item, it follows the dt:isMappedTo edges of the
+// meta-data graph to answer where the item's data comes from (backward
+// lineage / provenance) and which items depend on it (forward lineage /
+// impact analysis). The traversal path is exactly the paper's regular
+// expression "(isMappedTo)* rdf:type" (Figure 8).
+//
+// Two extensions from the lessons-learned section are included:
+//
+//   - rule-condition filters: each mapping carries an optional rule
+//     condition (dt:hasRuleCondition on the reified dm:Mapping node);
+//     a RuleFilter prunes traversal to the mappings whose conditions can
+//     fire, keeping the number of paths small "even with a significant
+//     number of steps and stages" (Section V);
+//   - roll-up navigation: lineage nodes can be rolled up from the
+//     attribute level to their table, schema, or application, the
+//     drill-down/scope adjustment of the Figure 7 frontend.
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdw/internal/rdf"
+	"mdw/internal/reason"
+	"mdw/internal/store"
+)
+
+// Direction selects traversal orientation.
+type Direction int
+
+const (
+	// Backward follows mappings from target to source (provenance).
+	Backward Direction = iota
+	// Forward follows mappings from source to target (impact analysis).
+	Forward
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// Edge is one mapping hop in a lineage graph.
+type Edge struct {
+	From, To rdf.Term
+	// Rule is the mapping's rule condition ("" when none is recorded).
+	Rule string
+	// Mapping is the reified dm:Mapping node, when one exists.
+	Mapping rdf.Term
+}
+
+// Node is one item in a lineage graph.
+type Node struct {
+	IRI  rdf.Term
+	Name string
+	// Classes lists the dm: classes of the node (via the OWLPRIME index,
+	// i.e. the full "(isMappedTo)* rdf:type" answer of Figure 8).
+	Classes []string
+	// Depth is the hop distance from the root.
+	Depth int
+}
+
+// Graph is the result of a lineage traversal.
+type Graph struct {
+	Root      rdf.Term
+	Direction Direction
+	Nodes     map[rdf.Term]*Node
+	Edges     []Edge
+}
+
+// Options configure a traversal.
+type Options struct {
+	// MaxDepth bounds the number of hops (0 = unbounded).
+	MaxDepth int
+	// RuleFilter, when set, prunes mapping edges: only edges whose rule
+	// condition satisfies the predicate are followed. Edges without a
+	// recorded rule pass a nil-safe empty string.
+	RuleFilter func(rule string) bool
+	// TargetClasses, when non-empty, restricts reported nodes to
+	// instances of ALL the given classes (besides the root) — steps 1
+	// and 2 of the Section IV.B algorithm.
+	TargetClasses []string
+}
+
+// Service answers lineage queries over one model of a store.
+type Service struct {
+	st    *store.Store
+	model string
+}
+
+// New returns a lineage service for the named model.
+func New(st *store.Store, model string) *Service {
+	return &Service{st: st, model: model}
+}
+
+// Trace runs a lineage traversal from the item in the given direction.
+func (s *Service) Trace(item rdf.Term, dir Direction, opt Options) (*Graph, error) {
+	view, err := s.indexedView()
+	if err != nil {
+		return nil, err
+	}
+	dict := s.st.Dict()
+	rootID, ok := dict.Lookup(item)
+	if !ok {
+		return nil, fmt.Errorf("lineage: unknown item %s", item)
+	}
+	mappedID, ok := dict.Lookup(rdf.IsMappedTo)
+	if !ok {
+		// A graph without any mappings has trivial lineage.
+		g := s.newGraph(item, dir)
+		g.Nodes[item] = s.describe(view, dict, rootID, 0)
+		return g, nil
+	}
+
+	var classFilter []store.ID
+	for _, c := range opt.TargetClasses {
+		id, found := dict.Lookup(rdf.IRI(c))
+		if !found {
+			return s.newGraph(item, dir), nil
+		}
+		classFilter = append(classFilter, id)
+	}
+	typeID, _ := dict.Lookup(rdf.Type)
+
+	g := s.newGraph(item, dir)
+	g.Nodes[item] = s.describe(view, dict, rootID, 0)
+
+	type qe struct {
+		id    store.ID
+		depth int
+	}
+	visited := map[store.ID]bool{rootID: true}
+	queue := []qe{{rootID, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if opt.MaxDepth > 0 && cur.depth >= opt.MaxDepth {
+			continue
+		}
+		var nexts []store.ID
+		if dir == Backward {
+			nexts = view.Subjects(mappedID, cur.id)
+		} else {
+			nexts = view.Objects(cur.id, mappedID)
+		}
+		for _, nxt := range nexts {
+			var from, to store.ID
+			if dir == Backward {
+				from, to = nxt, cur.id
+			} else {
+				from, to = cur.id, nxt
+			}
+			rule, mapping := s.mappingRule(view, dict, from, to)
+			if opt.RuleFilter != nil && !opt.RuleFilter(rule) {
+				continue
+			}
+			g.Edges = append(g.Edges, Edge{
+				From: dict.Term(from), To: dict.Term(to), Rule: rule, Mapping: mapping,
+			})
+			if visited[nxt] {
+				continue
+			}
+			visited[nxt] = true
+			if s.passesClassFilter(view, nxt, typeID, classFilter) {
+				g.Nodes[dict.Term(nxt)] = s.describe(view, dict, nxt, cur.depth+1)
+			}
+			queue = append(queue, qe{nxt, cur.depth + 1})
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if c := rdf.Compare(g.Edges[i].From, g.Edges[j].From); c != 0 {
+			return c < 0
+		}
+		return rdf.Compare(g.Edges[i].To, g.Edges[j].To) < 0
+	})
+	return g, nil
+}
+
+func (s *Service) newGraph(root rdf.Term, dir Direction) *Graph {
+	return &Graph{Root: root, Direction: dir, Nodes: map[rdf.Term]*Node{}}
+}
+
+func (s *Service) passesClassFilter(view *store.View, id store.ID, typeID store.ID, filter []store.ID) bool {
+	for _, cls := range filter {
+		if !view.Contains(store.ETriple{S: id, P: typeID, O: cls}) {
+			return false
+		}
+	}
+	return true
+}
+
+// mappingRule finds the reified mapping node for the (from, to) hop and
+// returns its rule condition.
+func (s *Service) mappingRule(view *store.View, dict *store.Dict, from, to store.ID) (string, rdf.Term) {
+	mapsFromID, ok1 := dict.Lookup(rdf.IRI(rdf.MDWMapsFrom))
+	mapsToID, ok2 := dict.Lookup(rdf.IRI(rdf.MDWMapsTo))
+	if !ok1 || !ok2 {
+		return "", rdf.Term{}
+	}
+	for _, m := range view.Subjects(mapsFromID, from) {
+		if view.Contains(store.ETriple{S: m, P: mapsToID, O: to}) {
+			ruleID, ok := dict.Lookup(rdf.IRI(rdf.MDWRuleCond))
+			if !ok {
+				return "", dict.Term(m)
+			}
+			for _, r := range view.Objects(m, ruleID) {
+				return dict.Term(r).Value, dict.Term(m)
+			}
+			return "", dict.Term(m)
+		}
+	}
+	return "", rdf.Term{}
+}
+
+// describe builds the Node record: name and dm: classes (through the
+// entailment index, matching Figure 8's rdf:type step).
+func (s *Service) describe(view *store.View, dict *store.Dict, id store.ID, depth int) *Node {
+	n := &Node{IRI: dict.Term(id), Depth: depth}
+	if nameID, ok := dict.Lookup(rdf.HasName); ok {
+		for _, v := range view.Objects(id, nameID) {
+			n.Name = dict.Term(v).Value
+			break
+		}
+	}
+	if n.Name == "" {
+		n.Name = rdf.LocalName(n.IRI.Value)
+	}
+	if typeID, ok := dict.Lookup(rdf.Type); ok {
+		for _, c := range view.Objects(id, typeID) {
+			iri := dict.Term(c).Value
+			if strings.HasPrefix(iri, rdf.DMNS) {
+				n.Classes = append(n.Classes, iri)
+			}
+		}
+	}
+	sort.Strings(n.Classes)
+	return n
+}
+
+// Sources returns the ultimate origins of the item: backward-lineage
+// leaves with no further incoming mapping.
+func (s *Service) Sources(item rdf.Term, opt Options) ([]rdf.Term, error) {
+	g, err := s.Trace(item, Backward, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Edges run upstream→downstream; an ultimate origin is a node that
+	// nothing maps into, i.e. one that never appears as an edge target.
+	// When the item has no provenance at all, the item itself is the
+	// (trivial) source.
+	isTarget := map[rdf.Term]bool{}
+	for _, e := range g.Edges {
+		isTarget[e.To] = true
+	}
+	var out []rdf.Term
+	for term := range g.Nodes {
+		if !isTarget[term] {
+			out = append(out, term)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// Impact returns every item that (transitively) depends on the given
+// item — the "which applications are affected by this change" question
+// of the paper.
+func (s *Service) Impact(item rdf.Term, opt Options) ([]rdf.Term, error) {
+	g, err := s.Trace(item, Forward, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []rdf.Term
+	for term := range g.Nodes {
+		if term != item {
+			out = append(out, term)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// CountPaths counts the distinct mapping paths from the item in the
+// given direction (path-explosion analysis of Section V). The graph is
+// expected to be acyclic — mapping chains are — and paths are counted
+// with memoization, so the count itself stays cheap even when it is
+// exponential in the number of stages.
+func (s *Service) CountPaths(item rdf.Term, dir Direction, opt Options) (int, error) {
+	view, err := s.indexedView()
+	if err != nil {
+		return 0, err
+	}
+	dict := s.st.Dict()
+	rootID, ok := dict.Lookup(item)
+	if !ok {
+		return 0, fmt.Errorf("lineage: unknown item %s", item)
+	}
+	mappedID, ok := dict.Lookup(rdf.IsMappedTo)
+	if !ok {
+		return 0, nil
+	}
+	memo := map[store.ID]int{}
+	onStack := map[store.ID]bool{}
+	var count func(store.ID) int
+	count = func(id store.ID) int {
+		if n, ok := memo[id]; ok {
+			return n
+		}
+		if onStack[id] {
+			return 0 // defensive: ignore cycles
+		}
+		onStack[id] = true
+		defer delete(onStack, id)
+		var nexts []store.ID
+		if dir == Backward {
+			nexts = view.Subjects(mappedID, id)
+		} else {
+			nexts = view.Objects(id, mappedID)
+		}
+		if opt.RuleFilter != nil {
+			var kept []store.ID
+			for _, nxt := range nexts {
+				var from, to store.ID
+				if dir == Backward {
+					from, to = nxt, id
+				} else {
+					from, to = id, nxt
+				}
+				rule, _ := s.mappingRule(view, dict, from, to)
+				if opt.RuleFilter(rule) {
+					kept = append(kept, nxt)
+				}
+			}
+			nexts = kept
+		}
+		if len(nexts) == 0 {
+			memo[id] = 1 // the path ending here
+			return 1
+		}
+		n := 0
+		for _, nxt := range nexts {
+			n += count(nxt)
+		}
+		memo[id] = n
+		return n
+	}
+	return count(rootID), nil
+}
+
+func (s *Service) indexedView() (*store.View, error) {
+	idx := reason.IndexModelName(s.model, reason.RulebaseOWLPrime)
+	if !s.st.HasModel(idx) {
+		if !s.st.HasModel(s.model) {
+			return nil, fmt.Errorf("lineage: no such model %q", s.model)
+		}
+		if _, _, err := reason.NewEngine(s.st).Materialize(s.model); err != nil {
+			return nil, err
+		}
+	}
+	return s.st.ViewOf(s.model, idx), nil
+}
+
+// Format renders a lineage graph for the terminal, one edge per line in
+// topological (From → To) pairs, with rules when present — a textual
+// stand-in for the Figure 7 frontend.
+func Format(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s lineage of %s (%d nodes, %d edges)\n",
+		g.Direction, rdf.LocalName(g.Root.Value), len(g.Nodes), len(g.Edges))
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %s -> %s", rdf.LocalName(e.From.Value), rdf.LocalName(e.To.Value))
+		if e.Rule != "" {
+			fmt.Fprintf(&b, "  [rule: %s]", e.Rule)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

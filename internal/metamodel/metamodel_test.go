@@ -1,0 +1,199 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+	"mdw/internal/store"
+)
+
+func dm(s string) rdf.Term   { return rdf.IRI(rdf.DMNS + s) }
+func inst(s string) rdf.Term { return rdf.IRI(rdf.InstNS + s) }
+
+func fixture() (*store.Store, store.Source) {
+	st := store.New()
+	st.AddAll("m", []rdf.Triple{
+		// Hierarchy.
+		rdf.T(dm("Individual"), rdf.SubClassOf, dm("Party")),
+		rdf.T(dm("Institution"), rdf.SubClassOf, dm("Party")),
+		rdf.T(dm("hasFirstName"), rdf.SubPropertyOf, dm("hasName")),
+		// Meta-data schema.
+		rdf.T(dm("Individual"), rdf.Type, rdf.Class),
+		rdf.T(dm("hasFirstName"), rdf.Domain, dm("Individual")),
+		rdf.T(dm("Individual"), rdf.Label, rdf.Literal("Individual")),
+		rdf.T(dm("Party"), rdf.Label, rdf.Literal("Party")),
+		rdf.T(dm("Institution"), rdf.Label, rdf.Literal("Institution")),
+		// Facts.
+		rdf.T(inst("john"), rdf.Type, dm("Individual")),
+		rdf.T(inst("john"), dm("hasFirstName"), rdf.Literal("John")),
+		rdf.T(inst("john"), dm("knows"), inst("jane")),
+		rdf.T(inst("jane"), rdf.Type, dm("Individual")),
+	})
+	return st, st.ViewOf("m")
+}
+
+func TestClassification(t *testing.T) {
+	st, src := fixture()
+	c := Classify(src, st.Dict())
+	tests := []struct {
+		term rdf.Term
+		kind NodeKind
+	}{
+		{dm("Individual"), KindClass},
+		{dm("Party"), KindClass},
+		{dm("Institution"), KindClass},
+		{dm("hasFirstName"), KindProperty},
+		{dm("hasName"), KindProperty},
+		{dm("knows"), KindProperty},
+		{inst("john"), KindInstance},
+		{inst("jane"), KindInstance},
+		{rdf.Literal("John"), KindValue},
+		{dm("NotInGraph"), KindUnknown},
+	}
+	for _, tc := range tests {
+		if got := c.KindOf(tc.term); got != tc.kind {
+			t.Errorf("KindOf(%s) = %v, want %v", tc.term, got, tc.kind)
+		}
+	}
+}
+
+func TestClassBeatsInstanceEvidence(t *testing.T) {
+	// A node used both as an instance (subject of a fact) and as a class
+	// (object of rdf:type) must classify as Class.
+	st := store.New()
+	st.AddAll("m", []rdf.Triple{
+		rdf.T(inst("x"), rdf.Type, dm("Ambiguous")),
+		rdf.T(dm("Ambiguous"), dm("describedBy"), inst("doc1")),
+	})
+	c := Classify(st.ViewOf("m"), st.Dict())
+	if got := c.KindOf(dm("Ambiguous")); got != KindClass {
+		t.Errorf("KindOf(Ambiguous) = %v, want Class", got)
+	}
+}
+
+func TestCategorizeEdge(t *testing.T) {
+	tests := []struct {
+		pred rdf.Term
+		s, o NodeKind
+		want EdgeCategory
+	}{
+		{rdf.SubClassOf, KindClass, KindClass, CatHierarchy},
+		{rdf.SubPropertyOf, KindProperty, KindProperty, CatHierarchy},
+		{rdf.Domain, KindProperty, KindClass, CatSchema},
+		{rdf.Range, KindProperty, KindClass, CatSchema},
+		{rdf.Label, KindClass, KindValue, CatSchema},
+		{rdf.Label, KindInstance, KindValue, CatFact},
+		{rdf.Type, KindInstance, KindClass, CatFact},
+		{rdf.Type, KindClass, KindClass, CatSchema},
+		{rdf.HasName, KindInstance, KindValue, CatFact},
+		{rdf.IsMappedTo, KindInstance, KindInstance, CatFact},
+	}
+	for _, tc := range tests {
+		if got := CategorizeEdge(tc.pred, tc.s, tc.o); got != tc.want {
+			t.Errorf("CategorizeEdge(%s, %v, %v) = %v, want %v", tc.pred, tc.s, tc.o, got, tc.want)
+		}
+	}
+}
+
+func TestCensus(t *testing.T) {
+	st, src := fixture()
+	cs, cls := TakeCensus(src, st.Dict())
+	if cs.Nodes[KindClass] != 3 {
+		t.Errorf("classes = %d, want 3", cs.Nodes[KindClass])
+	}
+	if cs.Nodes[KindInstance] != 2 {
+		t.Errorf("instances = %d, want 2", cs.Nodes[KindInstance])
+	}
+	if cs.Edges[CatHierarchy] != 3 {
+		t.Errorf("hierarchy edges = %d, want 3", cs.Edges[CatHierarchy])
+	}
+	if cs.Total != st.Len("m") {
+		t.Errorf("total = %d, want %d", cs.Total, st.Len("m"))
+	}
+	if cls.KindOf(inst("john")) != KindInstance {
+		t.Error("classifier from census wrong")
+	}
+	// Cell-level: instance→value facts exist (hasFirstName).
+	if cs.Cells[Cell{CatFact, KindInstance, KindValue}] == 0 {
+		t.Error("no instance→value fact cells counted")
+	}
+	// Node totals are consistent.
+	sum := 0
+	for _, n := range cs.Nodes {
+		sum += n
+	}
+	if sum != cs.NodeTotal() {
+		t.Error("NodeTotal inconsistent")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	st, src := fixture()
+	cs, _ := TakeCensus(src, st.Dict())
+	tbl := cs.Table1()
+	for _, want := range []string{"Class", "Property", "Instance", "Value", "Facts", "Meta-data schema", "Hierarchies"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestValidateCleanGraph(t *testing.T) {
+	st, src := fixture()
+	issues := Validate(src, st.Dict())
+	for _, is := range issues {
+		// The fixture has no violations except hasName, which is declared
+		// via subPropertyOf but never used as a predicate.
+		if is.Code != "dangling-property" {
+			t.Errorf("unexpected issue: %v", is)
+		}
+	}
+}
+
+func TestValidateFindsIssues(t *testing.T) {
+	st := store.New()
+	st.AddAll("m", []rdf.Triple{
+		rdf.T(inst("orphan"), dm("p"), inst("other")),        // both untyped
+		rdf.T(dm("C"), rdf.Type, rdf.Class),                  // class without label
+		rdf.T(rdf.Literal("bad"), dm("p"), rdf.Literal("v")), // literal subject
+	})
+	issues := Validate(st.ViewOf("m"), st.Dict())
+	codes := map[string]int{}
+	for _, is := range issues {
+		codes[is.Code]++
+	}
+	if codes["untyped-instance"] < 2 {
+		t.Errorf("untyped-instance = %d, want >= 2 (%v)", codes["untyped-instance"], issues)
+	}
+	if codes["unlabeled-class"] != 1 {
+		t.Errorf("unlabeled-class = %d (%v)", codes["unlabeled-class"], issues)
+	}
+	if codes["literal-subject"] != 1 {
+		t.Errorf("literal-subject = %d (%v)", codes["literal-subject"], issues)
+	}
+}
+
+func TestNodesByKind(t *testing.T) {
+	st, src := fixture()
+	c := Classify(src, st.Dict())
+	if got := len(c.Nodes(KindClass)); got != 3 {
+		t.Errorf("Nodes(Class) = %d", got)
+	}
+	if got := len(c.Nodes(KindInstance)); got != 2 {
+		t.Errorf("Nodes(Instance) = %d", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindClass.String() != "Class" || CatFact.String() != "Facts" {
+		t.Error("String() names wrong")
+	}
+	if KindUnknown.String() != "Unknown" || CatUnknown.String() != "Unknown" {
+		t.Error("unknown names wrong")
+	}
+	c := Cell{CatFact, KindInstance, KindValue}
+	if c.String() != "Facts: Instance→Value" {
+		t.Errorf("Cell.String() = %q", c.String())
+	}
+}

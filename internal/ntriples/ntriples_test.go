@@ -1,0 +1,105 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mdw/internal/rdf"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ts := []rdf.Triple{
+		rdf.T(rdf.IRI("http://a/s"), rdf.IRI("http://a/p"), rdf.IRI("http://a/o")),
+		rdf.T(rdf.IRI("http://a/s"), rdf.IRI("http://a/p"), rdf.Literal("plain value")),
+		rdf.T(rdf.IRI("http://a/s"), rdf.IRI("http://a/p"), rdf.TypedLiteral("42", rdf.XSDInteger)),
+		rdf.T(rdf.IRI("http://a/s"), rdf.IRI("http://a/p"), rdf.LangLiteral("Kunde", "de")),
+		rdf.T(rdf.Blank("b1"), rdf.IRI("http://a/p"), rdf.Blank("b2")),
+		rdf.T(rdf.IRI("http://a/s"), rdf.IRI("http://a/p"), rdf.Literal("with \"quotes\" and\nnewline")),
+	}
+	doc := Marshal(ts)
+	got, err := Unmarshal(doc)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\ndoc:\n%s", err, doc)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("got %d triples, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Errorf("triple %d: got %v, want %v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	doc := `
+# a comment
+<http://a/s> <http://a/p> <http://a/o> .
+
+<http://a/s> <http://a/p> "x" . # trailing comment
+`
+	ts, err := Unmarshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://a/s> <http://a/p> <http://a/o>`, // no dot
+		`<http://a/s> <http://a/p>`,              // short
+		`"lit" <http://a/p> <http://a/o> .`,      // literal subject
+		`<http://a/s> "lit" <http://a/o> .`,      // literal predicate
+		`<http://a/s> _:b <http://a/o> .`,        // blank predicate
+		`<http://a/s> <http://a/p> <http://a/o> . junk`,
+		`<http://a/s> <http://a/p> "unterminated .`,
+		`<> <http://a/p> <http://a/o> .`,       // empty IRI
+		`<http://a/s> <http://a/p> "x"^^bad .`, // bad datatype
+		`<http://a/s> <http://a/p> "x"@ .`,     // empty lang
+		`_x <http://a/p> <http://a/o> .`,       // malformed blank
+	}
+	for _, doc := range bad {
+		if _, err := Unmarshal(doc); err == nil {
+			t.Errorf("expected error for %q", doc)
+		}
+	}
+}
+
+func TestWrite(t *testing.T) {
+	var b strings.Builder
+	ts := []rdf.Triple{rdf.T(rdf.IRI("http://a/s"), rdf.IRI("http://a/p"), rdf.Literal("v"))}
+	if err := Write(&b, ts); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "<http://a/s> <http://a/p> \"v\" .\n" {
+		t.Errorf("Write = %q", b.String())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(s, p, o string) bool {
+		// IRIs must not contain '>' or whitespace; sanitize input into a
+		// valid IRI body while keeping arbitrary literal content.
+		clean := func(x string) string {
+			r := strings.NewReplacer(">", "", "<", "", " ", "", "\t", "", "\n", "", "\r", "", "\x00", "")
+			v := r.Replace(x)
+			if v == "" {
+				v = "x"
+			}
+			return v
+		}
+		ts := []rdf.Triple{rdf.T(rdf.IRI("http://a/"+clean(s)), rdf.IRI("http://a/"+clean(p)), rdf.Literal(o))}
+		got, err := Unmarshal(Marshal(ts))
+		if err != nil {
+			return false
+		}
+		return len(got) == 1 && got[0] == ts[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdw/internal/rdf"
+)
+
+// Diff describes the changes between two versions of a hierarchy — the
+// review artifact for the paper's worry that "it is not clear how
+// disciplined users will use the flexibility that RDF graphs provide":
+// every hierarchy edit between releases is enumerable.
+type Diff struct {
+	ClassesAdded      []string
+	ClassesRemoved    []string
+	PropertiesAdded   []string
+	PropertiesRemoved []string
+	// SuperChanges records classes whose direct superclasses changed.
+	SuperChanges []SuperChange
+	// LabelChanges records classes or properties whose label changed.
+	LabelChanges []LabelChange
+}
+
+// SuperChange is one class whose parents changed.
+type SuperChange struct {
+	Class     string
+	OldSupers []string
+	NewSupers []string
+}
+
+// LabelChange is one renamed class or property.
+type LabelChange struct {
+	IRI      string
+	OldLabel string
+	NewLabel string
+}
+
+// Empty reports whether the diff contains no changes.
+func (d *Diff) Empty() bool {
+	return len(d.ClassesAdded) == 0 && len(d.ClassesRemoved) == 0 &&
+		len(d.PropertiesAdded) == 0 && len(d.PropertiesRemoved) == 0 &&
+		len(d.SuperChanges) == 0 && len(d.LabelChanges) == 0
+}
+
+// DiffOntologies compares two hierarchies.
+func DiffOntologies(old, new *Ontology) *Diff {
+	d := &Diff{}
+	oldClasses := map[string]*Class{}
+	for _, iri := range old.Classes() {
+		oldClasses[iri] = old.Class(iri)
+	}
+	newClasses := map[string]*Class{}
+	for _, iri := range new.Classes() {
+		newClasses[iri] = new.Class(iri)
+	}
+	for iri := range newClasses {
+		if _, ok := oldClasses[iri]; !ok {
+			d.ClassesAdded = append(d.ClassesAdded, iri)
+		}
+	}
+	for iri, oc := range oldClasses {
+		nc, ok := newClasses[iri]
+		if !ok {
+			d.ClassesRemoved = append(d.ClassesRemoved, iri)
+			continue
+		}
+		if !sameStringSet(oc.Supers, nc.Supers) {
+			d.SuperChanges = append(d.SuperChanges, SuperChange{
+				Class:     iri,
+				OldSupers: sortedCopy(oc.Supers),
+				NewSupers: sortedCopy(nc.Supers),
+			})
+		}
+		if oc.Label != nc.Label {
+			d.LabelChanges = append(d.LabelChanges, LabelChange{IRI: iri, OldLabel: oc.Label, NewLabel: nc.Label})
+		}
+	}
+	oldProps := map[string]*Property{}
+	for _, iri := range old.Properties() {
+		oldProps[iri] = old.Property(iri)
+	}
+	for _, iri := range new.Properties() {
+		if _, ok := oldProps[iri]; !ok {
+			d.PropertiesAdded = append(d.PropertiesAdded, iri)
+		}
+	}
+	for iri, op := range oldProps {
+		np := new.Property(iri)
+		if np == nil {
+			d.PropertiesRemoved = append(d.PropertiesRemoved, iri)
+			continue
+		}
+		if op.Label != np.Label {
+			d.LabelChanges = append(d.LabelChanges, LabelChange{IRI: iri, OldLabel: op.Label, NewLabel: np.Label})
+		}
+	}
+	sort.Strings(d.ClassesAdded)
+	sort.Strings(d.ClassesRemoved)
+	sort.Strings(d.PropertiesAdded)
+	sort.Strings(d.PropertiesRemoved)
+	sort.Slice(d.SuperChanges, func(i, j int) bool { return d.SuperChanges[i].Class < d.SuperChanges[j].Class })
+	sort.Slice(d.LabelChanges, func(i, j int) bool { return d.LabelChanges[i].IRI < d.LabelChanges[j].IRI })
+	return d
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[string]bool{}
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedCopy(ss []string) []string {
+	out := append([]string(nil), ss...)
+	sort.Strings(out)
+	return out
+}
+
+// Format renders the diff for review.
+func (d *Diff) Format() string {
+	if d.Empty() {
+		return "no hierarchy changes\n"
+	}
+	var b strings.Builder
+	section := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d):\n", title, len(items))
+		for _, iri := range items {
+			fmt.Fprintf(&b, "  %s\n", rdf.LocalName(iri))
+		}
+	}
+	section("classes added", d.ClassesAdded)
+	section("classes removed", d.ClassesRemoved)
+	section("properties added", d.PropertiesAdded)
+	section("properties removed", d.PropertiesRemoved)
+	for _, sc := range d.SuperChanges {
+		fmt.Fprintf(&b, "superclasses of %s: %v -> %v\n",
+			rdf.LocalName(sc.Class), locals(sc.OldSupers), locals(sc.NewSupers))
+	}
+	for _, lc := range d.LabelChanges {
+		fmt.Fprintf(&b, "label of %s: %q -> %q\n", rdf.LocalName(lc.IRI), lc.OldLabel, lc.NewLabel)
+	}
+	return b.String()
+}
+
+func locals(iris []string) []string {
+	out := make([]string, len(iris))
+	for i, iri := range iris {
+		out[i] = rdf.LocalName(iri)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffEmpty(t *testing.T) {
+	a, b := DWH(), DWH()
+	d := DiffOntologies(a, b)
+	if !d.Empty() {
+		t.Errorf("identical ontologies differ: %s", d.Format())
+	}
+	if d.Format() != "no hierarchy changes\n" {
+		t.Errorf("empty format = %q", d.Format())
+	}
+}
+
+func TestDiffDetectsChanges(t *testing.T) {
+	old := New("v1")
+	old.AddClass(ex("Party"), "Party")
+	old.AddClass(ex("Customer"), "Customer", ex("Party"))
+	old.AddClass(ex("Legacy"), "Legacy")
+	old.AddProperty(Property{IRI: ex("hasName"), Label: "has name"})
+	old.AddProperty(Property{IRI: ex("oldProp"), Label: "old"})
+
+	newer := New("v2")
+	newer.AddClass(ex("Party"), "Party")
+	// Customer reparented under a new Business_Concept root.
+	newer.AddClass(ex("Business_Concept"), "Business Concept")
+	newer.AddClass(ex("Customer"), "Customer", ex("Business_Concept"))
+	// Legacy removed, Account added.
+	newer.AddClass(ex("Account"), "Account", ex("Business_Concept"))
+	// hasName renamed; oldProp removed; newProp added.
+	newer.AddProperty(Property{IRI: ex("hasName"), Label: "name"})
+	newer.AddProperty(Property{IRI: ex("newProp"), Label: "new"})
+
+	d := DiffOntologies(old, newer)
+	if d.Empty() {
+		t.Fatal("diff empty")
+	}
+	if len(d.ClassesAdded) != 2 { // Business_Concept, Account
+		t.Errorf("added = %v", d.ClassesAdded)
+	}
+	if len(d.ClassesRemoved) != 1 || d.ClassesRemoved[0] != ex("Legacy") {
+		t.Errorf("removed = %v", d.ClassesRemoved)
+	}
+	if len(d.SuperChanges) != 1 || d.SuperChanges[0].Class != ex("Customer") {
+		t.Errorf("super changes = %+v", d.SuperChanges)
+	}
+	if len(d.PropertiesAdded) != 1 || len(d.PropertiesRemoved) != 1 {
+		t.Errorf("props = +%v -%v", d.PropertiesAdded, d.PropertiesRemoved)
+	}
+	if len(d.LabelChanges) != 1 || d.LabelChanges[0].NewLabel != "name" {
+		t.Errorf("labels = %+v", d.LabelChanges)
+	}
+	out := d.Format()
+	for _, want := range []string{"classes added (2)", "classes removed (1)", "superclasses of Customer", `label of hasName: "has name" -> "name"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffSuperOrderInsensitive(t *testing.T) {
+	a := New("a")
+	a.AddClass(ex("X"), "X")
+	a.AddClass(ex("Y"), "Y")
+	a.AddClass(ex("C"), "C", ex("X"), ex("Y"))
+	b := New("b")
+	b.AddClass(ex("X"), "X")
+	b.AddClass(ex("Y"), "Y")
+	b.AddClass(ex("C"), "C", ex("Y"), ex("X"))
+	if d := DiffOntologies(a, b); !d.Empty() {
+		t.Errorf("superclass order should not matter: %s", d.Format())
+	}
+}
+
+func TestDiffRoundTripThroughTurtle(t *testing.T) {
+	// An ontology and its Turtle round trip must diff as identical.
+	o := DWH()
+	back, err := FromTurtle("rt", o.Turtle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffOntologies(o, back)
+	// Property characteristics like domains are preserved; labels too.
+	if len(d.ClassesAdded) != 0 || len(d.ClassesRemoved) != 0 || len(d.SuperChanges) != 0 {
+		t.Errorf("round trip diff: %s", d.Format())
+	}
+}

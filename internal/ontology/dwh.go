@@ -1,0 +1,119 @@
+package ontology
+
+import "mdw/internal/rdf"
+
+// DWH constructs the data-warehouse meta-data hierarchy used throughout
+// the paper's examples: the technical classes of Figures 3/5/8 (source
+// file columns, table columns, view columns, applications, interfaces)
+// and the business concepts of Figure 2 (Party, Individual, Institution,
+// Customer/Client), wired with the multiple inheritance the search
+// algorithm depends on ("most instances are members of several classes
+// due to multiple inheritance in the meta-data hierarchies").
+func DWH() *Ontology {
+	o := New("dwh")
+	dm := func(s string) string { return rdf.DMNS + s }
+
+	// Generic roots.
+	o.AddClass(dm("Item"), "Item")
+	o.AddClass(dm("Application_Item"), "Application Item", dm("Item"))
+	o.AddClass(dm("Interface_Item"), "Interface Item", dm("Item"))
+	o.AddClass(dm("Application1_Item"), "Application1 Item", dm("Application_Item"))
+
+	// Technical (physical-layer) classes.
+	o.AddClass(dm("Application"), "Application", dm("Item"))
+	o.AddClass(dm("Source_Application"), "Source Application", dm("Application"))
+	o.AddClass(dm("Database"), "Database", dm("Item"))
+	o.AddClass(dm("Schema"), "Schema", dm("Item"))
+	o.AddClass(dm("Table"), "Table", dm("Item"))
+	o.AddClass(dm("View"), "View", dm("Item"))
+	o.AddClass(dm("File"), "File", dm("Item"))
+	o.AddClass(dm("Source_File"), "Source File", dm("File"), dm("Interface_Item"))
+	o.AddClass(dm("Interface"), "Interface", dm("Item"))
+	o.AddClass(dm("Mapping"), "Mapping", dm("Item"))
+	o.AddClass(dm("Data_Flow"), "Data Flow", dm("Item"))
+	o.AddClass(dm("Report"), "Report", dm("Item"))
+	o.AddClass(dm("Data_Mart"), "Data Mart", dm("Item"))
+
+	// Attribute hierarchy: the Figure 5 search narrows to
+	// Application1_View_Column through this lattice.
+	o.AddClass(dm("Attribute"), "Attribute", dm("Item"))
+	o.AddClass(dm("Conceptual_Attribute"), "Conceptual Attribute", dm("Attribute"))
+	o.AddClass(dm("Column"), "Column", dm("Attribute"))
+	o.AddClass(dm("Source_Column"), "Source Column", dm("Column"), dm("Interface_Item"))
+	o.AddClass(dm("Table_Column"), "Table Column", dm("Column"))
+	o.AddClass(dm("View_Column"), "View Column", dm("Column"))
+	o.AddClass(dm("Source_File_Column"), "Source File Column", dm("Source_Column"))
+	o.AddClass(dm("Application1_Table_Column"), "Application1 Table Column",
+		dm("Table_Column"), dm("Application1_Item"))
+	o.AddClass(dm("Application1_View_Column"), "Application1 View Column",
+		dm("View_Column"), dm("Application1_Item"), dm("Interface_Item"))
+
+	// Roles (Section II): business and IT roles.
+	o.AddClass(dm("User"), "User", dm("Item"))
+	o.AddClass(dm("Role"), "Role", dm("Item"))
+	o.AddClass(dm("Business_Role"), "Business Role", dm("Role"))
+	o.AddClass(dm("IT_Role"), "IT Role", dm("Role"))
+	o.AddClass(dm("Business_Owner"), "Business Owner", dm("Business_Role"))
+	o.AddClass(dm("Business_User"), "Business User", dm("Business_Role"))
+	o.AddClass(dm("Administrator"), "Administrator", dm("IT_Role"))
+	o.AddClass(dm("Support"), "Support", dm("IT_Role"))
+
+	// Business concepts (Figure 2): the Partner generalization.
+	o.AddClass(dm("Business_Concept"), "Business Concept", dm("Item"))
+	o.AddClass(dm("Party"), "Party", dm("Business_Concept"))
+	o.AddClass(dm("Partner"), "Partner", dm("Party"))
+	o.AddClass(dm("Individual"), "Individual", dm("Partner"))
+	o.AddClass(dm("Institution"), "Institution", dm("Partner"))
+	o.AddClass(dm("Customer"), "Customer", dm("Party"))
+	o.AddClass(dm("Client"), "Client", dm("Customer"))
+	o.AddClass(dm("Account"), "Account", dm("Business_Concept"))
+	o.AddClass(dm("Transaction"), "Transaction", dm("Business_Concept"))
+	o.AddClass(dm("Entity"), "Entity", dm("Business_Concept"))
+	o.AddClass(dm("Domain"), "Domain", dm("Business_Concept"))
+	o.AddClass(dm("Source_Domain"), "Source Domain", dm("Domain"))
+
+	// Physical-level meta-data (Section II / Figure 9): technologies and
+	// log files.
+	o.AddClass(dm("Technology"), "Technology", dm("Item"))
+	o.AddClass(dm("Programming_Language"), "Programming Language", dm("Technology"))
+	o.AddClass(dm("Software_Product"), "Software Product", dm("Technology"))
+	o.AddClass(dm("Log_File"), "Log File", dm("File"))
+
+	// DWH areas (Figure 2): the three pipeline stages.
+	o.AddClass(dm("DWH_Area"), "DWH Area", dm("Item"))
+	o.AddClass(dm("Inbound_Area"), "DWH Inbound Interface", dm("DWH_Area"))
+	o.AddClass(dm("Integration_Area"), "DWH Integration Area", dm("DWH_Area"))
+	o.AddClass(dm("Data_Mart_Area"), "DWH Data Mart Area", dm("DWH_Area"))
+
+	// Properties.
+	o.AddProperty(Property{
+		IRI: rdf.MDWHasName, Label: "has name",
+		Domains: []string{dm("Item")},
+	})
+	o.AddProperty(Property{
+		IRI: rdf.MDWIsMappedTo, Label: "is mapped to",
+		Domains: []string{dm("Attribute")}, Ranges: []string{dm("Attribute")},
+	})
+	o.AddProperty(Property{
+		IRI: rdf.MDWFeeds, Label: "feeds", Transitive: false,
+	})
+	o.AddProperty(Property{
+		IRI: rdf.MDWIsRelatedTo, Label: "is related to", Symmetric: true,
+	})
+	o.AddProperty(Property{IRI: rdf.MDWInArea, Label: "in area"})
+	o.AddProperty(Property{IRI: rdf.MDWInLayer, Label: "in layer"})
+	o.AddProperty(Property{IRI: rdf.MDWOwnedBy, Label: "owned by"})
+	o.AddProperty(Property{IRI: rdf.MDWHasRole, Label: "has role"})
+	o.AddProperty(Property{IRI: rdf.MDWPartOf, Label: "part of", Transitive: true})
+	o.AddProperty(Property{IRI: rdf.MDWHasColumn, Label: "has column"})
+	o.AddProperty(Property{IRI: rdf.MDWHasTable, Label: "has table"})
+	o.AddProperty(Property{IRI: rdf.MDWHasSchema, Label: "has schema"})
+	o.AddProperty(Property{IRI: rdf.MDWImplements, Label: "implements"})
+	o.AddProperty(Property{IRI: rdf.MDWUsesDB, Label: "uses database"})
+	o.AddProperty(Property{IRI: rdf.MDWConnectsTo, Label: "connects to"})
+	o.AddProperty(Property{IRI: rdf.MDWSourceOf, Label: "source of", InverseOf: rdf.MDWTargetOf})
+	o.AddProperty(Property{IRI: rdf.MDWTargetOf, Label: "target of"})
+	o.AddProperty(Property{IRI: rdf.MDWSynonymOf, Label: "synonym of", Symmetric: true})
+	o.AddProperty(Property{IRI: rdf.MDWHomonymOf, Label: "homonym of", Symmetric: true})
+	return o
+}

@@ -1,0 +1,371 @@
+// Package ontology builds and maintains the meta-data hierarchies of the
+// warehouse: the class-to-class and property-to-property relationships
+// that form the top layer of Figure 3.
+//
+// In the paper these hierarchies are "designed and maintained in a
+// popular open-source tool called Protégé" and "exported from this tool
+// as an ontology file" (Section III.B). This package is that editor and
+// exporter: hierarchies are constructed programmatically (with multiple
+// inheritance, which the paper calls out explicitly), validated, and
+// exported as triples or Turtle for insertion into the staging tables.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"mdw/internal/rdf"
+	"mdw/internal/turtle"
+)
+
+// Class is one class definition in the hierarchy.
+type Class struct {
+	IRI     string
+	Label   string
+	Comment string
+	// Supers lists direct superclass IRIs (multiple inheritance allowed).
+	Supers []string
+}
+
+// Property is one property definition.
+type Property struct {
+	IRI     string
+	Label   string
+	Comment string
+	// Supers lists direct super-property IRIs.
+	Supers []string
+	// Domains and Ranges attach the property to classes (the meta-data
+	// schema layer of Table I).
+	Domains []string
+	Ranges  []string
+	// Symmetric and Transitive mark OWL property characteristics; the
+	// paper's example of a symmetric property is isRelatedTo.
+	Symmetric  bool
+	Transitive bool
+	// InverseOf optionally names the inverse property.
+	InverseOf string
+}
+
+// Ontology is an editable hierarchy of classes and properties.
+type Ontology struct {
+	name       string
+	classes    map[string]*Class
+	properties map[string]*Property
+}
+
+// New returns an empty ontology with the given name.
+func New(name string) *Ontology {
+	return &Ontology{
+		name:       name,
+		classes:    make(map[string]*Class),
+		properties: make(map[string]*Property),
+	}
+}
+
+// Name returns the ontology name.
+func (o *Ontology) Name() string { return o.name }
+
+// AddClass defines (or redefines) a class with the given direct
+// superclasses.
+func (o *Ontology) AddClass(iri, label string, supers ...string) *Class {
+	c := &Class{IRI: iri, Label: label, Supers: append([]string(nil), supers...)}
+	o.classes[iri] = c
+	return c
+}
+
+// AddSuper adds a direct superclass to an existing class, creating the
+// class entry if needed.
+func (o *Ontology) AddSuper(iri, super string) {
+	c, ok := o.classes[iri]
+	if !ok {
+		c = o.AddClass(iri, rdf.LocalName(iri))
+	}
+	for _, s := range c.Supers {
+		if s == super {
+			return
+		}
+	}
+	c.Supers = append(c.Supers, super)
+}
+
+// AddProperty defines (or redefines) a property.
+func (o *Ontology) AddProperty(p Property) *Property {
+	cp := p
+	o.properties[p.IRI] = &cp
+	return &cp
+}
+
+// Class returns the class definition for iri, or nil.
+func (o *Ontology) Class(iri string) *Class { return o.classes[iri] }
+
+// Property returns the property definition for iri, or nil.
+func (o *Ontology) Property(iri string) *Property { return o.properties[iri] }
+
+// Classes returns all class IRIs, sorted.
+func (o *Ontology) Classes() []string {
+	out := make([]string, 0, len(o.classes))
+	for iri := range o.classes {
+		out = append(out, iri)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Properties returns all property IRIs, sorted.
+func (o *Ontology) Properties() []string {
+	out := make([]string, 0, len(o.properties))
+	for iri := range o.properties {
+		out = append(out, iri)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Superclasses returns the transitive superclasses of iri (not including
+// iri itself), in breadth-first order.
+func (o *Ontology) Superclasses(iri string) []string {
+	return o.closure(iri, func(x string) []string {
+		if c := o.classes[x]; c != nil {
+			return c.Supers
+		}
+		return nil
+	})
+}
+
+// Subclasses returns the transitive subclasses of iri (not including iri
+// itself).
+func (o *Ontology) Subclasses(iri string) []string {
+	children := map[string][]string{}
+	for _, c := range o.classes {
+		for _, s := range c.Supers {
+			children[s] = append(children[s], c.IRI)
+		}
+	}
+	out := o.closure(iri, func(x string) []string { return children[x] })
+	sort.Strings(out)
+	return out
+}
+
+func (o *Ontology) closure(start string, next func(string) []string) []string {
+	seen := map[string]bool{start: true}
+	frontier := []string{start}
+	var out []string
+	for len(frontier) > 0 {
+		var nf []string
+		for _, n := range frontier {
+			for _, m := range next(n) {
+				if !seen[m] {
+					seen[m] = true
+					out = append(out, m)
+					nf = append(nf, m)
+				}
+			}
+		}
+		frontier = nf
+	}
+	return out
+}
+
+// Roots returns classes with no superclasses.
+func (o *Ontology) Roots() []string {
+	var out []string
+	for iri, c := range o.classes {
+		if len(c.Supers) == 0 {
+			out = append(out, iri)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate reports structural problems: subclass cycles and references to
+// undefined superclasses (the latter is a warning-level issue because the
+// warehouse is built incrementally, but surfacing it keeps hierarchies
+// honest before a release).
+func (o *Ontology) Validate() []error {
+	var errs []error
+	// Cycle detection via DFS coloring.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		if c := o.classes[n]; c != nil {
+			for _, s := range c.Supers {
+				switch color[s] {
+				case gray:
+					errs = append(errs, fmt.Errorf("ontology %s: subclass cycle through %s and %s", o.name, n, s))
+					return false
+				case white:
+					if !visit(s) {
+						return false
+					}
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for iri := range o.classes {
+		if color[iri] == white {
+			visit(iri)
+		}
+	}
+	for iri, c := range o.classes {
+		for _, s := range c.Supers {
+			if _, ok := o.classes[s]; !ok {
+				errs = append(errs, fmt.Errorf("ontology %s: class %s references undefined superclass %s", o.name, iri, s))
+			}
+		}
+	}
+	for iri, p := range o.properties {
+		for _, d := range p.Domains {
+			if _, ok := o.classes[d]; !ok {
+				errs = append(errs, fmt.Errorf("ontology %s: property %s references undefined domain %s", o.name, iri, d))
+			}
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+// Triples exports the ontology as RDF triples — the "ontology file" that
+// the Figure 4 pipeline inserts into the staging tables.
+func (o *Ontology) Triples() []rdf.Triple {
+	var out []rdf.Triple
+	for _, iri := range o.Classes() {
+		c := o.classes[iri]
+		subj := rdf.IRI(iri)
+		out = append(out, rdf.T(subj, rdf.Type, rdf.Class))
+		if c.Label != "" {
+			out = append(out, rdf.T(subj, rdf.Label, rdf.Literal(c.Label)))
+		}
+		if c.Comment != "" {
+			out = append(out, rdf.T(subj, rdf.IRI(rdf.RDFSComment), rdf.Literal(c.Comment)))
+		}
+		for _, s := range c.Supers {
+			out = append(out, rdf.T(subj, rdf.SubClassOf, rdf.IRI(s)))
+		}
+	}
+	for _, iri := range o.Properties() {
+		p := o.properties[iri]
+		subj := rdf.IRI(iri)
+		out = append(out, rdf.T(subj, rdf.Type, rdf.IRI(rdf.RDFProperty)))
+		if p.Label != "" {
+			out = append(out, rdf.T(subj, rdf.Label, rdf.Literal(p.Label)))
+		}
+		if p.Comment != "" {
+			out = append(out, rdf.T(subj, rdf.IRI(rdf.RDFSComment), rdf.Literal(p.Comment)))
+		}
+		for _, s := range p.Supers {
+			out = append(out, rdf.T(subj, rdf.SubPropertyOf, rdf.IRI(s)))
+		}
+		for _, d := range p.Domains {
+			out = append(out, rdf.T(subj, rdf.Domain, rdf.IRI(d)))
+		}
+		for _, r := range p.Ranges {
+			out = append(out, rdf.T(subj, rdf.Range, rdf.IRI(r)))
+		}
+		if p.Symmetric {
+			out = append(out, rdf.T(subj, rdf.Type, rdf.IRI(rdf.OWLSymmetricProperty)))
+		}
+		if p.Transitive {
+			out = append(out, rdf.T(subj, rdf.Type, rdf.IRI(rdf.OWLTransitiveProperty)))
+		}
+		if p.InverseOf != "" {
+			out = append(out, rdf.T(subj, rdf.IRI(rdf.OWLInverseOf), rdf.IRI(p.InverseOf)))
+		}
+	}
+	return out
+}
+
+// Turtle exports the ontology as a Turtle document.
+func (o *Ontology) Turtle() string {
+	return turtle.Marshal(o.Triples())
+}
+
+// FromTriples reconstructs an ontology from exported triples.
+func FromTriples(name string, ts []rdf.Triple) *Ontology {
+	o := New(name)
+	ensureClass := func(iri string) *Class {
+		c, ok := o.classes[iri]
+		if !ok {
+			c = &Class{IRI: iri}
+			o.classes[iri] = c
+		}
+		return c
+	}
+	ensureProp := func(iri string) *Property {
+		p, ok := o.properties[iri]
+		if !ok {
+			p = &Property{IRI: iri}
+			o.properties[iri] = p
+		}
+		return p
+	}
+	for _, t := range ts {
+		if !t.S.IsIRI() {
+			continue
+		}
+		s := t.S.Value
+		switch t.P.Value {
+		case rdf.RDFType:
+			switch t.O.Value {
+			case rdf.OWLClass, rdf.RDFSClass:
+				ensureClass(s)
+			case rdf.RDFProperty, rdf.OWLObjectProperty, rdf.OWLDatatypeProperty:
+				ensureProp(s)
+			case rdf.OWLSymmetricProperty:
+				ensureProp(s).Symmetric = true
+			case rdf.OWLTransitiveProperty:
+				ensureProp(s).Transitive = true
+			}
+		case rdf.RDFSSubClassOf:
+			c := ensureClass(s)
+			c.Supers = append(c.Supers, t.O.Value)
+			ensureClass(t.O.Value)
+		case rdf.RDFSSubPropertyOf:
+			p := ensureProp(s)
+			p.Supers = append(p.Supers, t.O.Value)
+			ensureProp(t.O.Value)
+		case rdf.RDFSDomain:
+			ensureProp(s).Domains = append(ensureProp(s).Domains, t.O.Value)
+		case rdf.RDFSRange:
+			ensureProp(s).Ranges = append(ensureProp(s).Ranges, t.O.Value)
+		case rdf.OWLInverseOf:
+			ensureProp(s).InverseOf = t.O.Value
+		case rdf.RDFSLabel:
+			if c, ok := o.classes[s]; ok {
+				c.Label = t.O.Value
+			} else if p, ok := o.properties[s]; ok {
+				p.Label = t.O.Value
+			} else {
+				// Labels may precede declarations; attach lazily as class
+				// label once the declaration arrives — simplest is to
+				// create the class now and let a later property
+				// declaration steal it if needed.
+				ensureClass(s).Label = t.O.Value
+			}
+		case rdf.RDFSComment:
+			if c, ok := o.classes[s]; ok {
+				c.Comment = t.O.Value
+			} else if p, ok := o.properties[s]; ok {
+				p.Comment = t.O.Value
+			}
+		}
+	}
+	return o
+}
+
+// FromTurtle parses a Turtle ontology document.
+func FromTurtle(name, doc string) (*Ontology, error) {
+	ts, err := turtle.Unmarshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	return FromTriples(name, ts), nil
+}

@@ -1,0 +1,170 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+)
+
+func ex(s string) string { return "http://example.org/" + s }
+
+func TestAddAndQueryClasses(t *testing.T) {
+	o := New("test")
+	o.AddClass(ex("Party"), "Party")
+	o.AddClass(ex("Partner"), "Partner", ex("Party"))
+	o.AddClass(ex("Individual"), "Individual", ex("Partner"))
+	o.AddClass(ex("Institution"), "Institution", ex("Partner"))
+
+	if got := o.Superclasses(ex("Individual")); len(got) != 2 {
+		t.Errorf("Superclasses(Individual) = %v", got)
+	}
+	subs := o.Subclasses(ex("Party"))
+	if len(subs) != 3 {
+		t.Errorf("Subclasses(Party) = %v", subs)
+	}
+	if got := o.Roots(); len(got) != 1 || got[0] != ex("Party") {
+		t.Errorf("Roots = %v", got)
+	}
+	if o.Class(ex("Party")) == nil || o.Class(ex("Nope")) != nil {
+		t.Error("Class lookup wrong")
+	}
+}
+
+func TestMultipleInheritance(t *testing.T) {
+	o := New("test")
+	o.AddClass(ex("A"), "A")
+	o.AddClass(ex("B"), "B")
+	o.AddClass(ex("C"), "C", ex("A"), ex("B"))
+	supers := o.Superclasses(ex("C"))
+	if len(supers) != 2 {
+		t.Errorf("Superclasses(C) = %v", supers)
+	}
+}
+
+func TestAddSuperIdempotent(t *testing.T) {
+	o := New("test")
+	o.AddClass(ex("A"), "A")
+	o.AddSuper(ex("B"), ex("A"))
+	o.AddSuper(ex("B"), ex("A"))
+	if c := o.Class(ex("B")); len(c.Supers) != 1 {
+		t.Errorf("Supers = %v", c.Supers)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	o := New("test")
+	o.AddClass(ex("A"), "A", ex("B"))
+	o.AddClass(ex("B"), "B", ex("A"))
+	errs := o.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cycle not detected: %v", errs)
+	}
+}
+
+func TestValidateUndefinedReferences(t *testing.T) {
+	o := New("test")
+	o.AddClass(ex("A"), "A", ex("Ghost"))
+	o.AddProperty(Property{IRI: ex("p"), Domains: []string{ex("GhostClass")}})
+	errs := o.Validate()
+	if len(errs) != 2 {
+		t.Errorf("errs = %v", errs)
+	}
+}
+
+func TestTriplesExport(t *testing.T) {
+	o := New("test")
+	o.AddClass(ex("Party"), "Party")
+	o.AddClass(ex("Individual"), "Individual", ex("Party"))
+	o.AddProperty(Property{
+		IRI: ex("isRelatedTo"), Label: "is related to", Symmetric: true,
+		Domains: []string{ex("Party")}, Ranges: []string{ex("Party")},
+	})
+	ts := o.Triples()
+	want := []rdf.Triple{
+		rdf.T(rdf.IRI(ex("Individual")), rdf.SubClassOf, rdf.IRI(ex("Party"))),
+		rdf.T(rdf.IRI(ex("isRelatedTo")), rdf.Type, rdf.IRI(rdf.OWLSymmetricProperty)),
+		rdf.T(rdf.IRI(ex("isRelatedTo")), rdf.Domain, rdf.IRI(ex("Party"))),
+	}
+	for _, w := range want {
+		found := false
+		for _, tr := range ts {
+			if tr == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %v", w)
+		}
+	}
+}
+
+func TestTurtleRoundTrip(t *testing.T) {
+	o := New("rt")
+	o.AddClass(ex("Party"), "Party")
+	o.AddClass(ex("Individual"), "Individual", ex("Party"))
+	o.AddProperty(Property{IRI: ex("feeds"), Label: "feeds", Transitive: true, InverseOf: ex("fedBy")})
+	doc := o.Turtle()
+	back, err := FromTurtle("rt2", doc)
+	if err != nil {
+		t.Fatalf("FromTurtle: %v\n%s", err, doc)
+	}
+	if back.Class(ex("Individual")) == nil {
+		t.Fatal("Individual lost in round trip")
+	}
+	if got := back.Class(ex("Individual")).Supers; len(got) != 1 || got[0] != ex("Party") {
+		t.Errorf("Supers = %v", got)
+	}
+	p := back.Property(ex("feeds"))
+	if p == nil || !p.Transitive || p.InverseOf != ex("fedBy") {
+		t.Errorf("property lost: %+v", p)
+	}
+	if back.Class(ex("Party")).Label != "Party" {
+		t.Errorf("label lost: %+v", back.Class(ex("Party")))
+	}
+}
+
+func TestDWHOntology(t *testing.T) {
+	o := DWH()
+	if errs := o.Validate(); len(errs) != 0 {
+		t.Fatalf("DWH ontology invalid: %v", errs)
+	}
+	dm := func(s string) string { return rdf.DMNS + s }
+	// The Figure 5 narrowing: Application1_View_Column sits under both
+	// Attribute (via View_Column/Column) and Application1_Item and
+	// Interface_Item.
+	supers := o.Superclasses(dm("Application1_View_Column"))
+	wantSupers := []string{dm("View_Column"), dm("Column"), dm("Attribute"), dm("Application1_Item"), dm("Interface_Item"), dm("Application_Item"), dm("Item")}
+	for _, w := range wantSupers {
+		found := false
+		for _, s := range supers {
+			if s == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Application1_View_Column missing ancestor %s", rdf.LocalName(w))
+		}
+	}
+	// Business side: Individual is a Partner is a Party.
+	supers = o.Superclasses(dm("Individual"))
+	if len(supers) < 2 {
+		t.Errorf("Individual superclasses = %v", supers)
+	}
+	// Every class has a label (search groups by label).
+	for _, iri := range o.Classes() {
+		if o.Class(iri).Label == "" {
+			t.Errorf("class %s has no label", iri)
+		}
+	}
+	// Export is parseable.
+	if _, err := FromTurtle("x", o.Turtle()); err != nil {
+		t.Errorf("DWH Turtle unparseable: %v", err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package rdf defines the core RDF data model used throughout the
+// meta-data warehouse: terms (IRIs, literals, blank nodes), triples,
+// namespace handling, and the vocabulary constants used by the paper
+// ("The Credit Suisse Meta-data Warehouse", ICDE 2012).
+//
+// The meta-data warehouse stores all business and technical meta-data
+// as one large labeled graph; this package is the common currency for
+// every other package in the repository.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// IRIKind identifies an IRI reference term.
+	IRIKind TermKind = iota
+	// LiteralKind identifies a literal term (plain, typed, or language-tagged).
+	LiteralKind
+	// BlankKind identifies a blank node term.
+	BlankKind
+)
+
+// String returns a human-readable name for the kind.
+func (k TermKind) String() string {
+	switch k {
+	case IRIKind:
+		return "iri"
+	case LiteralKind:
+		return "literal"
+	case BlankKind:
+		return "blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term. Terms are immutable value types and are comparable,
+// so they can be used directly as map keys.
+//
+// For IRIs, Value holds the full IRI. For blank nodes, Value holds the
+// local label (without the "_:" prefix). For literals, Value holds the
+// lexical form, Datatype optionally holds the datatype IRI, and Lang
+// optionally holds the language tag (only one of Datatype/Lang is set).
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return Term{Kind: IRIKind, Value: iri} }
+
+// Blank returns a blank node term with the given label.
+func Blank(label string) Term { return Term{Kind: BlankKind, Value: label} }
+
+// Literal returns a plain (untyped) literal term.
+func Literal(lexical string) Term { return Term{Kind: LiteralKind, Value: lexical} }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: LiteralKind, Value: lexical, Datatype: datatype}
+}
+
+// LangLiteral returns a language-tagged literal.
+func LangLiteral(lexical, lang string) Term {
+	return Term{Kind: LiteralKind, Value: lexical, Lang: lang}
+}
+
+// Integer returns an xsd:integer literal.
+func Integer(v int64) Term {
+	return TypedLiteral(fmt.Sprintf("%d", v), XSDInteger)
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRIKind }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == LiteralKind }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == BlankKind }
+
+// IsZero reports whether the term is the zero Term (used as a wildcard in
+// pattern matching APIs).
+func (t Term) IsZero() bool { return t == Term{} }
+
+// String renders the term in N-Triples-like syntax. Literals are quoted,
+// IRIs are wrapped in angle brackets, blank nodes get a "_:" prefix.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRIKind:
+		return "<" + t.Value + ">"
+	case BlankKind:
+		return "_:" + t.Value
+	case LiteralKind:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(EscapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" && t.Datatype != XSDString {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("?!%d:%s", t.Kind, t.Value)
+	}
+}
+
+// Local returns the local name of an IRI term: the portion after the last
+// '#' or '/'. For non-IRI terms it returns Value unchanged.
+func (t Term) Local() string {
+	if t.Kind != IRIKind {
+		return t.Value
+	}
+	return LocalName(t.Value)
+}
+
+// LocalName returns the fragment after the last '#' or '/' of an IRI.
+func LocalName(iri string) string {
+	if i := strings.LastIndexByte(iri, '#'); i >= 0 {
+		return iri[i+1:]
+	}
+	if i := strings.LastIndexByte(iri, '/'); i >= 0 {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// Namespace returns the namespace part of an IRI: everything up to and
+// including the last '#' or '/'.
+func Namespace(iri string) string {
+	if i := strings.LastIndexByte(iri, '#'); i >= 0 {
+		return iri[:i+1]
+	}
+	if i := strings.LastIndexByte(iri, '/'); i >= 0 {
+		return iri[:i+1]
+	}
+	return ""
+}
+
+// EscapeLiteral escapes the characters that must be escaped inside a
+// double-quoted N-Triples literal.
+func EscapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLiteral reverses EscapeLiteral. Unknown escape sequences are
+// preserved verbatim (backslash included) so round-tripping is lossless
+// for well-formed input.
+func UnescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 >= len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		case 'u':
+			if i+4 < len(s) {
+				var r rune
+				if _, err := fmt.Sscanf(s[i+1:i+5], "%04X", &r); err == nil {
+					b.WriteRune(r)
+					i += 4
+					continue
+				}
+			}
+			b.WriteByte('\\')
+			b.WriteByte('u')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// Compare orders terms deterministically: first by kind (IRI < blank <
+// literal), then by value, datatype, and language. It returns -1, 0, or +1.
+func Compare(a, b Term) int {
+	ka, kb := kindOrder(a.Kind), kindOrder(b.Kind)
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	}
+	if c := strings.Compare(a.Value, b.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Datatype, b.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Lang, b.Lang)
+}
+
+func kindOrder(k TermKind) int {
+	switch k {
+	case IRIKind:
+		return 0
+	case BlankKind:
+		return 1
+	default:
+		return 2
+	}
+}

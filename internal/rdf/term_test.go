@@ -1,0 +1,222 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{"iri", IRI("http://example.org/x"), IRIKind, "<http://example.org/x>"},
+		{"blank", Blank("b1"), BlankKind, "_:b1"},
+		{"plain literal", Literal("hello"), LiteralKind, `"hello"`},
+		{"typed literal", TypedLiteral("42", XSDInteger), LiteralKind, `"42"^^<` + XSDInteger + `>`},
+		{"lang literal", LangLiteral("Kunde", "de"), LiteralKind, `"Kunde"@de`},
+		{"integer", Integer(7), LiteralKind, `"7"^^<` + XSDInteger + `>`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.term.Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", tc.term.Kind, tc.kind)
+			}
+			if got := tc.term.String(); got != tc.str {
+				t.Errorf("String() = %q, want %q", got, tc.str)
+			}
+		})
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !IRI("x").IsIRI() || IRI("x").IsLiteral() || IRI("x").IsBlank() {
+		t.Error("IRI predicates wrong")
+	}
+	if !Literal("x").IsLiteral() {
+		t.Error("Literal predicate wrong")
+	}
+	if !Blank("x").IsBlank() {
+		t.Error("Blank predicate wrong")
+	}
+	if !(Term{}).IsZero() || IRI("x").IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestXSDStringDatatypeSuppressed(t *testing.T) {
+	got := TypedLiteral("x", XSDString).String()
+	if got != `"x"` {
+		t.Errorf("xsd:string literal should render without datatype, got %q", got)
+	}
+}
+
+func TestLocalAndNamespace(t *testing.T) {
+	tests := []struct {
+		iri, ns, local string
+	}{
+		{DMNS + "Customer", DMNS, "Customer"},
+		{"http://example.org/a/b", "http://example.org/a/", "b"},
+		{"nohash", "", "nohash"},
+	}
+	for _, tc := range tests {
+		if got := Namespace(tc.iri); got != tc.ns {
+			t.Errorf("Namespace(%q) = %q, want %q", tc.iri, got, tc.ns)
+		}
+		if got := LocalName(tc.iri); got != tc.local {
+			t.Errorf("LocalName(%q) = %q, want %q", tc.iri, got, tc.local)
+		}
+	}
+	if got := IRI(DMNS + "Customer").Local(); got != "Customer" {
+		t.Errorf("Local() = %q", got)
+	}
+	if got := Literal("v").Local(); got != "v" {
+		t.Errorf("Local() on literal = %q", got)
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	cases := []string{
+		"plain",
+		`with "quotes"`,
+		"tab\tand\nnewline",
+		`back\slash`,
+		"",
+		"unicode ü ☃",
+	}
+	for _, c := range cases {
+		if got := UnescapeLiteral(EscapeLiteral(c)); got != c {
+			t.Errorf("round trip of %q = %q", c, got)
+		}
+	}
+}
+
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		return UnescapeLiteral(EscapeLiteral(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnescapeUnicode(t *testing.T) {
+	if got := UnescapeLiteral(`snow☃man`); got != "snow☃man" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(IRI("a"), IRI("a")) != 0 {
+		t.Error("equal IRIs should compare 0")
+	}
+	if Compare(IRI("a"), IRI("b")) >= 0 {
+		t.Error("a < b expected")
+	}
+	// Kind ordering: IRI < blank < literal.
+	if Compare(IRI("z"), Blank("a")) >= 0 {
+		t.Error("IRI should sort before blank")
+	}
+	if Compare(Blank("z"), Literal("a")) >= 0 {
+		t.Error("blank should sort before literal")
+	}
+	if Compare(Literal("a"), TypedLiteral("a", XSDInteger)) >= 0 {
+		t.Error("plain literal sorts before typed with same lexical form")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	gen := func(k uint8, v string) Term {
+		switch k % 3 {
+		case 0:
+			return IRI(v)
+		case 1:
+			return Blank(v)
+		default:
+			return Literal(v)
+		}
+	}
+	f := func(k1, k2 uint8, v1, v2 string) bool {
+		a, b := gen(k1, v1), gen(k2, v2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQName(t *testing.T) {
+	if got := QName(RDFType); got != "rdf:type" {
+		t.Errorf("QName(rdf:type) = %q", got)
+	}
+	if got := QName(DMNS + "Customer"); got != "dm:Customer" {
+		t.Errorf("QName(dm:Customer) = %q", got)
+	}
+	if got := QName("http://unknown.example/x"); got != "<http://unknown.example/x>" {
+		t.Errorf("QName(unknown) = %q", got)
+	}
+}
+
+func TestExpandQName(t *testing.T) {
+	iri, ok := ExpandQName("rdf:type", nil)
+	if !ok || iri != RDFType {
+		t.Errorf("ExpandQName(rdf:type) = %q, %v", iri, ok)
+	}
+	custom := map[string]string{"ex": "http://example.org/"}
+	iri, ok = ExpandQName("ex:thing", custom)
+	if !ok || iri != "http://example.org/thing" {
+		t.Errorf("ExpandQName(ex:thing) = %q, %v", iri, ok)
+	}
+	if _, ok = ExpandQName("nope:thing", nil); ok {
+		t.Error("unknown prefix should fail")
+	}
+	if _, ok = ExpandQName("noprefix", nil); ok {
+		t.Error("missing colon should fail")
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := T(IRI("s"), IRI("p"), Literal("o"))
+	if got := tr.NTriple(); got != `<s> <p> "o" .` {
+		t.Errorf("NTriple = %q", got)
+	}
+}
+
+func TestSortAndDedupTriples(t *testing.T) {
+	a := T(IRI("a"), IRI("p"), IRI("x"))
+	b := T(IRI("b"), IRI("p"), IRI("x"))
+	c := T(IRI("a"), IRI("q"), IRI("x"))
+	ts := []Triple{b, a, c, a, b}
+	SortTriples(ts)
+	ts = DedupTriples(ts)
+	want := []Triple{a, c, b}
+	if len(ts) != len(want) {
+		t.Fatalf("len = %d, want %d (%v)", len(ts), len(want), ts)
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Errorf("ts[%d] = %v, want %v", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestSortTriplesProperty(t *testing.T) {
+	f := func(raw [][3]string) bool {
+		ts := make([]Triple, len(raw))
+		for i, r := range raw {
+			ts[i] = T(IRI(r[0]), IRI(r[1]), Literal(r[2]))
+		}
+		SortTriples(ts)
+		for i := 1; i < len(ts); i++ {
+			if CompareTriples(ts[i-1], ts[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

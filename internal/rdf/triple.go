@@ -1,0 +1,61 @@
+package rdf
+
+import "sort"
+
+// Triple is one RDF statement: subject–predicate–object.
+type Triple struct {
+	S, P, O Term
+}
+
+// T is shorthand for constructing a Triple.
+func T(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax (without the trailing dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// NTriple renders the triple as a full N-Triples line including the
+// terminating " ." marker.
+func (t Triple) NTriple() string {
+	return t.String() + " ."
+}
+
+// CompareTriples orders triples by subject, then predicate, then object.
+func CompareTriples(a, b Triple) int {
+	if c := Compare(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := Compare(a.P, b.P); c != 0 {
+		return c
+	}
+	return Compare(a.O, b.O)
+}
+
+// Quad is a triple placed in a named model (the paper's RDF model tables
+// are addressed by model name, e.g. SEM_MODELS('DWH_CURR')).
+type Quad struct {
+	Model string
+	Triple
+}
+
+// SortTriples sorts a slice of triples in place into the canonical
+// (S, P, O) order used by serializers and diffing.
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool { return CompareTriples(ts[i], ts[j]) < 0 })
+}
+
+// DedupTriples removes duplicate triples from a sorted slice in place and
+// returns the shortened slice.
+func DedupTriples(ts []Triple) []Triple {
+	if len(ts) < 2 {
+		return ts
+	}
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

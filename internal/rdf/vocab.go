@@ -1,0 +1,170 @@
+package rdf
+
+// Namespace prefixes used throughout the meta-data warehouse. The dm: and
+// dt: namespaces are taken verbatim from Listings 1 and 2 of the paper;
+// mdw: hosts warehouse-internal labels such as the instance-to-value tags
+// that the paper describes as "specific to Credit Suisse".
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+
+	// DMNS is the data-modeling namespace of the paper (Listing 1).
+	DMNS = "http://www.credit-suisse.com/dwh/mdm/data_modeling#"
+	// DTNS is the data-transfer namespace of the paper (Listing 2).
+	DTNS = "http://www.credit-suisse.com/dwh/mdm/data_transfer#"
+	// MDWNS hosts warehouse-internal vocabulary (tags, synonym edges).
+	MDWNS = "http://www.credit-suisse.com/dwh/mdm/warehouse#"
+	// InstNS is the namespace for generated instance nodes.
+	InstNS = "http://www.credit-suisse.com/dwh/"
+	// DBPNS mimics the DBpedia resource namespace for the synonym and
+	// homonym collections integrated per Section III.B.
+	DBPNS = "http://dbpedia.org/resource/"
+)
+
+// Core RDF / RDFS / OWL vocabulary IRIs.
+const (
+	RDFType     = RDFNS + "type"
+	RDFProperty = RDFNS + "Property"
+	RDFResource = RDFNS + "resource"
+
+	RDFSSubClassOf    = RDFSNS + "subClassOf"
+	RDFSSubPropertyOf = RDFSNS + "subPropertyOf"
+	RDFSDomain        = RDFSNS + "domain"
+	RDFSRange         = RDFSNS + "range"
+	RDFSLabel         = RDFSNS + "label"
+	RDFSComment       = RDFSNS + "comment"
+	RDFSClass         = RDFSNS + "Class"
+	RDFSResource      = RDFSNS + "Resource"
+
+	OWLClass              = OWLNS + "Class"
+	OWLObjectProperty     = OWLNS + "ObjectProperty"
+	OWLDatatypeProperty   = OWLNS + "DatatypeProperty"
+	OWLSymmetricProperty  = OWLNS + "SymmetricProperty"
+	OWLTransitiveProperty = OWLNS + "TransitiveProperty"
+	OWLInverseOf          = OWLNS + "inverseOf"
+	OWLSameAs             = OWLNS + "sameAs"
+	OWLEquivalentClass    = OWLNS + "equivalentClass"
+	OWLEquivalentProperty = OWLNS + "equivalentProperty"
+	OWLThing              = OWLNS + "Thing"
+
+	XSDString  = XSDNS + "string"
+	XSDInteger = XSDNS + "integer"
+	XSDBoolean = XSDNS + "boolean"
+	XSDDecimal = XSDNS + "decimal"
+	XSDDouble  = XSDNS + "double"
+	XSDDate    = XSDNS + "date"
+)
+
+// Warehouse-specific vocabulary. The paper names hasName (Listing 1),
+// isMappedTo (Listing 2, the edge that drives lineage), and the free
+// instance-to-value tags of Section III.B; synonymOf/homonymOf carry
+// the DBpedia-derived relationships, and isRelatedTo is the paper's
+// example of a symmetric property.
+const (
+	MDWHasName     = DMNS + "hasName"
+	MDWIsMappedTo  = DTNS + "isMappedTo"
+	MDWFeeds       = DTNS + "feeds"
+	MDWSynonymOf   = MDWNS + "synonymOf"
+	MDWHomonymOf   = MDWNS + "homonymOf"
+	MDWIsRelatedTo = MDWNS + "isRelatedTo"
+	MDWHasValue    = MDWNS + "hasValue"
+	MDWInArea      = DMNS + "inArea"
+	MDWInLayer     = DMNS + "inLayer"
+	MDWOwnedBy     = DMNS + "ownedBy"
+	MDWHasRole     = DMNS + "hasRole"
+	MDWPartOf      = DMNS + "partOf"
+	MDWHasColumn   = DMNS + "hasColumn"
+	MDWHasTable    = DMNS + "hasTable"
+	MDWHasSchema   = DMNS + "hasSchema"
+	MDWImplements  = DMNS + "implements"
+	MDWUsesDB      = DMNS + "usesDatabase"
+	MDWConnectsTo  = DTNS + "connectsTo"
+	MDWSourceOf    = DTNS + "sourceOf"
+	MDWTargetOf    = DTNS + "targetOf"
+	// Mapping reification: a dm:Mapping instance records which columns it
+	// maps and under which rule condition. The rule condition feeds the
+	// filtered-lineage extension of Section V.
+	MDWMapsFrom = DTNS + "mapsFrom"
+	MDWMapsTo   = DTNS + "mapsTo"
+	MDWRuleCond = DTNS + "hasRuleCondition"
+	MDWDataType = DMNS + "hasDataType"
+	MDWLength   = DMNS + "hasLength"
+	MDWUsedBy   = DMNS + "usedBy"
+	// MDWTaggedWith is the instance-to-value tag relationship that
+	// Section III.B calls out as "specific to Credit Suisse"; governance
+	// processes use it to mark items (e.g. "pii", "confidential").
+	MDWTaggedWith    = MDWNS + "taggedWith"
+	MDWUsesTech      = DMNS + "usesTechnology"
+	MDWVersionOfTech = DMNS + "hasVersion"
+	MDWHasLogFile    = DMNS + "hasLogFile"
+	// Historization metadata (stored in the warehouse's meta model so a
+	// dump round-trips release history).
+	MDWVersion        = MDWNS + "Version"
+	MDWVersionNumber  = MDWNS + "versionNumber"
+	MDWVersionTag     = MDWNS + "versionTag"
+	MDWVersionAt      = MDWNS + "versionAt"
+	MDWVersionModel   = MDWNS + "versionModel"
+	MDWVersionTriples = MDWNS + "versionTriples"
+)
+
+// Convenience Term values for the hottest vocabulary IRIs.
+var (
+	Type          = IRI(RDFType)
+	SubClassOf    = IRI(RDFSSubClassOf)
+	SubPropertyOf = IRI(RDFSSubPropertyOf)
+	Domain        = IRI(RDFSDomain)
+	Range         = IRI(RDFSRange)
+	Label         = IRI(RDFSLabel)
+	Class         = IRI(OWLClass)
+	HasName       = IRI(MDWHasName)
+	IsMappedTo    = IRI(MDWIsMappedTo)
+)
+
+// WellKnownPrefixes maps the conventional short prefixes to their
+// namespaces; parsers and serializers use it as the default prefix table.
+var WellKnownPrefixes = map[string]string{
+	"rdf":  RDFNS,
+	"rdfs": RDFSNS,
+	"owl":  OWLNS,
+	"xsd":  XSDNS,
+	"dm":   DMNS,
+	"dt":   DTNS,
+	"mdw":  MDWNS,
+	"inst": InstNS,
+	"dbp":  DBPNS,
+}
+
+// QName abbreviates an IRI using WellKnownPrefixes, falling back to the
+// full bracketed form when no prefix matches.
+func QName(iri string) string {
+	ns := Namespace(iri)
+	for p, n := range WellKnownPrefixes {
+		if n == ns {
+			return p + ":" + iri[len(ns):]
+		}
+	}
+	return "<" + iri + ">"
+}
+
+// ExpandQName resolves a prefixed name such as "rdf:type" against the
+// supplied prefix table (WellKnownPrefixes entries are consulted when
+// prefixes is nil). The second result reports whether resolution succeeded.
+func ExpandQName(qname string, prefixes map[string]string) (string, bool) {
+	for i := 0; i < len(qname); i++ {
+		if qname[i] == ':' {
+			prefix, local := qname[:i], qname[i+1:]
+			if prefixes != nil {
+				if ns, ok := prefixes[prefix]; ok {
+					return ns + local, true
+				}
+			}
+			if ns, ok := WellKnownPrefixes[prefix]; ok {
+				return ns + local, true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,244 @@
+// Package rdfxml writes and reads a constrained RDF/XML serialization.
+// The Figure 4 pipeline transforms source meta-data XML into RDF; this
+// package provides the RDF/XML wire format used between the transform and
+// the staging tables.
+//
+// The subset handled is the "striped" form produced by Marshal itself:
+// an rdf:RDF root containing rdf:Description elements with rdf:about,
+// property child elements carrying either an rdf:resource attribute
+// (object properties) or character data (literals, with optional
+// rdf:datatype or xml:lang attributes).
+package rdfxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mdw/internal/rdf"
+)
+
+// Marshal renders triples as an RDF/XML document. Subjects must be IRIs
+// or blank nodes; blank nodes are encoded with rdf:nodeID.
+func Marshal(ts []rdf.Triple) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, ts); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Write serializes triples as RDF/XML to w.
+func Write(w io.Writer, ts []rdf.Triple) error {
+	sorted := make([]rdf.Triple, len(ts))
+	copy(sorted, ts)
+	rdf.SortTriples(sorted)
+	sorted = rdf.DedupTriples(sorted)
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "<rdf:RDF xmlns:rdf=%q>\n", rdf.RDFNS); err != nil {
+		return err
+	}
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].S == sorted[i].S {
+			j++
+		}
+		if err := writeDescription(w, sorted[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	_, err := io.WriteString(w, "</rdf:RDF>\n")
+	return err
+}
+
+func writeDescription(w io.Writer, group []rdf.Triple) error {
+	s := group[0].S
+	switch s.Kind {
+	case rdf.IRIKind:
+		if _, err := fmt.Fprintf(w, "  <rdf:Description rdf:about=%q>\n", s.Value); err != nil {
+			return err
+		}
+	case rdf.BlankKind:
+		if _, err := fmt.Fprintf(w, "  <rdf:Description rdf:nodeID=%q>\n", s.Value); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("rdfxml: literal subject %s", s)
+	}
+	for _, t := range group {
+		if !t.P.IsIRI() {
+			return fmt.Errorf("rdfxml: non-IRI predicate %s", t.P)
+		}
+		ns, local := rdf.Namespace(t.P.Value), rdf.LocalName(t.P.Value)
+		if ns == "" || local == "" {
+			return fmt.Errorf("rdfxml: predicate %q is not splittable into namespace and local name", t.P.Value)
+		}
+		switch t.O.Kind {
+		case rdf.IRIKind:
+			if _, err := fmt.Fprintf(w, "    <p:%s xmlns:p=%q rdf:resource=%q/>\n", local, ns, t.O.Value); err != nil {
+				return err
+			}
+		case rdf.BlankKind:
+			if _, err := fmt.Fprintf(w, "    <p:%s xmlns:p=%q rdf:nodeID=%q/>\n", local, ns, t.O.Value); err != nil {
+				return err
+			}
+		case rdf.LiteralKind:
+			attrs := ""
+			if t.O.Datatype != "" {
+				attrs = fmt.Sprintf(" rdf:datatype=%q", t.O.Datatype)
+			} else if t.O.Lang != "" {
+				attrs = fmt.Sprintf(" xml:lang=%q", t.O.Lang)
+			}
+			var esc strings.Builder
+			if err := xml.EscapeText(&esc, []byte(t.O.Value)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "    <p:%s xmlns:p=%q%s>%s</p:%s>\n", local, ns, attrs, esc.String(), local); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "  </rdf:Description>\n")
+	return err
+}
+
+// Unmarshal parses an RDF/XML document in the striped subset produced by
+// Marshal.
+func Unmarshal(doc string) ([]rdf.Triple, error) {
+	return Read(strings.NewReader(doc))
+}
+
+// Read parses RDF/XML from r.
+func Read(r io.Reader) ([]rdf.Triple, error) {
+	dec := xml.NewDecoder(r)
+	var out []rdf.Triple
+	var subject rdf.Term
+	sawRoot := false
+	depth := 0
+	var propName xml.Name
+	var propAttrs []xml.Attr
+	var charData strings.Builder
+	inProp := false
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rdfxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			switch depth {
+			case 1:
+				if t.Name.Local != "RDF" {
+					return nil, fmt.Errorf("rdfxml: unexpected root element %s", t.Name.Local)
+				}
+				sawRoot = true
+			case 2:
+				subject = rdf.Term{}
+				for _, a := range t.Attr {
+					if isRDFAttr(a.Name, "about") {
+						subject = rdf.IRI(a.Value)
+					} else if isRDFAttr(a.Name, "nodeID") {
+						subject = rdf.Blank(a.Value)
+					}
+				}
+				if subject.IsZero() {
+					return nil, fmt.Errorf("rdfxml: rdf:Description without rdf:about or rdf:nodeID")
+				}
+			case 3:
+				propName = t.Name
+				propAttrs = t.Attr
+				charData.Reset()
+				inProp = true
+			default:
+				return nil, fmt.Errorf("rdfxml: nesting deeper than the striped subset allows")
+			}
+		case xml.CharData:
+			if inProp {
+				charData.Write(t)
+			}
+		case xml.EndElement:
+			if depth == 3 && inProp {
+				pred := rdf.IRI(joinName(propName))
+				obj, err := objectFromProp(propAttrs, charData.String())
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, rdf.Triple{S: subject, P: pred, O: obj})
+				inProp = false
+			}
+			depth--
+		}
+	}
+	if !sawRoot {
+		return nil, fmt.Errorf("rdfxml: no rdf:RDF root element found")
+	}
+	return out, nil
+}
+
+func isRDFAttr(n xml.Name, local string) bool {
+	ns := strings.TrimSuffix(rdf.RDFNS, "#")
+	return (n.Space == ns || n.Space == rdf.RDFNS) && n.Local == local
+}
+
+func joinName(n xml.Name) string {
+	space := n.Space
+	if space != "" && !strings.HasSuffix(space, "#") && !strings.HasSuffix(space, "/") {
+		// encoding/xml strips the trailing '#' of namespace URIs that end
+		// in it only when the document declared them without; re-add a '#'
+		// to recover the conventional RDF namespace form.
+		space += "#"
+	}
+	return space + n.Local
+}
+
+func objectFromProp(attrs []xml.Attr, text string) (rdf.Term, error) {
+	var datatype, lang string
+	for _, a := range attrs {
+		switch {
+		case isRDFAttr(a.Name, "resource"):
+			return rdf.IRI(a.Value), nil
+		case isRDFAttr(a.Name, "nodeID"):
+			return rdf.Blank(a.Value), nil
+		case isRDFAttr(a.Name, "datatype"):
+			datatype = a.Value
+		case (a.Name.Space == "xml" || a.Name.Space == "http://www.w3.org/XML/1998/namespace") && a.Name.Local == "lang":
+			lang = a.Value
+		}
+	}
+	switch {
+	case datatype != "":
+		return rdf.TypedLiteral(text, datatype), nil
+	case lang != "":
+		return rdf.LangLiteral(text, lang), nil
+	default:
+		return rdf.Literal(text), nil
+	}
+}
+
+// Prefixes returns the sorted distinct namespaces used by the triples;
+// exposed for diagnostic reports about incoming documents.
+func Prefixes(ts []rdf.Triple) []string {
+	set := map[string]bool{}
+	for _, t := range ts {
+		if t.P.IsIRI() {
+			set[rdf.Namespace(t.P.Value)] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for ns := range set {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package rdfxml
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+)
+
+func sample() []rdf.Triple {
+	return []rdf.Triple{
+		rdf.T(rdf.IRI(rdf.InstNS+"customer_id"), rdf.Type, rdf.IRI(rdf.DMNS+"Application1_View_Column")),
+		rdf.T(rdf.IRI(rdf.InstNS+"customer_id"), rdf.HasName, rdf.Literal("customer_id")),
+		rdf.T(rdf.IRI(rdf.InstNS+"customer_id"), rdf.IRI(rdf.DMNS+"length"), rdf.TypedLiteral("10", rdf.XSDInteger)),
+		rdf.T(rdf.IRI(rdf.InstNS+"partner_id"), rdf.IRI(rdf.RDFSComment), rdf.LangLiteral("Partneridentifikation", "de")),
+		rdf.T(rdf.Blank("n1"), rdf.Label, rdf.Literal("blank subject")),
+		rdf.T(rdf.IRI(rdf.InstNS+"x"), rdf.IRI(rdf.DMNS+"ref"), rdf.Blank("n1")),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ts := sample()
+	doc, err := Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(doc)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\ndoc:\n%s", err, doc)
+	}
+	rdf.SortTriples(ts)
+	rdf.SortTriples(got)
+	got = rdf.DedupTriples(got)
+	if len(got) != len(ts) {
+		t.Fatalf("got %d triples, want %d\ndoc:\n%s", len(got), len(ts), doc)
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Errorf("triple %d:\n got %v\nwant %v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestMarshalEscapesText(t *testing.T) {
+	ts := []rdf.Triple{
+		rdf.T(rdf.IRI("http://a/s"), rdf.IRI("http://a/p"), rdf.Literal("a < b & c")),
+	}
+	doc, err := Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(doc, "a < b & c") {
+		t.Errorf("unescaped text in XML:\n%s", doc)
+	}
+	got, err := Unmarshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].O.Value != "a < b & c" {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestMarshalRejectsLiteralSubject(t *testing.T) {
+	ts := []rdf.Triple{rdf.T(rdf.Literal("bad"), rdf.IRI("http://a/p"), rdf.Literal("v"))}
+	if _, err := Marshal(ts); err == nil {
+		t.Error("expected error for literal subject")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		`not xml at all`,
+		`<rdf:RDF xmlns:rdf="` + rdf.RDFNS + `"><rdf:Description/></rdf:RDF>`, // no rdf:about
+	}
+	for _, doc := range bad {
+		if _, err := Unmarshal(doc); err == nil {
+			t.Errorf("expected error for %q", doc)
+		}
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	ps := Prefixes(sample())
+	if len(ps) == 0 {
+		t.Fatal("no prefixes")
+	}
+	foundDM := false
+	for _, p := range ps {
+		if p == rdf.DMNS {
+			foundDM = true
+		}
+	}
+	if !foundDM {
+		t.Errorf("dm namespace missing from %v", ps)
+	}
+}

@@ -1,0 +1,201 @@
+package reason
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdw/internal/rdf"
+)
+
+// genGraph builds a small random graph mixing schema and fact triples
+// from a bounded vocabulary, so entailment closures stay small but
+// non-trivial.
+func genGraph(r *rand.Rand, size int) []rdf.Triple {
+	classes := []rdf.Term{iri("A"), iri("B"), iri("C"), iri("D")}
+	props := []rdf.Term{iri("p"), iri("q"), iri("r")}
+	insts := []rdf.Term{iri("x"), iri("y"), iri("z"), iri("w")}
+	var out []rdf.Triple
+	for i := 0; i < size; i++ {
+		switch r.Intn(6) {
+		case 0:
+			out = append(out, rdf.T(classes[r.Intn(len(classes))], rdf.SubClassOf, classes[r.Intn(len(classes))]))
+		case 1:
+			out = append(out, rdf.T(insts[r.Intn(len(insts))], rdf.Type, classes[r.Intn(len(classes))]))
+		case 2:
+			out = append(out, rdf.T(props[r.Intn(len(props))], rdf.SubPropertyOf, props[r.Intn(len(props))]))
+		case 3:
+			out = append(out, rdf.T(props[r.Intn(len(props))], rdf.Domain, classes[r.Intn(len(classes))]))
+		case 4:
+			out = append(out, rdf.T(insts[r.Intn(len(insts))], props[r.Intn(len(props))], insts[r.Intn(len(insts))]))
+		default:
+			out = append(out, rdf.T(props[r.Intn(len(props))], rdf.Type, rdf.IRI(rdf.OWLSymmetricProperty)))
+		}
+	}
+	return out
+}
+
+func asSet(ts []rdf.Triple) map[rdf.Triple]bool {
+	m := make(map[rdf.Triple]bool, len(ts))
+	for _, t := range ts {
+		m[t] = true
+	}
+	return m
+}
+
+// Entailment is idempotent: running the closure on its own output adds
+// nothing.
+func TestEntailIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genGraph(r, 3+r.Intn(12))
+		once, err := Entail(g)
+		if err != nil {
+			return false
+		}
+		twice, err := Entail(once)
+		if err != nil {
+			return false
+		}
+		return len(once) == len(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Entailment is monotone: adding triples never removes conclusions.
+func TestEntailMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genGraph(r, 3+r.Intn(10))
+		extra := genGraph(r, 1+r.Intn(5))
+		small, err := Entail(g)
+		if err != nil {
+			return false
+		}
+		big, err := Entail(append(append([]rdf.Triple{}, g...), extra...))
+		if err != nil {
+			return false
+		}
+		bigSet := asSet(big)
+		for _, tr := range small {
+			if !bigSet[tr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Entailment is extensive: the closure contains the input.
+func TestEntailExtensiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genGraph(r, 3+r.Intn(12))
+		out, err := Entail(g)
+		if err != nil {
+			return false
+		}
+		set := asSet(out)
+		for _, tr := range g {
+			if !set[tr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Entailment is order-independent: shuffling the input yields the same
+// closure.
+func TestEntailOrderIndependentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := genGraph(r, 3+r.Intn(12))
+		a, err := Entail(g)
+		if err != nil {
+			return false
+		}
+		shuffled := append([]rdf.Triple{}, g...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b, err := Entail(shuffled)
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] { // both are sorted by Entail
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Type closure matches a reference reachability computation over the
+// subclass graph.
+func TestTypeClosureMatchesReachabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var g []rdf.Triple
+		classes := []rdf.Term{iri("A"), iri("B"), iri("C"), iri("D"), iri("E")}
+		edges := map[rdf.Term][]rdf.Term{}
+		for i := 0; i < 3+r.Intn(8); i++ {
+			a, b := classes[r.Intn(len(classes))], classes[r.Intn(len(classes))]
+			g = append(g, rdf.T(a, rdf.SubClassOf, b))
+			edges[a] = append(edges[a], b)
+		}
+		start := classes[r.Intn(len(classes))]
+		g = append(g, rdf.T(iri("inst"), rdf.Type, start))
+
+		out, err := Entail(g)
+		if err != nil {
+			return false
+		}
+		// Reference: BFS reachability from start.
+		want := map[rdf.Term]bool{start: true}
+		frontier := []rdf.Term{start}
+		for len(frontier) > 0 {
+			var next []rdf.Term
+			for _, n := range frontier {
+				for _, m := range edges[n] {
+					if !want[m] {
+						want[m] = true
+						next = append(next, m)
+					}
+				}
+			}
+			frontier = next
+		}
+		got := map[rdf.Term]bool{}
+		for _, tr := range out {
+			if tr.S == iri("inst") && tr.P == rdf.Type {
+				got[tr.O] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for c := range want {
+			if !got[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package relstore
+
+import (
+	"fmt"
+
+	"mdw/internal/staging"
+)
+
+// LoadExports ingests the same XML meta-data exports that feed the graph
+// warehouse into the textbook catalog. Concepts have no home in the
+// initial schema — the loader returns how many items were dropped, which
+// is the point of the E10 ablation: the graph absorbs new kinds of
+// meta-data, the fixed schema silently cannot.
+func (c *Catalog) LoadExports(exports []*staging.Export) (dropped int, err error) {
+	for _, e := range exports {
+		for _, app := range e.Applications {
+			if err := c.Insert("applications", app.Name, app.Name, app.Owner, app.Area); err != nil {
+				return dropped, err
+			}
+			for _, db := range app.Databases {
+				dbID := app.Name + "/" + db.Name
+				if err := c.Insert("databases", dbID, app.Name, db.Name); err != nil {
+					return dropped, err
+				}
+				for _, sc := range db.Schemas {
+					scID := dbID + "/" + sc.Name
+					if err := c.Insert("schemas", scID, dbID, sc.Name, sc.Layer); err != nil {
+						return dropped, err
+					}
+					load := func(rels []staging.TableDoc, kind string) error {
+						for _, rel := range rels {
+							relID := scID + "/" + rel.Name
+							if err := c.Insert("relations", relID, scID, rel.Name, kind); err != nil {
+								return err
+							}
+							for _, col := range rel.Columns {
+								colID := relID + "/" + col.Name
+								if err := c.Insert("columns", colID, relID, col.Name,
+									col.DataType, fmt.Sprintf("%d", col.Length)); err != nil {
+									return err
+								}
+							}
+						}
+						return nil
+					}
+					if err := load(sc.Tables, "table"); err != nil {
+						return dropped, err
+					}
+					if err := load(sc.Views, "view"); err != nil {
+						return dropped, err
+					}
+					if err := load(sc.Files, "file"); err != nil {
+						return dropped, err
+					}
+				}
+			}
+		}
+		for _, itf := range e.Interfaces {
+			if err := c.Insert("interfaces", itf.Name, itf.From, itf.To); err != nil {
+				return dropped, err
+			}
+		}
+		for i, m := range e.Mappings {
+			id := m.Name
+			if id == "" {
+				id = fmt.Sprintf("map%d", i)
+			}
+			if err := c.Insert("mappings", id, slugPath(m.From), slugPath(m.To), m.Rule); err != nil {
+				return dropped, err
+			}
+		}
+		for _, u := range e.Users {
+			if err := c.Insert("users", u.Name, u.Name); err != nil {
+				return dropped, err
+			}
+			for _, r := range u.Roles {
+				if err := c.Insert("role_assignments", u.Name, r.App, r.Name); err != nil {
+					return dropped, err
+				}
+			}
+		}
+		// Business concepts do not fit the textbook schema: there is no
+		// concepts table until someone runs a migration.
+		dropped += len(e.Concepts)
+	}
+	return dropped, nil
+}
+
+// MigrateForConcepts is the schema migration a DBA would have to write
+// once business concepts arrive: a new table plus a column on "columns"
+// linking them. Returns the DDL statements executed.
+func (c *Catalog) MigrateForConcepts() (int, error) {
+	before := c.DDLCount
+	if err := c.CreateTable("concepts",
+		Column{"concept_id", "TEXT"}, Column{"name", "TEXT"}, Column{"class", "TEXT"}); err != nil {
+		return 0, err
+	}
+	if err := c.AddColumn("columns", Column{"concept_id", "TEXT"}, ""); err != nil {
+		return 0, err
+	}
+	return c.DDLCount - before, nil
+}
+
+// LoadConcepts ingests concepts after MigrateForConcepts has run.
+func (c *Catalog) LoadConcepts(exports []*staging.Export) error {
+	for _, e := range exports {
+		for _, con := range e.Concepts {
+			if err := c.Insert("concepts", con.Name, con.Name, con.Class); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func slugPath(p string) string {
+	out := make([]byte, 0, len(p))
+	for i := 0; i < len(p); i++ {
+		ch := p[i]
+		if ch >= 'A' && ch <= 'Z' {
+			ch += 'a' - 'A'
+		}
+		if ch == ' ' {
+			ch = '_'
+		}
+		out = append(out, ch)
+	}
+	return string(out)
+}

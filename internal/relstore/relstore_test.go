@@ -1,0 +1,192 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/landscape"
+	"mdw/internal/staging"
+)
+
+func TestCreateInsertSelect(t *testing.T) {
+	c := New()
+	if err := c.CreateTable("t", Column{"a", "TEXT"}, Column{"b", "INT"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("t"); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if err := c.CreateTable("empty"); err == nil {
+		t.Error("zero-column table should fail")
+	}
+	if err := c.Insert("t", "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("t", "only-one"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := c.Insert("missing", "x"); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	rows, err := c.Select("t", nil)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %v, err = %v", rows, err)
+	}
+	n, err := c.Count("t", func(r []string) bool { return r[0] == "x" })
+	if err != nil || n != 1 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+	if _, err := c.Select("missing", nil); err == nil {
+		t.Error("select from missing table should fail")
+	}
+}
+
+func TestAddColumnRewritesRows(t *testing.T) {
+	c := New()
+	c.CreateTable("t", Column{"a", "TEXT"})
+	c.Insert("t", "1")
+	c.Insert("t", "2")
+	ddlBefore := c.DDLCount
+	if err := c.AddColumn("t", Column{"b", "TEXT"}, "def"); err != nil {
+		t.Fatal(err)
+	}
+	if c.DDLCount != ddlBefore+1 {
+		t.Error("DDL not counted")
+	}
+	if c.RowsRewritten != 2 {
+		t.Errorf("RowsRewritten = %d, want 2", c.RowsRewritten)
+	}
+	rows, _ := c.Select("t", nil)
+	for _, r := range rows {
+		if len(r) != 2 || r[1] != "def" {
+			t.Errorf("row = %v", r)
+		}
+	}
+	if err := c.AddColumn("t", Column{"b", "TEXT"}, ""); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if err := c.AddColumn("missing", Column{"x", "TEXT"}, ""); err == nil {
+		t.Error("missing table should fail")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New()
+	c.CreateTable("t", Column{"a", "TEXT"})
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestTextbookSchema(t *testing.T) {
+	c := NewTextbook()
+	want := []string{"applications", "columns", "databases", "interfaces", "mappings", "relations", "role_assignments", "schemas", "users"}
+	got := c.Tables()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("tables = %v", got)
+	}
+	if c.DDLCount != 0 {
+		t.Errorf("initial schema counted as migration: %d", c.DDLCount)
+	}
+	tbl := c.Table("columns")
+	if tbl == nil || tbl.Col("name") != 2 || tbl.Col("nope") != -1 {
+		t.Error("column index wrong")
+	}
+}
+
+func TestLoadExportsDropsConcepts(t *testing.T) {
+	c := NewTextbook()
+	exports := []*staging.Export{landscape.Figure3Export()}
+	dropped, err := c.LoadExports(exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (the customer concept)", dropped)
+	}
+	// The structural meta-data landed.
+	apps, _ := c.Count("applications", nil)
+	if apps != 2 {
+		t.Errorf("applications = %d, want 2", apps)
+	}
+	cols, _ := c.Count("columns", nil)
+	if cols != 5 {
+		t.Errorf("columns = %d, want 5", cols)
+	}
+	maps, _ := c.Count("mappings", nil)
+	if maps != 3 {
+		t.Errorf("mappings = %d, want 3", maps)
+	}
+}
+
+func TestSearchColumnsIsFlat(t *testing.T) {
+	c := NewTextbook()
+	if _, err := c.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.SearchColumns("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only name matches: customer_id and source_customer_id. No inherited
+	// grouping, no concept hit — the flat-list limitation.
+	if len(rows) != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestLineageBackward(t *testing.T) {
+	c := NewTextbook()
+	if _, err := c.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := c.LineageBackward("application1/dwhdb/mart/v_customer/customer_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 3 {
+		t.Errorf("backward lineage = %v, want 3 ancestors", srcs)
+	}
+}
+
+func TestConceptMigration(t *testing.T) {
+	c := NewTextbook()
+	exports := []*staging.Export{landscape.Figure3Export()}
+	if _, err := c.LoadExports(exports); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadConcepts(exports); err == nil {
+		t.Fatal("loading concepts before migration should fail")
+	}
+	ddl, err := c.MigrateForConcepts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ddl != 2 {
+		t.Errorf("migration DDL = %d, want 2", ddl)
+	}
+	if c.RowsRewritten == 0 {
+		t.Error("migration rewrote no rows despite existing columns")
+	}
+	if err := c.LoadConcepts(exports); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := c.Count("concepts", nil)
+	if n != 1 {
+		t.Errorf("concepts = %d, want 1", n)
+	}
+}
+
+func TestRowCount(t *testing.T) {
+	c := NewTextbook()
+	if c.RowCount() != 0 {
+		t.Error("fresh catalog not empty")
+	}
+	c.Insert("users", "u1", "u1")
+	if c.RowCount() != 1 {
+		t.Errorf("RowCount = %d", c.RowCount())
+	}
+}

@@ -1,0 +1,306 @@
+// Package schemalearn implements the forward-looking idea of the paper's
+// conclusion (Section VII): "Maybe, we will be able to quickly learn the
+// right meta-data schema after only a few years so that it might make
+// sense to move towards more traditional database technology once such a
+// meta-data schema has been defined."
+//
+// The learner inspects the evolved meta-data graph and derives a
+// relational schema from it: one table per sufficiently populated class,
+// one column per sufficiently used property of that class's instances
+// (literal-valued properties become data columns, object-valued ones
+// become reference columns). The result can be rendered as DDL, applied
+// to a relstore.Catalog, and populated by migrating the instances; the
+// coverage report quantifies how much of the graph actually fits — the
+// long tail that does not is the empirical argument for keeping the
+// graph.
+package schemalearn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdw/internal/rdf"
+	"mdw/internal/relstore"
+	"mdw/internal/store"
+)
+
+// Options tune the learner.
+type Options struct {
+	// MinInstances skips classes with fewer direct instances.
+	MinInstances int
+	// MinFill skips properties used by less than this fraction of a
+	// class's instances (0 keeps every property).
+	MinFill float64
+}
+
+// DefaultOptions returns sensible thresholds.
+func DefaultOptions() Options {
+	return Options{MinInstances: 3, MinFill: 0.5}
+}
+
+// ColumnSpec is one learned column.
+type ColumnSpec struct {
+	// Name is the column name (derived from the property's local name).
+	Name string
+	// Predicate is the property IRI the column stores.
+	Predicate string
+	// Ref is true when the property is object-valued (the column stores
+	// the target instance's id).
+	Ref bool
+	// Fill is the fraction of instances carrying the property.
+	Fill float64
+}
+
+// TableSpec is one learned table.
+type TableSpec struct {
+	// Class is the IRI of the class the table captures.
+	Class string
+	// Name is the table name (slugged local class name).
+	Name string
+	// Instances is the number of direct instances observed.
+	Instances int
+	Columns   []ColumnSpec
+}
+
+// Schema is a learned relational schema with its coverage statistics.
+type Schema struct {
+	Tables []TableSpec
+	// Covered is the number of graph triples the schema can represent;
+	// Total is the number of instance-level fact triples examined.
+	Covered, Total int
+}
+
+// Coverage returns the fraction of examined fact triples the learned
+// schema captures.
+func (s *Schema) Coverage() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Covered) / float64(s.Total)
+}
+
+// Learn derives a relational schema from the instances of the source.
+// Classification rule: an instance belongs to the tables of its directly
+// asserted classes (the base facts, not the inferred closure — inherited
+// memberships would duplicate every instance into every ancestor table).
+func Learn(src store.Source, dict *store.Dict, opt Options) *Schema {
+	typeID, ok := dict.Lookup(rdf.Type)
+	if !ok {
+		return &Schema{}
+	}
+
+	// instanceClasses: direct classes per instance; classInsts: reverse.
+	classInsts := map[store.ID][]store.ID{}
+	src.ForEach(store.Wildcard, typeID, store.Wildcard, func(t store.ETriple) bool {
+		cls := dict.Term(t.O)
+		if cls.IsIRI() && strings.HasPrefix(cls.Value, rdf.DMNS) {
+			classInsts[t.O] = append(classInsts[t.O], t.S)
+		}
+		return true
+	})
+
+	schema := &Schema{}
+	type propStat struct {
+		count int
+		ref   bool
+	}
+	for cls, insts := range classInsts {
+		if len(insts) < opt.MinInstances {
+			continue
+		}
+		stats := map[store.ID]*propStat{}
+		for _, inst := range insts {
+			seen := map[store.ID]bool{}
+			src.ForEach(inst, store.Wildcard, store.Wildcard, func(t store.ETriple) bool {
+				if t.P == typeID || seen[t.P] {
+					return true
+				}
+				seen[t.P] = true
+				st, ok := stats[t.P]
+				if !ok {
+					st = &propStat{}
+					stats[t.P] = st
+				}
+				st.count++
+				if !dict.Term(t.O).IsLiteral() {
+					st.ref = true
+				}
+				return true
+			})
+		}
+		table := TableSpec{
+			Class:     dict.Term(cls).Value,
+			Name:      strings.ToLower(rdf.LocalName(dict.Term(cls).Value)),
+			Instances: len(insts),
+		}
+		for pid, st := range stats {
+			fill := float64(st.count) / float64(len(insts))
+			if fill < opt.MinFill {
+				continue
+			}
+			table.Columns = append(table.Columns, ColumnSpec{
+				Name:      strings.ToLower(rdf.LocalName(dict.Term(pid).Value)),
+				Predicate: dict.Term(pid).Value,
+				Ref:       st.ref,
+				Fill:      fill,
+			})
+		}
+		sort.Slice(table.Columns, func(i, j int) bool { return table.Columns[i].Name < table.Columns[j].Name })
+		schema.Tables = append(schema.Tables, table)
+	}
+	sort.Slice(schema.Tables, func(i, j int) bool { return schema.Tables[i].Name < schema.Tables[j].Name })
+
+	schema.measureCoverage(src, dict, typeID)
+	return schema
+}
+
+// measureCoverage counts how many instance fact triples the learned
+// schema can represent.
+func (s *Schema) measureCoverage(src store.Source, dict *store.Dict, typeID store.ID) {
+	// Build lookup: class -> set of predicates covered.
+	covered := map[string]map[string]bool{}
+	for _, t := range s.Tables {
+		preds := map[string]bool{}
+		for _, c := range t.Columns {
+			preds[c.Predicate] = true
+		}
+		covered[t.Class] = preds
+	}
+	// Direct classes per instance.
+	instClasses := map[store.ID][]string{}
+	src.ForEach(store.Wildcard, typeID, store.Wildcard, func(t store.ETriple) bool {
+		instClasses[t.S] = append(instClasses[t.S], dict.Term(t.O).Value)
+		return true
+	})
+	src.ForEach(store.Wildcard, store.Wildcard, store.Wildcard, func(t store.ETriple) bool {
+		if t.P == typeID {
+			return true
+		}
+		classes, isInstance := instClasses[t.S]
+		if !isInstance {
+			return true // schema/hierarchy triples are out of scope
+		}
+		s.Total++
+		pred := dict.Term(t.P).Value
+		for _, cls := range classes {
+			if covered[cls][pred] {
+				s.Covered++
+				break
+			}
+		}
+		return true
+	})
+}
+
+// DDL renders the learned schema as CREATE TABLE statements.
+func (s *Schema) DDL() []string {
+	var out []string
+	for _, t := range s.Tables {
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n  id TEXT PRIMARY KEY", t.Name)
+		for _, c := range t.Columns {
+			typ := "TEXT"
+			if c.Ref {
+				typ = "TEXT REFERENCES *" // target table depends on the instance
+			}
+			fmt.Fprintf(&b, ",\n  %s %s -- fill %.0f%%", c.Name, typ, c.Fill*100)
+		}
+		b.WriteString("\n);")
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// Apply creates the learned tables in a relational catalog. Each table
+// gets an "id" column followed by the learned columns.
+func (s *Schema) Apply(c *relstore.Catalog) error {
+	for _, t := range s.Tables {
+		cols := []relstore.Column{{Name: "id", Type: "TEXT"}}
+		for _, col := range t.Columns {
+			cols = append(cols, relstore.Column{Name: col.Name, Type: "TEXT"})
+		}
+		if err := c.CreateTable(t.Name, cols...); err != nil {
+			return fmt.Errorf("schemalearn: %w", err)
+		}
+	}
+	return nil
+}
+
+// Migrate moves the graph instances into the learned tables of c,
+// returning the number of rows inserted and the number of fact triples
+// that did not fit the schema (the graph's long tail).
+func Migrate(src store.Source, dict *store.Dict, s *Schema, c *relstore.Catalog) (rows, uncovered int, err error) {
+	typeID, ok := dict.Lookup(rdf.Type)
+	if !ok {
+		return 0, 0, nil
+	}
+	tableByClass := map[string]*TableSpec{}
+	for i := range s.Tables {
+		tableByClass[s.Tables[i].Class] = &s.Tables[i]
+	}
+	predIDs := map[*TableSpec][]store.ID{}
+	for _, t := range tableByClass {
+		for _, col := range t.Columns {
+			if id, ok := dict.Lookup(rdf.IRI(col.Predicate)); ok {
+				predIDs[t] = append(predIDs[t], id)
+			} else {
+				predIDs[t] = append(predIDs[t], store.Wildcard)
+			}
+		}
+	}
+
+	migratedPred := map[store.ID]map[store.ID]bool{} // instance -> covered preds
+	src.ForEach(store.Wildcard, typeID, store.Wildcard, func(t store.ETriple) bool {
+		spec, ok := tableByClass[dict.Term(t.O).Value]
+		if !ok {
+			return true
+		}
+		values := []string{rdf.LocalName(dict.Term(t.S).Value)}
+		covered := migratedPred[t.S]
+		if covered == nil {
+			covered = map[store.ID]bool{}
+			migratedPred[t.S] = covered
+		}
+		for i := range spec.Columns {
+			pid := predIDs[spec][i]
+			val := ""
+			if pid != store.Wildcard {
+				for _, o := range src.Objects(t.S, pid) {
+					val = dict.Term(o).Value
+					break
+				}
+				covered[pid] = true
+			}
+			values = append(values, val)
+		}
+		if insErr := c.Insert(spec.Name, values...); insErr != nil {
+			err = insErr
+			return false
+		}
+		rows++
+		return true
+	})
+	if err != nil {
+		return rows, 0, err
+	}
+	// Count the fact triples that found no column: triples of instances
+	// that were never migrated count entirely, and triples of migrated
+	// instances count when their predicate has no column.
+	instances := map[store.ID]bool{}
+	src.ForEach(store.Wildcard, typeID, store.Wildcard, func(t store.ETriple) bool {
+		instances[t.S] = true
+		return true
+	})
+	src.ForEach(store.Wildcard, store.Wildcard, store.Wildcard, func(t store.ETriple) bool {
+		if t.P == typeID || !instances[t.S] {
+			return true
+		}
+		covered, migrated := migratedPred[t.S]
+		if !migrated || !covered[t.P] {
+			uncovered++
+		}
+		return true
+	})
+	return rows, uncovered, nil
+}

@@ -1,0 +1,191 @@
+package schemalearn
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/landscape"
+	"mdw/internal/ontology"
+	"mdw/internal/relstore"
+	"mdw/internal/staging"
+	"mdw/internal/store"
+)
+
+func smallGraph(t *testing.T) (*store.Store, store.Source) {
+	t.Helper()
+	l := landscape.Generate(landscape.Small())
+	st := store.New()
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, l.Ontology.Triples()); err != nil {
+		t.Fatal(err)
+	}
+	return st, st.ViewOf("m")
+}
+
+func findTable(s *Schema, name string) *TableSpec {
+	for i := range s.Tables {
+		if s.Tables[i].Name == name {
+			return &s.Tables[i]
+		}
+	}
+	return nil
+}
+
+func TestLearnBasicShape(t *testing.T) {
+	st, src := smallGraph(t)
+	s := Learn(src, st.Dict(), DefaultOptions())
+	if len(s.Tables) == 0 {
+		t.Fatal("no tables learned")
+	}
+	app := findTable(s, "application")
+	if app == nil {
+		t.Fatalf("no application table; have %v", tableNames(s))
+	}
+	if app.Instances < 4 {
+		t.Errorf("application instances = %d", app.Instances)
+	}
+	// Applications all carry hasName.
+	var nameCol *ColumnSpec
+	for i := range app.Columns {
+		if app.Columns[i].Name == "hasname" {
+			nameCol = &app.Columns[i]
+		}
+	}
+	if nameCol == nil {
+		t.Fatalf("no hasname column: %+v", app.Columns)
+	}
+	if nameCol.Fill < 0.99 || nameCol.Ref {
+		t.Errorf("hasname = %+v", nameCol)
+	}
+	// usesDatabase is object-valued.
+	for _, c := range app.Columns {
+		if c.Name == "usesdatabase" && !c.Ref {
+			t.Error("usesdatabase should be a reference column")
+		}
+	}
+}
+
+func tableNames(s *Schema) []string {
+	var out []string
+	for _, t := range s.Tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+func TestThresholds(t *testing.T) {
+	st, src := smallGraph(t)
+	strict := Learn(src, st.Dict(), Options{MinInstances: 1000, MinFill: 0.5})
+	if len(strict.Tables) != 0 {
+		t.Errorf("threshold ignored: %v", tableNames(strict))
+	}
+	loose := Learn(src, st.Dict(), Options{MinInstances: 1, MinFill: 0})
+	tight := Learn(src, st.Dict(), DefaultOptions())
+	if len(loose.Tables) < len(tight.Tables) {
+		t.Error("looser thresholds learned fewer tables")
+	}
+	if loose.Coverage() < tight.Coverage() {
+		t.Errorf("loose coverage %.2f < tight %.2f", loose.Coverage(), tight.Coverage())
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	st, src := smallGraph(t)
+	s := Learn(src, st.Dict(), DefaultOptions())
+	cov := s.Coverage()
+	if cov <= 0 || cov > 1 {
+		t.Fatalf("coverage = %f", cov)
+	}
+	if s.Covered > s.Total {
+		t.Fatalf("covered %d > total %d", s.Covered, s.Total)
+	}
+}
+
+func TestDDLRendering(t *testing.T) {
+	st, src := smallGraph(t)
+	s := Learn(src, st.Dict(), DefaultOptions())
+	ddl := s.DDL()
+	if len(ddl) != len(s.Tables) {
+		t.Fatalf("ddl count = %d", len(ddl))
+	}
+	joined := strings.Join(ddl, "\n")
+	if !strings.Contains(joined, "CREATE TABLE application (") ||
+		!strings.Contains(joined, "id TEXT PRIMARY KEY") {
+		t.Errorf("ddl:\n%s", joined)
+	}
+}
+
+func TestApplyAndMigrate(t *testing.T) {
+	st, src := smallGraph(t)
+	s := Learn(src, st.Dict(), DefaultOptions())
+	c := relstore.New()
+	if err := s.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables()) != len(s.Tables) {
+		t.Fatalf("tables = %v", c.Tables())
+	}
+	rows, uncovered, err := Migrate(src, st.Dict(), s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == 0 {
+		t.Fatal("nothing migrated")
+	}
+	if uncovered == 0 {
+		t.Error("expected a long tail of uncovered triples (the graph argument)")
+	}
+	// The application table carries the app names.
+	apps, err := c.Select("application", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) < 4 {
+		t.Errorf("application rows = %d", len(apps))
+	}
+	// Row count matches the migrated total.
+	if c.RowCount() != rows {
+		t.Errorf("RowCount %d != rows %d", c.RowCount(), rows)
+	}
+}
+
+func TestApplyConflict(t *testing.T) {
+	st, src := smallGraph(t)
+	s := Learn(src, st.Dict(), DefaultOptions())
+	c := relstore.New()
+	if err := s.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(c); err == nil {
+		t.Error("double apply should fail")
+	}
+}
+
+func TestLearnEmptyGraph(t *testing.T) {
+	st := store.New()
+	st.Model("m")
+	s := Learn(st.ViewOf("m"), st.Dict(), DefaultOptions())
+	if len(s.Tables) != 0 || s.Coverage() != 0 {
+		t.Errorf("schema from empty graph: %+v", s)
+	}
+}
+
+func TestLearnFigure3(t *testing.T) {
+	st := store.New()
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(
+		[]*staging.Export{landscape.Figure3Export()}, ontology.DWH().Triples()); err != nil {
+		t.Fatal(err)
+	}
+	s := Learn(st.ViewOf("m"), st.Dict(), Options{MinInstances: 1, MinFill: 0.5})
+	// The mapping class must be learned with its from/to references.
+	m := findTable(s, "mapping")
+	if m == nil {
+		t.Fatalf("no mapping table: %v", tableNames(s))
+	}
+	names := map[string]bool{}
+	for _, c := range m.Columns {
+		names[c.Name] = true
+	}
+	if !names["mapsfrom"] || !names["mapsto"] {
+		t.Errorf("mapping columns = %v", names)
+	}
+}

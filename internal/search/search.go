@@ -1,0 +1,365 @@
+// Package search implements the search facility of Section IV.A: the
+// generic entry point through which business and IT users find meta-data
+// items without knowing the warehouse's terminology.
+//
+// The algorithm follows the paper's three steps:
+//
+//  1. find the hierarchy classes relevant for the search (the user's
+//     filter classes and everything below them);
+//  2. intersect them to the valid meta-data schema result classes, which
+//     also group the results (Figure 6);
+//  3. find the instances of those classes — via rdf:type over the
+//     OWLPRIME index, so class membership inherited through the
+//     hierarchy counts — whose name matches the search term, exactly as
+//     Listing 1 does with regexp_like(term, 'customer', 'i').
+//
+// The semantic extension of Section V is included: with a thesaurus the
+// term is expanded by its DBpedia-derived synonyms before matching.
+package search
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"mdw/internal/dbpedia"
+	"mdw/internal/rdf"
+	"mdw/internal/reason"
+	"mdw/internal/store"
+)
+
+// Service answers meta-data searches over one model of a store.
+type Service struct {
+	st        *store.Store
+	model     string
+	thesaurus *dbpedia.Thesaurus
+}
+
+// New returns a search service for the named model. The thesaurus is
+// optional; without it Semantic searches fall back to plain matching.
+func New(st *store.Store, model string, th *dbpedia.Thesaurus) *Service {
+	return &Service{st: st, model: model, thesaurus: th}
+}
+
+// Options refine a search, mirroring the filters of the Figure 6
+// frontend.
+type Options struct {
+	// FilterClasses restricts results to instances belonging to ALL of
+	// the given classes (IRIs) — the intersection semantics the paper
+	// describes for multiple inheritance.
+	FilterClasses []string
+	// Area restricts results to items contained (via dm:partOf) in a
+	// container named Area — e.g. "inbound", "integration", "mart", the
+	// stages of the data integration pipeline.
+	Area string
+	// Layer restricts results to items whose schema is on the given
+	// abstraction level ("conceptual" or "physical").
+	Layer string
+	// Semantic expands the term with DBpedia synonyms (Section V).
+	Semantic bool
+	// MatchDescriptions also matches rdfs:comment texts, keeping
+	// cryptic legacy names like "TCD100" findable.
+	MatchDescriptions bool
+	// Tag restricts results to items carrying the given governance tag
+	// (the instance-to-value tag facts of Section III.B, e.g. "pii").
+	Tag string
+	// MaxHitsPerGroup caps the instances listed per class group
+	// (0 = unlimited). Counts are always exact.
+	MaxHitsPerGroup int
+}
+
+// Hit is one matching instance.
+type Hit struct {
+	IRI  rdf.Term
+	Name string
+	// Matched is the expanded term that matched (equals the search term
+	// unless synonym expansion kicked in).
+	Matched string
+}
+
+// Group is one class bucket of the Figure 6 result list.
+type Group struct {
+	Class rdf.Term
+	Label string
+	Count int
+	Hits  []Hit
+}
+
+// Result is a full search outcome.
+type Result struct {
+	Term string
+	// Expanded lists the matched terms (the search term plus synonyms
+	// when Semantic was requested).
+	Expanded []string
+	// Homonyms lists alternative meanings of the term from the DBpedia
+	// disambiguation links — a "did you mean" hint the frontend shows so
+	// users can disentangle ambiguous terms like "interest".
+	Homonyms []string
+	// Groups are the class buckets, sorted by label — the shape of the
+	// Figure 6 screenshot.
+	Groups []Group
+	// Instances is the number of distinct matching instances.
+	Instances int
+}
+
+// Search runs the three-step algorithm for term.
+func (s *Service) Search(term string, opt Options) (*Result, error) {
+	if strings.TrimSpace(term) == "" {
+		return nil, fmt.Errorf("search: empty term")
+	}
+	view, err := s.indexedView()
+	if err != nil {
+		return nil, err
+	}
+	dict := s.st.Dict()
+
+	// Term expansion (semantic search) and homonym hints.
+	expanded := []string{strings.ToLower(term)}
+	var homonyms []string
+	if s.thesaurus != nil {
+		homonyms = s.thesaurus.Homonyms(term)
+		if opt.Semantic {
+			expanded = s.thesaurus.Expand(term)
+		}
+	}
+	regexes := make([]*regexp.Regexp, len(expanded))
+	for i, t := range expanded {
+		re, err := regexp.Compile("(?i)" + regexp.QuoteMeta(t))
+		if err != nil {
+			return nil, fmt.Errorf("search: term %q: %w", t, err)
+		}
+		regexes[i] = re
+	}
+
+	// Steps 1+2: resolve the filter classes. Because instance membership
+	// in superclasses is materialized in the index, requiring
+	// (x rdf:type C) for every filter class IS the hierarchy-intersection
+	// of Figure 5.
+	var filterIDs []store.ID
+	for _, c := range opt.FilterClasses {
+		id, ok := dict.Lookup(rdf.IRI(c))
+		if !ok {
+			// Unknown class: nothing can match.
+			return &Result{Term: term, Expanded: expanded, Homonyms: homonyms}, nil
+		}
+		filterIDs = append(filterIDs, id)
+	}
+
+	typeID, _ := dict.Lookup(rdf.Type)
+	nameID, _ := dict.Lookup(rdf.HasName)
+	commentID, _ := dict.Lookup(rdf.IRI(rdf.RDFSComment))
+
+	// Step 3: scan named instances and match.
+	matched := map[store.ID]Hit{}
+	scan := func(predID store.ID) {
+		if predID == store.Wildcard {
+			return
+		}
+		view.ForEach(store.Wildcard, predID, store.Wildcard, func(t store.ETriple) bool {
+			if _, done := matched[t.S]; done {
+				return true
+			}
+			text := dict.Term(t.O).Value
+			for i, re := range regexes {
+				if !re.MatchString(text) {
+					continue
+				}
+				if !s.passesFilters(view, dict, t.S, filterIDs, typeID, opt) {
+					break
+				}
+				name := text
+				if predID != nameID {
+					name = s.nameOf(view, dict, t.S, nameID)
+				}
+				matched[t.S] = Hit{IRI: dict.Term(t.S), Name: name, Matched: expanded[i]}
+				break
+			}
+			return true
+		})
+	}
+	scan(nameID)
+	if opt.MatchDescriptions {
+		scan(commentID)
+	}
+
+	// Group by every class the instance belongs to (via the index, so an
+	// Application1_View_Column hit also appears under Attribute, Column,
+	// etc. — exactly the multi-group behaviour of Figure 6).
+	labelID, _ := dict.Lookup(rdf.Label)
+	groups := map[store.ID]*Group{}
+	for id, hit := range matched {
+		for _, cls := range view.Objects(id, typeID) {
+			clsTerm := dict.Term(cls)
+			if !strings.HasPrefix(clsTerm.Value, rdf.DMNS) {
+				continue // skip owl:Class and friends
+			}
+			g, ok := groups[cls]
+			if !ok {
+				g = &Group{Class: clsTerm, Label: s.labelOf(view, dict, cls, labelID)}
+				groups[cls] = g
+			}
+			g.Count++
+			if opt.MaxHitsPerGroup == 0 || len(g.Hits) < opt.MaxHitsPerGroup {
+				g.Hits = append(g.Hits, hit)
+			}
+		}
+	}
+
+	res := &Result{Term: term, Expanded: expanded, Homonyms: homonyms, Instances: len(matched)}
+	for _, g := range groups {
+		sort.Slice(g.Hits, func(i, j int) bool { return g.Hits[i].Name < g.Hits[j].Name })
+		res.Groups = append(res.Groups, *g)
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Label < res.Groups[j].Label })
+	return res, nil
+}
+
+// passesFilters applies the class-intersection, area, and layer filters.
+func (s *Service) passesFilters(view *store.View, dict *store.Dict, inst store.ID,
+	filterIDs []store.ID, typeID store.ID, opt Options) bool {
+	for _, cls := range filterIDs {
+		if !view.Contains(store.ETriple{S: inst, P: typeID, O: cls}) {
+			return false
+		}
+	}
+	if opt.Area != "" && !s.hasAncestorNamed(view, dict, inst, opt.Area) {
+		return false
+	}
+	if opt.Layer != "" && !s.onLayer(view, dict, inst, opt.Layer) {
+		return false
+	}
+	if opt.Tag != "" && !s.hasTag(view, dict, inst, opt.Tag) {
+		return false
+	}
+	return true
+}
+
+// hasTag reports whether the instance carries the governance tag.
+func (s *Service) hasTag(view *store.View, dict *store.Dict, inst store.ID, tag string) bool {
+	tagID, ok := dict.Lookup(rdf.IRI(rdf.MDWTaggedWith))
+	if !ok {
+		return false
+	}
+	want := strings.ToLower(tag)
+	for _, v := range view.Objects(inst, tagID) {
+		if strings.ToLower(dict.Term(v).Value) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// hasAncestorNamed walks the dm:partOf containment (materialized
+// transitively by the index) looking for a container named name.
+func (s *Service) hasAncestorNamed(view *store.View, dict *store.Dict, inst store.ID, name string) bool {
+	partOfID, ok := dict.Lookup(rdf.IRI(rdf.MDWPartOf))
+	if !ok {
+		return false
+	}
+	nameID, ok := dict.Lookup(rdf.HasName)
+	if !ok {
+		return false
+	}
+	want := strings.ToLower(name)
+	check := func(node store.ID) bool {
+		for _, v := range view.Objects(node, nameID) {
+			if strings.ToLower(dict.Term(v).Value) == want {
+				return true
+			}
+		}
+		return false
+	}
+	if check(inst) {
+		return true
+	}
+	for _, anc := range view.Objects(inst, partOfID) {
+		if check(anc) {
+			return true
+		}
+	}
+	return false
+}
+
+// onLayer reports whether inst sits under a container with
+// dm:inLayer = layer.
+func (s *Service) onLayer(view *store.View, dict *store.Dict, inst store.ID, layer string) bool {
+	partOfID, ok := dict.Lookup(rdf.IRI(rdf.MDWPartOf))
+	if !ok {
+		return false
+	}
+	layerID, ok := dict.Lookup(rdf.IRI(rdf.MDWInLayer))
+	if !ok {
+		return false
+	}
+	want := strings.ToLower(layer)
+	check := func(node store.ID) bool {
+		for _, v := range view.Objects(node, layerID) {
+			if strings.ToLower(dict.Term(v).Value) == want {
+				return true
+			}
+		}
+		return false
+	}
+	if check(inst) {
+		return true
+	}
+	for _, anc := range view.Objects(inst, partOfID) {
+		if check(anc) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Service) nameOf(view *store.View, dict *store.Dict, inst store.ID, nameID store.ID) string {
+	if nameID != store.Wildcard {
+		for _, v := range view.Objects(inst, nameID) {
+			return dict.Term(v).Value
+		}
+	}
+	return rdf.LocalName(dict.Term(inst).Value)
+}
+
+func (s *Service) labelOf(view *store.View, dict *store.Dict, cls store.ID, labelID store.ID) string {
+	if labelID != store.Wildcard {
+		for _, v := range view.Objects(cls, labelID) {
+			return dict.Term(v).Value
+		}
+	}
+	return rdf.LocalName(dict.Term(cls).Value)
+}
+
+// indexedView returns base ∪ OWLPRIME index, materializing the index on
+// first use.
+func (s *Service) indexedView() (*store.View, error) {
+	idx := reason.IndexModelName(s.model, reason.RulebaseOWLPrime)
+	if !s.st.HasModel(idx) {
+		if !s.st.HasModel(s.model) {
+			return nil, fmt.Errorf("search: no such model %q", s.model)
+		}
+		if _, _, err := reason.NewEngine(s.st).Materialize(s.model); err != nil {
+			return nil, err
+		}
+	}
+	return s.st.ViewOf(s.model, idx), nil
+}
+
+// FormatResult renders the result like the Figure 6 frontend: the class
+// list with per-class counts.
+func FormatResult(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Search Results for %q", r.Term)
+	if len(r.Expanded) > 1 {
+		fmt.Fprintf(&b, " (expanded: %s)", strings.Join(r.Expanded, ", "))
+	}
+	b.WriteByte('\n')
+	if len(r.Homonyms) > 0 {
+		fmt.Fprintf(&b, "  note: %q is ambiguous — other meanings: %s\n", r.Term, strings.Join(r.Homonyms, ", "))
+	}
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "  %-28s (%d)\n", g.Label, g.Count)
+	}
+	fmt.Fprintf(&b, "  %d matching instances\n", r.Instances)
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdw/internal/rdf"
+)
+
+// Explain renders the evaluation plan of the query as indented text: the
+// group structure, the greedy join order chosen for each basic graph
+// pattern, and the filters applied at each group boundary. It mirrors
+// exactly what the evaluator does, so it is the first tool to reach for
+// when a query is slow or returns nothing.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	switch q.Kind {
+	case AskQuery:
+		b.WriteString("ASK\n")
+	case ConstructQuery:
+		fmt.Fprintf(&b, "CONSTRUCT (%d template triples)\n", len(q.Template))
+	default:
+		b.WriteString("SELECT")
+		if q.Distinct {
+			b.WriteString(" DISTINCT")
+		}
+		if len(q.Select) == 0 {
+			b.WriteString(" *")
+		}
+		for _, it := range q.Select {
+			if it.Agg != nil {
+				fmt.Fprintf(&b, " (%s(...) AS ?%s)", it.Agg.Func, it.Agg.As)
+			} else {
+				fmt.Fprintf(&b, " ?%s", it.Var)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	explainGroup(&b, q.Where, 1)
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, "GROUP BY ?%s\n", strings.Join(q.GroupBy, " ?"))
+	}
+	for _, oc := range q.OrderBy {
+		dir := "ASC"
+		if oc.Desc {
+			dir = "DESC"
+		}
+		fmt.Fprintf(&b, "ORDER BY %s(?%s)\n", dir, oc.Var)
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, "LIMIT %d\n", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, "OFFSET %d\n", q.Offset)
+	}
+	return b.String()
+}
+
+func explainGroup(b *strings.Builder, g *GroupPattern, depth int) {
+	pad := strings.Repeat("  ", depth)
+	i := 0
+	for i < len(g.Elements) {
+		switch el := g.Elements[i].(type) {
+		case *TriplePattern:
+			// Reproduce the evaluator's BGP blocking and join order.
+			var block []*TriplePattern
+			for i < len(g.Elements) {
+				tp, ok := g.Elements[i].(*TriplePattern)
+				if !ok {
+					break
+				}
+				block = append(block, tp)
+				i++
+			}
+			ordered := make([]*TriplePattern, len(block))
+			copy(ordered, block)
+			sort.SliceStable(ordered, func(x, y int) bool {
+				return patternScore(ordered[x]) > patternScore(ordered[y])
+			})
+			fmt.Fprintf(b, "%sBGP (%d patterns, join order):\n", pad, len(ordered))
+			for n, tp := range ordered {
+				fmt.Fprintf(b, "%s  %d. %s %s %s  [score %d]\n", pad, n+1,
+					explainNode(tp.S), explainPath(tp.P), explainNode(tp.O), patternScore(tp))
+			}
+			continue
+		case *Filter:
+			fmt.Fprintf(b, "%sFILTER (applied at group end)\n", pad)
+		case *ExistsFilter:
+			neg := ""
+			if el.Negated {
+				neg = "NOT "
+			}
+			fmt.Fprintf(b, "%sFILTER %sEXISTS (per-solution subquery):\n", pad, neg)
+			explainGroup(b, el.Pattern, depth+1)
+		case *Optional:
+			fmt.Fprintf(b, "%sOPTIONAL (left join):\n", pad)
+			explainGroup(b, el.Pattern, depth+1)
+		case *Union:
+			fmt.Fprintf(b, "%sUNION left:\n", pad)
+			explainGroup(b, el.Left, depth+1)
+			fmt.Fprintf(b, "%sUNION right:\n", pad)
+			explainGroup(b, el.Right, depth+1)
+		case *GroupPattern:
+			fmt.Fprintf(b, "%sGROUP:\n", pad)
+			explainGroup(b, el, depth+1)
+		}
+		i++
+	}
+}
+
+func explainNode(n NodePattern) string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	if n.Term.IsIRI() {
+		return rdf.QName(n.Term.Value)
+	}
+	return n.Term.String()
+}
+
+func explainPath(p Path) string {
+	switch pp := p.(type) {
+	case PathIRI:
+		return rdf.QName(pp.IRI)
+	case PathVar:
+		return "?" + pp.Name
+	case PathInverse:
+		return "^" + explainPath(pp.P)
+	case PathSeq:
+		parts := make([]string, len(pp.Parts))
+		for i, part := range pp.Parts {
+			parts[i] = explainPath(part)
+		}
+		return strings.Join(parts, "/")
+	case PathAlt:
+		parts := make([]string, len(pp.Parts))
+		for i, part := range pp.Parts {
+			parts[i] = explainPath(part)
+		}
+		return "(" + strings.Join(parts, "|") + ")"
+	case PathRepeat:
+		switch {
+		case pp.Min == 0 && pp.Max == -1:
+			return explainPath(pp.P) + "*"
+		case pp.Min == 1 && pp.Max == -1:
+			return explainPath(pp.P) + "+"
+		case pp.Min == 0 && pp.Max == 1:
+			return explainPath(pp.P) + "?"
+		default:
+			return fmt.Sprintf("%s{%d,%d}", explainPath(pp.P), pp.Min, pp.Max)
+		}
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,82 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+)
+
+func TestExplainJoinOrder(t *testing.T) {
+	q := MustParse(`PREFIX dm: <` + rdf.DMNS + `> PREFIX dt: <` + rdf.DTNS + `> PREFIX inst: <` + rdf.InstNS + `>
+		SELECT ?name WHERE {
+			?x dt:isMappedTo* ?y .
+			?y dm:hasName ?name .
+			inst:customer_id dm:hasName ?cn .
+		}`)
+	out := q.Explain()
+	// The constant-subject pattern must be ordered first, the closure
+	// path last.
+	first := strings.Index(out, "inst:customer_id")
+	path := strings.Index(out, "dt:isMappedTo*")
+	middle := strings.Index(out, "?y dm:hasName ?name")
+	if first < 0 || path < 0 || middle < 0 {
+		t.Fatalf("explain output incomplete:\n%s", out)
+	}
+	if !(first < middle && middle < path) {
+		t.Errorf("join order wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "BGP (3 patterns, join order):") {
+		t.Errorf("missing BGP header:\n%s", out)
+	}
+}
+
+func TestExplainStructures(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT ?x (COUNT(?y) AS ?n) WHERE {
+		{ ?x <http://t/a> ?y } UNION { ?x <http://t/b> ?y }
+		OPTIONAL { ?x <http://t/c> ?z }
+		FILTER (?x != ?y)
+		FILTER NOT EXISTS { ?x <http://t/d> ?w }
+	} GROUP BY ?x ORDER BY DESC(?n) LIMIT 5 OFFSET 2`)
+	out := q.Explain()
+	for _, want := range []string{
+		"SELECT DISTINCT ?x (COUNT(...) AS ?n)",
+		"UNION left:", "UNION right:",
+		"OPTIONAL (left join):",
+		"FILTER (applied at group end)",
+		"FILTER NOT EXISTS (per-solution subquery):",
+		"GROUP BY ?x",
+		"ORDER BY DESC(?n)",
+		"LIMIT 5",
+		"OFFSET 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainAskAndConstruct(t *testing.T) {
+	ask := MustParse(`ASK { ?s ?p ?o }`)
+	if !strings.Contains(ask.Explain(), "ASK") {
+		t.Error("ASK header missing")
+	}
+	con := MustParse(`CONSTRUCT { ?s <http://t/p> ?o } WHERE { ?s ?p ?o }`)
+	if !strings.Contains(con.Explain(), "CONSTRUCT (1 template triples)") {
+		t.Errorf("CONSTRUCT header missing:\n%s", con.Explain())
+	}
+}
+
+func TestExplainPathSyntax(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE {
+		?x (^<http://t/a>/<http://t/b>|<http://t/c>+) ?y .
+		?y <http://t/d>? ?z .
+	}`)
+	out := q.Explain()
+	if !strings.Contains(out, "(^<http://t/a>/<http://t/b>|<http://t/c>+)") {
+		t.Errorf("composite path rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "<http://t/d>?") {
+		t.Errorf("optional path rendering wrong:\n%s", out)
+	}
+}

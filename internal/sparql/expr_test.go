@@ -1,0 +1,185 @@
+package sparql
+
+import (
+	"testing"
+
+	"mdw/internal/rdf"
+)
+
+// evalExpr parses and evaluates a standalone filter expression against a
+// binding.
+func evalExpr(t *testing.T, expr string, b Binding) (Value, error) {
+	t.Helper()
+	toks, err := lex(expr)
+	if err != nil {
+		t.Fatalf("lex %q: %v", expr, err)
+	}
+	p := &qparser{toks: toks, prefixes: map[string]string{}}
+	e, err := p.filterExpr()
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return e.Eval(b)
+}
+
+func truth(t *testing.T, expr string, b Binding) bool {
+	t.Helper()
+	v, err := evalExpr(t, expr, b)
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	out, err := v.Truth()
+	if err != nil {
+		t.Fatalf("truth %q: %v", expr, err)
+	}
+	return out
+}
+
+func TestTruthConversions(t *testing.T) {
+	cases := []struct {
+		term rdf.Term
+		want bool
+	}{
+		{rdf.TypedLiteral("true", rdf.XSDBoolean), true},
+		{rdf.TypedLiteral("false", rdf.XSDBoolean), false},
+		{rdf.TypedLiteral("1", rdf.XSDBoolean), true},
+		{rdf.Integer(0), false},
+		{rdf.Integer(7), true},
+		{rdf.TypedLiteral("0.0", rdf.XSDDouble), false},
+		{rdf.TypedLiteral("2.5", rdf.XSDDecimal), true},
+		{rdf.Literal(""), false},
+		{rdf.Literal("x"), true},
+	}
+	for _, tc := range cases {
+		got, err := Value{Term: tc.term}.Truth()
+		if err != nil {
+			t.Errorf("Truth(%v): %v", tc.term, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Truth(%v) = %v, want %v", tc.term, got, tc.want)
+		}
+	}
+	// No EBV for IRIs, non-numeric typed literals.
+	if _, err := (Value{Term: rdf.IRI("http://x")}).Truth(); err == nil {
+		t.Error("IRI should have no EBV")
+	}
+	if _, err := (Value{Term: rdf.TypedLiteral("zzz", rdf.XSDInteger)}).Truth(); err == nil {
+		t.Error("malformed number should error")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	b := Binding{"x": rdf.Integer(1)}
+	// An error on one side of || is absorbed when the other side is true.
+	if !truth(t, "?x = 1 || ?unbound = 2", b) {
+		t.Error("true || error should be true")
+	}
+	if !truth(t, "?unbound = 2 || ?x = 1", b) {
+		t.Error("error || true should be true")
+	}
+	// An error on one side of && is absorbed when the other side is false.
+	if truth(t, "?x = 2 && ?unbound = 1", b) {
+		t.Error("false && error should be false")
+	}
+	if truth(t, "?unbound = 1 && ?x = 2", b) {
+		t.Error("error && false should be false")
+	}
+	// error && true stays an error.
+	if _, err := evalExpr(t, "?unbound = 1 && ?x = 1", b); err == nil {
+		t.Error("error && true should propagate the error")
+	}
+	if _, err := evalExpr(t, "?unbound = 1 || ?x = 2", b); err == nil {
+		t.Error("error || false should propagate the error")
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	b := Binding{
+		"i": rdf.Integer(10),
+		"j": rdf.Integer(3),
+		"s": rdf.Literal("abc"),
+		"t": rdf.Literal("abd"),
+		"u": rdf.IRI("http://t/a"),
+		"v": rdf.IRI("http://t/a"),
+	}
+	checks := map[string]bool{
+		"?i > ?j":   true,
+		"?i >= ?j":  true,
+		"?i < ?j":   false,
+		"?i <= ?j":  false,
+		"?i != ?j":  true,
+		"?i = 10":   true,
+		"?s < ?t":   true,
+		"?s != ?t":  true,
+		"?u = ?v":   true,
+		"!(?i > 5)": false,
+		"TRUE":      true,
+		"FALSE":     false,
+	}
+	for expr, want := range checks {
+		if got := truth(t, expr, b); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+	// Mixed-kind comparison with ordering operators errors.
+	if _, err := evalExpr(t, "?s < ?u", b); err == nil {
+		t.Error("ordering literal vs IRI should error")
+	}
+	// Equality across kinds falls back to term identity.
+	if truth(t, "?s = ?u", b) {
+		t.Error("literal should not equal IRI")
+	}
+	if !truth(t, "?s != ?u", b) {
+		t.Error("literal != IRI should hold")
+	}
+}
+
+func TestBooleanComparison(t *testing.T) {
+	b := Binding{"x": rdf.Integer(1)}
+	if !truth(t, "BOUND(?x) = TRUE", b) {
+		t.Error("BOUND comparison failed")
+	}
+	if truth(t, "BOUND(?y) = TRUE", b) {
+		t.Error("unbound should compare false")
+	}
+	if _, err := evalExpr(t, "BOUND(?x) > TRUE", b); err == nil {
+		t.Error("ordering booleans should error")
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	b := Binding{"n": rdf.Literal("Customer_ID")}
+	checks := map[string]bool{
+		`LCASE(?n) = "customer_id"`:      true,
+		`UCASE(?n) = "CUSTOMER_ID"`:      true,
+		`STR(?n) = "Customer_ID"`:        true,
+		`CONTAINS(?n, "tomer")`:          true,
+		`STRSTARTS(?n, "Cust")`:          true,
+		`STRENDS(?n, "_ID")`:             true,
+		`STRENDS(LCASE(?n), "_id")`:      true,
+		`CONTAINS(UCASE(?n), "missing")`: false,
+	}
+	for expr, want := range checks {
+		if got := truth(t, expr, b); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestRegexFlags(t *testing.T) {
+	b := Binding{"n": rdf.Literal("Customer")}
+	if !truth(t, `regex(?n, "^cust", "i")`, b) {
+		t.Error("case-insensitive flag ignored")
+	}
+	if truth(t, `regex(?n, "^cust")`, b) {
+		t.Error("case-sensitive regex matched wrongly")
+	}
+}
+
+func TestLangTagLiteralInExpr(t *testing.T) {
+	b := Binding{"n": rdf.LangLiteral("Kunde", "de")}
+	if !truth(t, `STR(?n) = "Kunde"`, b) {
+		t.Error("lang literal STR failed")
+	}
+}

@@ -1,0 +1,288 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"mdw/internal/rdf"
+)
+
+type tokKind int
+
+const (
+	tkEOF     tokKind = iota
+	tkKeyword         // SELECT, WHERE, FILTER, ... (uppercased)
+	tkVar             // ?x or $x (text holds the bare name)
+	tkIRI             // <...> (text holds the IRI)
+	tkPName           // prefix:local or prefix: (text verbatim)
+	tkLiteral         // "..." (text holds the unescaped lexical form)
+	tkInteger         // 123
+	tkLBrace
+	tkRBrace
+	tkLParen
+	tkRParen
+	tkDot
+	tkSemi
+	tkComma
+	tkStar
+	tkPlus
+	tkQuestion
+	tkSlash
+	tkPipe
+	tkCaret
+	tkBang
+	tkEq
+	tkNeq
+	tkLt
+	tkGt
+	tkLe
+	tkGe
+	tkAnd // &&
+	tkOr  // ||
+	tkA   // the keyword 'a'
+	tkLangTag
+	tkDTSep // ^^
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "WHERE": true, "FILTER": true,
+	"OPTIONAL": true, "UNION": true, "PREFIX": true, "DISTINCT": true,
+	"GROUP": true, "BY": true, "ORDER": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "OFFSET": true, "AS": true,
+	"COUNT": true, "REGEX": true, "BOUND": true, "STR": true,
+	"LCASE": true, "UCASE": true, "CONTAINS": true, "STRSTARTS": true,
+	"STRENDS": true, "TRUE": true, "FALSE": true,
+	"EXISTS": true, "NOT": true, "CONSTRUCT": true,
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		start := l.pos
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '{':
+			l.emit(tkLBrace, "{", start)
+			l.pos++
+		case c == '}':
+			l.emit(tkRBrace, "}", start)
+			l.pos++
+		case c == '(':
+			l.emit(tkLParen, "(", start)
+			l.pos++
+		case c == ')':
+			l.emit(tkRParen, ")", start)
+			l.pos++
+		case c == '.':
+			l.emit(tkDot, ".", start)
+			l.pos++
+		case c == ';':
+			l.emit(tkSemi, ";", start)
+			l.pos++
+		case c == ',':
+			l.emit(tkComma, ",", start)
+			l.pos++
+		case c == '*':
+			l.emit(tkStar, "*", start)
+			l.pos++
+		case c == '+':
+			l.emit(tkPlus, "+", start)
+			l.pos++
+		case c == '/':
+			l.emit(tkSlash, "/", start)
+			l.pos++
+		case c == '^':
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '^' {
+				l.emit(tkDTSep, "^^", start)
+				l.pos += 2
+			} else {
+				l.emit(tkCaret, "^", start)
+				l.pos++
+			}
+		case c == '|':
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '|' {
+				l.emit(tkOr, "||", start)
+				l.pos += 2
+			} else {
+				l.emit(tkPipe, "|", start)
+				l.pos++
+			}
+		case c == '&':
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '&' {
+				l.emit(tkAnd, "&&", start)
+				l.pos += 2
+			} else {
+				return fmt.Errorf("sparql: offset %d: stray '&'", start)
+			}
+		case c == '!':
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+				l.emit(tkNeq, "!=", start)
+				l.pos += 2
+			} else {
+				l.emit(tkBang, "!", start)
+				l.pos++
+			}
+		case c == '=':
+			l.emit(tkEq, "=", start)
+			l.pos++
+		case c == '<':
+			// Either an IRI or a comparison operator. An IRI never
+			// contains whitespace and must close with '>'.
+			if iri, n, ok := scanIRI(l.in[l.pos:]); ok {
+				l.emit(tkIRI, iri, start)
+				l.pos += n
+			} else if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+				l.emit(tkLe, "<=", start)
+				l.pos += 2
+			} else {
+				l.emit(tkLt, "<", start)
+				l.pos++
+			}
+		case c == '>':
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+				l.emit(tkGe, ">=", start)
+				l.pos += 2
+			} else {
+				l.emit(tkGt, ">", start)
+				l.pos++
+			}
+		case c == '?' || c == '$':
+			j := l.pos + 1
+			for j < len(l.in) && isNameChar(l.in[j]) {
+				j++
+			}
+			if j == l.pos+1 {
+				// Bare '?' — the optional path modifier.
+				l.emit(tkQuestion, "?", start)
+				l.pos++
+			} else {
+				l.emit(tkVar, l.in[l.pos+1:j], start)
+				l.pos = j
+			}
+		case c == '"':
+			j := l.pos + 1
+			for j < len(l.in) {
+				if l.in[j] == '\\' {
+					j += 2
+					continue
+				}
+				if l.in[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(l.in) {
+				return fmt.Errorf("sparql: offset %d: unterminated string literal", start)
+			}
+			l.emit(tkLiteral, rdf.UnescapeLiteral(l.in[l.pos+1:j]), start)
+			l.pos = j + 1
+		case c == '\'':
+			j := l.pos + 1
+			for j < len(l.in) {
+				if l.in[j] == '\\' {
+					j += 2
+					continue
+				}
+				if l.in[j] == '\'' {
+					break
+				}
+				j++
+			}
+			if j >= len(l.in) {
+				return fmt.Errorf("sparql: offset %d: unterminated string literal", start)
+			}
+			l.emit(tkLiteral, rdf.UnescapeLiteral(l.in[l.pos+1:j]), start)
+			l.pos = j + 1
+		case c == '@':
+			j := l.pos + 1
+			for j < len(l.in) && (isNameChar(l.in[j]) || l.in[j] == '-') {
+				j++
+			}
+			l.emit(tkLangTag, l.in[l.pos+1:j], start)
+			l.pos = j
+		case c >= '0' && c <= '9' || (c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9'):
+			j := l.pos + 1
+			for j < len(l.in) && l.in[j] >= '0' && l.in[j] <= '9' {
+				j++
+			}
+			l.emit(tkInteger, l.in[l.pos:j], start)
+			l.pos = j
+		case isNameStart(c):
+			j := l.pos
+			hasColon := false
+			for j < len(l.in) && (isNameChar(l.in[j]) || l.in[j] == ':') {
+				if l.in[j] == ':' {
+					hasColon = true
+				}
+				j++
+			}
+			word := l.in[l.pos:j]
+			switch {
+			case hasColon:
+				l.emit(tkPName, word, start)
+			case word == "a":
+				l.emit(tkA, word, start)
+			case keywords[strings.ToUpper(word)]:
+				l.emit(tkKeyword, strings.ToUpper(word), start)
+			default:
+				return fmt.Errorf("sparql: offset %d: unexpected identifier %q", start, word)
+			}
+			l.pos = j
+		default:
+			return fmt.Errorf("sparql: offset %d: unexpected character %q", start, c)
+		}
+	}
+	return nil
+}
+
+// scanIRI attempts to read "<...>" at the start of s; it fails when the
+// content contains whitespace (which means '<' was a comparison).
+func scanIRI(s string) (iri string, n int, ok bool) {
+	end := strings.IndexByte(s, '>')
+	if end < 0 {
+		return "", 0, false
+	}
+	body := s[1:end]
+	if strings.ContainsAny(body, " \t\n\r<") {
+		return "", 0, false
+	}
+	return body, end + 1, true
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}

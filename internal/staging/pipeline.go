@@ -1,0 +1,125 @@
+package staging
+
+import (
+	"fmt"
+	"sync"
+
+	"mdw/internal/rdf"
+	"mdw/internal/reason"
+	"mdw/internal/store"
+)
+
+// Table is a staging table: the intermediate triple buffer between the
+// XML→RDF transform and the bulk load into the RDF model tables
+// (Figure 4). Both meta-data facts and the ontology export are inserted
+// into the same staging tables before loading.
+type Table struct {
+	mu      sync.Mutex
+	triples []rdf.Triple
+}
+
+// NewTable returns an empty staging table.
+func NewTable() *Table { return &Table{} }
+
+// InsertTriples appends raw triples (the ontology-file import path).
+func (t *Table) InsertTriples(ts []rdf.Triple) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.triples = append(t.triples, ts...)
+}
+
+// InsertExport transforms one XML export and appends its triples.
+func (t *Table) InsertExport(e *Export) error {
+	ts, err := Transform(e)
+	if err != nil {
+		return err
+	}
+	t.InsertTriples(ts)
+	return nil
+}
+
+// InsertXML parses and transforms one XML document string.
+func (t *Table) InsertXML(doc string) error {
+	e, err := Decode(doc)
+	if err != nil {
+		return fmt.Errorf("staging: decode: %w", err)
+	}
+	return t.InsertExport(e)
+}
+
+// Len returns the number of staged triples (duplicates included; the
+// bulk load deduplicates).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.triples)
+}
+
+// Triples returns a copy of the staged triples.
+func (t *Table) Triples() []rdf.Triple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]rdf.Triple, len(t.triples))
+	copy(out, t.triples)
+	return out
+}
+
+// Clear empties the staging table (after a successful load).
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.triples = t.triples[:0]
+}
+
+// LoadStats summarizes one bulk load.
+type LoadStats struct {
+	Staged   int // triples in the staging table
+	Loaded   int // distinct triples added to the model
+	Derived  int // entailed triples added to the index model
+	Model    string
+	IndexMod string
+}
+
+// BulkLoad moves the staged triples into the named model of st and, when
+// materialize is true, rebuilds the model's OWLPRIME index — the
+// "indexes for semantic web reasoning" of Figure 4. The staging table is
+// cleared on success.
+func (t *Table) BulkLoad(st *store.Store, model string, materialize bool) (LoadStats, error) {
+	t.mu.Lock()
+	staged := make([]rdf.Triple, len(t.triples))
+	copy(staged, t.triples)
+	t.mu.Unlock()
+
+	stats := LoadStats{Staged: len(staged), Model: model}
+	stats.Loaded = st.AddAll(model, staged)
+	if materialize {
+		idx, n, err := reason.NewEngine(st).Materialize(model)
+		if err != nil {
+			return stats, err
+		}
+		stats.IndexMod = idx
+		stats.Derived = n
+	}
+	t.Clear()
+	return stats, nil
+}
+
+// Pipeline bundles the full Figure 4 flow for convenience: XML exports
+// and an ontology in, a loaded and indexed model out.
+type Pipeline struct {
+	Store *store.Store
+	Model string
+}
+
+// Run stages every export and the ontology triples, bulk-loads them, and
+// materializes the OWLPRIME index.
+func (p Pipeline) Run(exports []*Export, ontologyTriples []rdf.Triple) (LoadStats, error) {
+	tbl := NewTable()
+	for i, e := range exports {
+		if err := tbl.InsertExport(e); err != nil {
+			return LoadStats{}, fmt.Errorf("staging: export %d: %w", i, err)
+		}
+	}
+	tbl.InsertTriples(ontologyTriples)
+	return tbl.BulkLoad(p.Store, p.Model, true)
+}

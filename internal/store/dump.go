@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mdw/internal/ntriples"
+	"mdw/internal/rdf"
+)
+
+// The dump format is line-oriented: a header line, then per model a
+// "@model <name>" marker followed by the model's triples in N-Triples
+// syntax. It is the persistence story of the warehouse — the role the
+// Oracle database files play in the paper's deployment.
+const dumpHeader = "# mdw-store-dump v1"
+
+// WriteDump serializes every model of the store to w.
+func (s *Store) WriteDump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, dumpHeader); err != nil {
+		return err
+	}
+	for _, name := range s.ModelNames() {
+		if _, err := fmt.Fprintf(bw, "@model %s\n", name); err != nil {
+			return err
+		}
+		var failed error
+		s.ForEach(name, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+			if _, err := bw.WriteString(t.NTriple()); err != nil {
+				failed = err
+				return false
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				failed = err
+				return false
+			}
+			return true
+		})
+		if failed != nil {
+			return failed
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDump reconstructs a store from a dump produced by WriteDump.
+func ReadDump(r io.Reader) (*Store, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("store: empty dump")
+	}
+	if strings.TrimSpace(sc.Text()) != dumpHeader {
+		return nil, fmt.Errorf("store: not a store dump (bad header %q)", sc.Text())
+	}
+	st := New()
+	var cur *Model
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.HasPrefix(text, "@model ") {
+			name := strings.TrimSpace(strings.TrimPrefix(text, "@model "))
+			if name == "" {
+				return nil, fmt.Errorf("store: line %d: empty model name", line)
+			}
+			cur = st.Model(name)
+			continue
+		}
+		t, ok, err := ntriples.ParseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("store: line %d: %w", line, err)
+		}
+		if !ok {
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("store: line %d: triple before any @model marker", line)
+		}
+		cur.Add(ETriple{
+			S: st.dict.Intern(t.S),
+			P: st.dict.Intern(t.P),
+			O: st.dict.Intern(t.O),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+)
+
+func TestDumpRoundTrip(t *testing.T) {
+	s := New()
+	s.Add("a", rdf.T(iri("s1"), iri("p"), rdf.Literal("value with \"quotes\"")))
+	s.Add("a", rdf.T(iri("s1"), iri("p"), rdf.TypedLiteral("5", rdf.XSDInteger)))
+	s.Add("b", rdf.T(rdf.Blank("n1"), iri("p"), rdf.LangLiteral("Kunde", "de")))
+
+	var buf bytes.Buffer
+	if err := s.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.ModelNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("models = %v", got)
+	}
+	if back.Len("a") != 2 || back.Len("b") != 1 {
+		t.Errorf("sizes = %d, %d", back.Len("a"), back.Len("b"))
+	}
+	if !back.Contains("a", rdf.T(iri("s1"), iri("p"), rdf.Literal("value with \"quotes\""))) {
+		t.Error("literal lost in round trip")
+	}
+	if !back.Contains("b", rdf.T(rdf.Blank("n1"), iri("p"), rdf.LangLiteral("Kunde", "de"))) {
+		t.Error("blank/lang triple lost")
+	}
+}
+
+func TestReadDumpErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a dump\n",
+		"# mdw-store-dump v1\n<http://a> <http://b> <http://c> .\n", // triple before @model
+		"# mdw-store-dump v1\n@model \n",
+		"# mdw-store-dump v1\n@model m\nbroken triple\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadDump(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestDumpEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ModelNames()) != 0 {
+		t.Errorf("models = %v", back.ModelNames())
+	}
+}

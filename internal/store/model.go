@@ -1,0 +1,273 @@
+package store
+
+// ETriple is a dictionary-encoded triple.
+type ETriple struct {
+	S, P, O ID
+}
+
+// Model is one named RDF model: a set of encoded triples maintained under
+// three access-path indexes (SPO, POS, OSP) so that any triple pattern can
+// be answered with at most one map walk. Model is not itself locked; the
+// owning Store serializes mutation (reads of a quiescent model are safe to
+// share).
+type Model struct {
+	name string
+	spo  map[ID]map[ID][]ID // subject -> predicate -> objects
+	pos  map[ID]map[ID][]ID // predicate -> object -> subjects
+	osp  map[ID]map[ID][]ID // object -> subject -> predicates
+	size int
+}
+
+// NewModel returns an empty model with the given name.
+func NewModel(name string) *Model {
+	return &Model{
+		name: name,
+		spo:  make(map[ID]map[ID][]ID),
+		pos:  make(map[ID]map[ID][]ID),
+		osp:  make(map[ID]map[ID][]ID),
+	}
+}
+
+// Name returns the model name.
+func (m *Model) Name() string { return m.name }
+
+// Len returns the number of triples in the model.
+func (m *Model) Len() int { return m.size }
+
+// Add inserts the encoded triple and reports whether it was newly added.
+func (m *Model) Add(t ETriple) bool {
+	if m.Contains(t) {
+		return false
+	}
+	addIdx(m.spo, t.S, t.P, t.O)
+	addIdx(m.pos, t.P, t.O, t.S)
+	addIdx(m.osp, t.O, t.S, t.P)
+	m.size++
+	return true
+}
+
+// Remove deletes the encoded triple and reports whether it was present.
+func (m *Model) Remove(t ETriple) bool {
+	if !m.Contains(t) {
+		return false
+	}
+	removeIdx(m.spo, t.S, t.P, t.O)
+	removeIdx(m.pos, t.P, t.O, t.S)
+	removeIdx(m.osp, t.O, t.S, t.P)
+	m.size--
+	return true
+}
+
+// Contains reports whether the triple is present.
+func (m *Model) Contains(t ETriple) bool {
+	ps, ok := m.spo[t.S]
+	if !ok {
+		return false
+	}
+	for _, o := range ps[t.P] {
+		if o == t.O {
+			return true
+		}
+	}
+	return false
+}
+
+func addIdx(idx map[ID]map[ID][]ID, a, b, c ID) {
+	inner, ok := idx[a]
+	if !ok {
+		inner = make(map[ID][]ID, 1)
+		idx[a] = inner
+	}
+	inner[b] = append(inner[b], c)
+}
+
+func removeIdx(idx map[ID]map[ID][]ID, a, b, c ID) {
+	inner, ok := idx[a]
+	if !ok {
+		return
+	}
+	list := inner[b]
+	for i, v := range list {
+		if v == c {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			if len(list) == 0 {
+				delete(inner, b)
+				if len(inner) == 0 {
+					delete(idx, a)
+				}
+			} else {
+				inner[b] = list
+			}
+			return
+		}
+	}
+}
+
+// ForEach streams every triple matching the pattern (Wildcard entries
+// match anything) to fn. Iteration stops early when fn returns false.
+// The traversal picks the most selective index for the bound positions.
+func (m *Model) ForEach(s, p, o ID, fn func(ETriple) bool) {
+	switch {
+	case s != Wildcard && p != Wildcard && o != Wildcard:
+		if m.Contains(ETriple{s, p, o}) {
+			fn(ETriple{s, p, o})
+		}
+	case s != Wildcard && p != Wildcard:
+		for _, obj := range m.spo[s][p] {
+			if !fn(ETriple{s, p, obj}) {
+				return
+			}
+		}
+	case p != Wildcard && o != Wildcard:
+		for _, sub := range m.pos[p][o] {
+			if !fn(ETriple{sub, p, o}) {
+				return
+			}
+		}
+	case s != Wildcard && o != Wildcard:
+		for _, pred := range m.osp[o][s] {
+			if !fn(ETriple{s, pred, o}) {
+				return
+			}
+		}
+	case s != Wildcard:
+		for pred, objs := range m.spo[s] {
+			for _, obj := range objs {
+				if !fn(ETriple{s, pred, obj}) {
+					return
+				}
+			}
+		}
+	case p != Wildcard:
+		for obj, subs := range m.pos[p] {
+			for _, sub := range subs {
+				if !fn(ETriple{sub, p, obj}) {
+					return
+				}
+			}
+		}
+	case o != Wildcard:
+		for sub, preds := range m.osp[o] {
+			for _, pred := range preds {
+				if !fn(ETriple{sub, pred, o}) {
+					return
+				}
+			}
+		}
+	default:
+		for sub, ps := range m.spo {
+			for pred, objs := range ps {
+				for _, obj := range objs {
+					if !fn(ETriple{sub, pred, obj}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them.
+func (m *Model) Count(s, p, o ID) int {
+	n := 0
+	switch {
+	case s != Wildcard && p != Wildcard && o == Wildcard:
+		n = len(m.spo[s][p])
+	case p != Wildcard && o != Wildcard && s == Wildcard:
+		n = len(m.pos[p][o])
+	case s == Wildcard && p == Wildcard && o == Wildcard:
+		n = m.size
+	default:
+		m.ForEach(s, p, o, func(ETriple) bool { n++; return true })
+	}
+	return n
+}
+
+// Subjects returns the distinct subjects of triples matching (p, o).
+func (m *Model) Subjects(p, o ID) []ID {
+	if p != Wildcard && o != Wildcard {
+		out := make([]ID, len(m.pos[p][o]))
+		copy(out, m.pos[p][o])
+		return out
+	}
+	seen := make(map[ID]bool)
+	var out []ID
+	m.ForEach(Wildcard, p, o, func(t ETriple) bool {
+		if !seen[t.S] {
+			seen[t.S] = true
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// Objects returns the objects of triples matching (s, p).
+func (m *Model) Objects(s, p ID) []ID {
+	if s != Wildcard && p != Wildcard {
+		out := make([]ID, len(m.spo[s][p]))
+		copy(out, m.spo[s][p])
+		return out
+	}
+	seen := make(map[ID]bool)
+	var out []ID
+	m.ForEach(s, p, Wildcard, func(t ETriple) bool {
+		if !seen[t.O] {
+			seen[t.O] = true
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// SubjectsOf returns the distinct subjects of statements with predicate p.
+func (m *Model) SubjectsOf(p ID) []ID {
+	seen := make(map[ID]bool)
+	var out []ID
+	for _, subs := range m.pos[p] {
+		for _, s := range subs {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Predicates returns the distinct predicates appearing in the model.
+func (m *Model) Predicates() []ID {
+	out := make([]ID, 0, len(m.pos))
+	for p := range m.pos {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the model under a new name. Historization
+// uses this to snapshot a release before the next one mutates it.
+func (m *Model) Clone(name string) *Model {
+	c := NewModel(name)
+	c.size = m.size
+	c.spo = cloneIdx(m.spo)
+	c.pos = cloneIdx(m.pos)
+	c.osp = cloneIdx(m.osp)
+	return c
+}
+
+func cloneIdx(idx map[ID]map[ID][]ID) map[ID]map[ID][]ID {
+	out := make(map[ID]map[ID][]ID, len(idx))
+	for a, inner := range idx {
+		ci := make(map[ID][]ID, len(inner))
+		for b, list := range inner {
+			cl := make([]ID, len(list))
+			copy(cl, list)
+			ci[b] = cl
+		}
+		out[a] = ci
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refModel is a trivially correct reference implementation: a plain set.
+type refModel map[ETriple]bool
+
+func (r refModel) match(s, p, o ID) map[ETriple]bool {
+	out := map[ETriple]bool{}
+	for t := range r {
+		if (s == Wildcard || t.S == s) && (p == Wildcard || t.P == p) && (o == Wildcard || t.O == o) {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// TestModelAgainstReferenceProperty drives Model and the reference set
+// through the same random operation sequence and checks that every
+// pattern query agrees afterwards.
+func TestModelAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel("m")
+		ref := refModel{}
+		id := func() ID { return ID(1 + rng.Intn(6)) }
+
+		for op := 0; op < 150; op++ {
+			tr := ETriple{id(), id(), id()}
+			switch rng.Intn(3) {
+			case 0, 1: // add twice as often as remove
+				added := m.Add(tr)
+				if added == ref[tr] { // must be newly added iff absent before
+					return false
+				}
+				ref[tr] = true
+			case 2:
+				removed := m.Remove(tr)
+				if removed != ref[tr] {
+					return false
+				}
+				delete(ref, tr)
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		// Check every pattern shape on random probes.
+		for probe := 0; probe < 30; probe++ {
+			s, p, o := id(), id(), id()
+			if rng.Intn(2) == 0 {
+				s = Wildcard
+			}
+			if rng.Intn(2) == 0 {
+				p = Wildcard
+			}
+			if rng.Intn(2) == 0 {
+				o = Wildcard
+			}
+			want := ref.match(s, p, o)
+			got := map[ETriple]bool{}
+			m.ForEach(s, p, o, func(tr ETriple) bool {
+				if got[tr] {
+					return false // duplicate emission
+				}
+				got[tr] = true
+				return true
+			})
+			if len(got) != len(want) {
+				return false
+			}
+			for tr := range want {
+				if !got[tr] {
+					return false
+				}
+			}
+			if m.Count(s, p, o) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestViewAgainstReferenceProperty checks the union view's dedup against
+// a reference union of two random sets.
+func TestViewAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewModel("a"), NewModel("b")
+		ref := refModel{}
+		id := func() ID { return ID(1 + rng.Intn(5)) }
+		for i := 0; i < 60; i++ {
+			tr := ETriple{id(), id(), id()}
+			switch rng.Intn(3) {
+			case 0:
+				a.Add(tr)
+			case 1:
+				b.Add(tr)
+			default:
+				a.Add(tr)
+				b.Add(tr)
+			}
+			ref[tr] = true
+		}
+		v := NewView(a, b)
+		if v.Len() != len(ref) {
+			return false
+		}
+		seen := map[ETriple]bool{}
+		dup := false
+		v.ForEach(Wildcard, Wildcard, Wildcard, func(tr ETriple) bool {
+			if seen[tr] {
+				dup = true
+				return false
+			}
+			seen[tr] = true
+			return true
+		})
+		return !dup && len(seen) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

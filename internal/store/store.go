@@ -1,0 +1,292 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mdw/internal/rdf"
+)
+
+// Store is the top-level triple storage facility: a shared term dictionary
+// plus a set of named models. It corresponds to the Oracle database holding
+// the RDF model tables in Figure 4 of the paper.
+//
+// Store methods are safe for concurrent use: mutations take the write
+// lock, queries hold the read lock for their whole duration. Views
+// obtained from ViewOf bypass this lock (see View) and follow the
+// warehouse's load-then-query discipline instead.
+type Store struct {
+	mu     sync.RWMutex
+	dict   *Dict
+	models map[string]*Model
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{dict: NewDict(), models: make(map[string]*Model)}
+}
+
+// Dict exposes the shared term dictionary.
+func (s *Store) Dict() *Dict { return s.dict }
+
+// Model returns the named model, creating it if absent.
+func (s *Store) Model(name string) *Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modelLocked(name)
+}
+
+func (s *Store) modelLocked(name string) *Model {
+	m, ok := s.models[name]
+	if !ok {
+		m = NewModel(name)
+		s.models[name] = m
+	}
+	return m
+}
+
+// HasModel reports whether a model with the given name exists.
+func (s *Store) HasModel(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.models[name]
+	return ok
+}
+
+// DropModel removes the named model and reports whether it existed.
+func (s *Store) DropModel(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.models[name]; !ok {
+		return false
+	}
+	delete(s.models, name)
+	return true
+}
+
+// ModelNames returns the sorted names of all models.
+func (s *Store) ModelNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.models))
+	for n := range s.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Add inserts one triple into the named model and reports whether it was
+// newly added.
+func (s *Store) Add(model string, t rdf.Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.modelLocked(model)
+	return m.Add(s.encode(t))
+}
+
+// AddAll bulk-inserts triples into the named model and returns the number
+// actually added (duplicates are skipped).
+func (s *Store) AddAll(model string, ts []rdf.Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.modelLocked(model)
+	n := 0
+	for _, t := range ts {
+		if m.Add(s.encode(t)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes one triple from the named model and reports whether it
+// was present.
+func (s *Store) Remove(model string, t rdf.Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[model]
+	if !ok {
+		return false
+	}
+	et, ok := s.encodeLookup(t)
+	if !ok {
+		return false
+	}
+	return m.Remove(et)
+}
+
+// Contains reports whether the triple exists in the named model.
+func (s *Store) Contains(model string, t rdf.Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[model]
+	if !ok {
+		return false
+	}
+	et, ok := s.encodeLookup(t)
+	if !ok {
+		return false
+	}
+	return m.Contains(et)
+}
+
+// Len returns the number of triples in the named model (0 if absent).
+func (s *Store) Len(model string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[model]
+	if !ok {
+		return 0
+	}
+	return m.Len()
+}
+
+// encode interns the terms of t. Caller must hold the write lock (interning
+// itself is thread-safe, but encode is paired with model mutation).
+func (s *Store) encode(t rdf.Triple) ETriple {
+	return ETriple{
+		S: s.dict.Intern(t.S),
+		P: s.dict.Intern(t.P),
+		O: s.dict.Intern(t.O),
+	}
+}
+
+// encodeLookup encodes without interning; ok is false when any term is
+// unknown (in which case the triple cannot exist in any model).
+func (s *Store) encodeLookup(t rdf.Triple) (ETriple, bool) {
+	si, ok := s.dict.Lookup(t.S)
+	if !ok {
+		return ETriple{}, false
+	}
+	pi, ok := s.dict.Lookup(t.P)
+	if !ok {
+		return ETriple{}, false
+	}
+	oi, ok := s.dict.Lookup(t.O)
+	if !ok {
+		return ETriple{}, false
+	}
+	return ETriple{si, pi, oi}, true
+}
+
+// patID resolves a pattern term: the zero Term is the wildcard; unknown
+// terms resolve to an impossible pattern (signalled by ok=false).
+func (s *Store) patID(t rdf.Term) (ID, bool) {
+	if t.IsZero() {
+		return Wildcard, true
+	}
+	return s.dict.Lookup(t)
+}
+
+// Match returns all triples in the named model matching the pattern.
+// Zero-valued terms act as wildcards.
+func (s *Store) Match(model string, sub, pred, obj rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	s.ForEach(model, sub, pred, obj, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// ForEach streams decoded triples matching the pattern to fn; iteration
+// stops early when fn returns false. Zero-valued terms act as wildcards.
+// The store's read lock is held for the whole iteration, so fn must not
+// call mutating Store methods (doing so would deadlock).
+func (s *Store) ForEach(model string, sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[model]
+	if !ok {
+		return
+	}
+	si, ok := s.patID(sub)
+	if !ok {
+		return
+	}
+	pi, ok := s.patID(pred)
+	if !ok {
+		return
+	}
+	oi, ok := s.patID(obj)
+	if !ok {
+		return
+	}
+	m.ForEach(si, pi, oi, func(et ETriple) bool {
+		return fn(rdf.Triple{S: s.dict.Term(et.S), P: s.dict.Term(et.P), O: s.dict.Term(et.O)})
+	})
+}
+
+// CountPattern returns the number of triples matching the pattern.
+func (s *Store) CountPattern(model string, sub, pred, obj rdf.Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[model]
+	if !ok {
+		return 0
+	}
+	si, ok := s.patID(sub)
+	if !ok {
+		return 0
+	}
+	pi, ok := s.patID(pred)
+	if !ok {
+		return 0
+	}
+	oi, ok := s.patID(obj)
+	if !ok {
+		return 0
+	}
+	return m.Count(si, pi, oi)
+}
+
+// Triples returns every triple of the named model in canonical order.
+func (s *Store) Triples(model string) []rdf.Triple {
+	ts := s.Match(model, rdf.Term{}, rdf.Term{}, rdf.Term{})
+	rdf.SortTriples(ts)
+	return ts
+}
+
+// CloneModel snapshots the src model under the dst name. It fails if dst
+// already exists.
+func (s *Store) CloneModel(src, dst string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sm, ok := s.models[src]
+	if !ok {
+		return fmt.Errorf("store: clone: no such model %q", src)
+	}
+	if _, exists := s.models[dst]; exists {
+		return fmt.Errorf("store: clone: model %q already exists", dst)
+	}
+	s.models[dst] = sm.Clone(dst)
+	return nil
+}
+
+// Stats summarizes one model for monitoring and the paper-scale reports.
+type Stats struct {
+	Model      string
+	Triples    int
+	Subjects   int
+	Predicates int
+	Objects    int
+}
+
+// ModelStats computes statistics for the named model.
+func (s *Store) ModelStats(model string) Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[model]
+	if !ok {
+		return Stats{Model: model}
+	}
+	return Stats{
+		Model:      model,
+		Triples:    m.Len(),
+		Subjects:   len(m.spo),
+		Predicates: len(m.pos),
+		Objects:    len(m.osp),
+	}
+}

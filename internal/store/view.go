@@ -1,0 +1,138 @@
+package store
+
+// Source is a read-only triple source addressed by encoded IDs. Model and
+// View both implement it; the SPARQL engine executes against a Source.
+type Source interface {
+	// ForEach streams triples matching the pattern (Wildcard matches
+	// anything) until fn returns false.
+	ForEach(s, p, o ID, fn func(ETriple) bool)
+	// Contains reports whether the triple is present.
+	Contains(ETriple) bool
+	// Count returns the number of triples matching the pattern.
+	Count(s, p, o ID) int
+	// Objects returns the objects of triples matching (s, p).
+	Objects(s, p ID) []ID
+	// Subjects returns the subjects of triples matching (p, o).
+	Subjects(p, o ID) []ID
+}
+
+// View is the union of several models sharing one dictionary. The paper's
+// queries union a base RDF model with its OWLPRIME index model when the
+// query names a rulebase (Listings 1 and 2); View implements exactly that
+// combination. Triples appearing in multiple member models are reported
+// once.
+//
+// A View reads its member models live and without locking: it is safe
+// for any number of concurrent readers, but must not be used while the
+// underlying models are being mutated. The warehouse follows a
+// load-then-query discipline (bulk load, materialize the index, then
+// serve), which guarantees this.
+type View struct {
+	models []*Model
+}
+
+// NewView returns a view over the given models (order defines the dedup
+// precedence; contents are read live, not copied).
+func NewView(models ...*Model) *View {
+	return &View{models: models}
+}
+
+// Models returns the member models.
+func (v *View) Models() []*Model { return v.models }
+
+// Len returns the number of distinct triples in the view.
+func (v *View) Len() int {
+	n := 0
+	v.ForEach(Wildcard, Wildcard, Wildcard, func(ETriple) bool { n++; return true })
+	return n
+}
+
+// Contains reports whether any member model holds the triple.
+func (v *View) Contains(t ETriple) bool {
+	for _, m := range v.models {
+		if m.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach streams distinct matching triples across all member models.
+func (v *View) ForEach(s, p, o ID, fn func(ETriple) bool) {
+	stopped := false
+	for i, m := range v.models {
+		if stopped {
+			return
+		}
+		m.ForEach(s, p, o, func(t ETriple) bool {
+			for _, prev := range v.models[:i] {
+				if prev.Contains(t) {
+					return true // already reported
+				}
+			}
+			if !fn(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Count returns the number of distinct triples matching the pattern.
+func (v *View) Count(s, p, o ID) int {
+	if len(v.models) == 1 {
+		return v.models[0].Count(s, p, o)
+	}
+	n := 0
+	v.ForEach(s, p, o, func(ETriple) bool { n++; return true })
+	return n
+}
+
+// Objects returns the distinct objects of triples matching (s, p).
+func (v *View) Objects(s, p ID) []ID {
+	if len(v.models) == 1 {
+		return v.models[0].Objects(s, p)
+	}
+	seen := make(map[ID]bool)
+	var out []ID
+	v.ForEach(s, p, Wildcard, func(t ETriple) bool {
+		if !seen[t.O] {
+			seen[t.O] = true
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// Subjects returns the distinct subjects of triples matching (p, o).
+func (v *View) Subjects(p, o ID) []ID {
+	if len(v.models) == 1 {
+		return v.models[0].Subjects(p, o)
+	}
+	seen := make(map[ID]bool)
+	var out []ID
+	v.ForEach(Wildcard, p, o, func(t ETriple) bool {
+		if !seen[t.S] {
+			seen[t.S] = true
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// ViewOf builds a View over the named models of st; missing models are
+// ignored so callers can blindly request "<model>$OWLPRIME".
+func (s *Store) ViewOf(names ...string) *View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ms []*Model
+	for _, n := range names {
+		if m, ok := s.models[n]; ok {
+			ms = append(ms, m)
+		}
+	}
+	return NewView(ms...)
+}

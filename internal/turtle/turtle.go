@@ -1,0 +1,460 @@
+// Package turtle reads and writes a pragmatic subset of the Turtle RDF
+// syntax. The ontology hierarchies of the meta-data warehouse are
+// maintained as Turtle documents — the role the Protégé export plays in
+// Figure 4 of the paper.
+//
+// Supported syntax: @prefix directives, prefixed names, full IRIs, blank
+// node labels, the 'a' keyword, statement continuation with ';' and ',',
+// string literals with optional language tags or datatypes, integer
+// shorthand literals, and '#' comments. Collections and anonymous blank
+// nodes are not supported; the warehouse never produces them.
+package turtle
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mdw/internal/rdf"
+)
+
+// Marshal renders triples as a Turtle document using the well-known
+// prefixes. Triples are grouped by subject and predicates are merged with
+// ';' continuation for readability.
+func Marshal(ts []rdf.Triple) string {
+	sorted := make([]rdf.Triple, len(ts))
+	copy(sorted, ts)
+	rdf.SortTriples(sorted)
+	sorted = rdf.DedupTriples(sorted)
+
+	used := usedPrefixes(sorted)
+	var b strings.Builder
+	for _, p := range used {
+		fmt.Fprintf(&b, "@prefix %s: <%s> .\n", p, rdf.WellKnownPrefixes[p])
+	}
+	if len(used) > 0 {
+		b.WriteByte('\n')
+	}
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].S == sorted[i].S {
+			j++
+		}
+		writeSubjectGroup(&b, sorted[i:j])
+		i = j
+	}
+	return b.String()
+}
+
+// Write serializes triples as Turtle to w.
+func Write(w io.Writer, ts []rdf.Triple) error {
+	_, err := io.WriteString(w, Marshal(ts))
+	return err
+}
+
+func usedPrefixes(ts []rdf.Triple) []string {
+	set := make(map[string]bool)
+	var note func(t rdf.Term)
+	note = func(t rdf.Term) {
+		if t.Kind != rdf.IRIKind {
+			if t.Kind == rdf.LiteralKind && t.Datatype != "" {
+				note(rdf.IRI(t.Datatype))
+			}
+			return
+		}
+		ns := rdf.Namespace(t.Value)
+		for p, n := range rdf.WellKnownPrefixes {
+			if n == ns {
+				set[p] = true
+			}
+		}
+	}
+	for _, t := range ts {
+		note(t.S)
+		note(t.P)
+		note(t.O)
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeSubjectGroup(b *strings.Builder, group []rdf.Triple) {
+	b.WriteString(renderTerm(group[0].S))
+	b.WriteByte(' ')
+	for i := 0; i < len(group); {
+		j := i
+		for j < len(group) && group[j].P == group[i].P {
+			j++
+		}
+		if i > 0 {
+			b.WriteString(" ;\n    ")
+		}
+		b.WriteString(renderPredicate(group[i].P))
+		b.WriteByte(' ')
+		for k := i; k < j; k++ {
+			if k > i {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderTerm(group[k].O))
+		}
+		i = j
+	}
+	b.WriteString(" .\n")
+}
+
+func renderPredicate(p rdf.Term) string {
+	if p.Value == rdf.RDFType {
+		return "a"
+	}
+	return renderTerm(p)
+}
+
+func renderTerm(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.IRIKind:
+		return rdf.QName(t.Value)
+	case rdf.BlankKind:
+		return "_:" + t.Value
+	default:
+		return t.String()
+	}
+}
+
+// Unmarshal parses a Turtle document.
+func Unmarshal(doc string) ([]rdf.Triple, error) {
+	p := &parser{
+		toks:     nil,
+		prefixes: map[string]string{},
+	}
+	toks, err := tokenize(doc)
+	if err != nil {
+		return nil, err
+	}
+	p.toks = toks
+	return p.parse()
+}
+
+type tokKind int
+
+const (
+	tokIRI tokKind = iota
+	tokPName
+	tokBlank
+	tokLiteral
+	tokLangTag
+	tokDatatypeSep // ^^
+	tokA
+	tokDot
+	tokSemi
+	tokComma
+	tokPrefixDirective
+	tokInteger
+)
+
+type token struct {
+	kind tokKind
+	text string // IRI value, pname, literal lexical form, etc.
+	line int
+}
+
+func tokenize(doc string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(doc) {
+		c := doc[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(doc) && doc[i] != '\n' {
+				i++
+			}
+		case c == '<':
+			end := strings.IndexByte(doc[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("turtle: line %d: unterminated IRI", line)
+			}
+			toks = append(toks, token{tokIRI, doc[i+1 : i+end], line})
+			i += end + 1
+		case c == '"':
+			j := i + 1
+			for j < len(doc) {
+				if doc[j] == '\\' {
+					j += 2
+					continue
+				}
+				if doc[j] == '"' {
+					break
+				}
+				if doc[j] == '\n' {
+					line++
+				}
+				j++
+			}
+			if j >= len(doc) {
+				return nil, fmt.Errorf("turtle: line %d: unterminated literal", line)
+			}
+			toks = append(toks, token{tokLiteral, rdf.UnescapeLiteral(doc[i+1 : j]), line})
+			i = j + 1
+		case c == '@':
+			j := i + 1
+			for j < len(doc) && (isPNChar(doc[j]) || doc[j] == '-') {
+				j++
+			}
+			word := doc[i+1 : j]
+			if word == "prefix" {
+				toks = append(toks, token{tokPrefixDirective, word, line})
+			} else {
+				toks = append(toks, token{tokLangTag, word, line})
+			}
+			i = j
+		case c == '^':
+			if i+1 < len(doc) && doc[i+1] == '^' {
+				toks = append(toks, token{tokDatatypeSep, "^^", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("turtle: line %d: stray '^'", line)
+			}
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == '_' && i+1 < len(doc) && doc[i+1] == ':':
+			j := i + 2
+			for j < len(doc) && isPNChar(doc[j]) {
+				j++
+			}
+			toks = append(toks, token{tokBlank, doc[i+2 : j], line})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' || c == '+':
+			j := i + 1
+			for j < len(doc) && doc[j] >= '0' && doc[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokInteger, doc[i:j], line})
+			i = j
+		default:
+			j := i
+			for j < len(doc) && (isPNChar(doc[j]) || doc[j] == ':' || doc[j] == '.' && j+1 < len(doc) && isPNChar(doc[j+1])) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("turtle: line %d: unexpected character %q", line, c)
+			}
+			word := doc[i:j]
+			if word == "a" {
+				toks = append(toks, token{tokA, word, line})
+			} else if strings.Contains(word, ":") {
+				toks = append(toks, token{tokPName, word, line})
+			} else {
+				return nil, fmt.Errorf("turtle: line %d: unexpected token %q", line, word)
+			}
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isPNChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) eof() bool   { return p.pos >= len(p.toks) }
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	line := 0
+	if p.pos < len(p.toks) {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("turtle: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parse() ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	for !p.eof() {
+		if p.peek().kind == tokPrefixDirective {
+			if err := p.prefixDirective(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ts, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+func (p *parser) prefixDirective() error {
+	p.next() // @prefix
+	if p.eof() || p.peek().kind != tokPName {
+		return p.errf("expected prefix name after @prefix")
+	}
+	pname := p.next().text
+	if !strings.HasSuffix(pname, ":") {
+		return p.errf("prefix name must end with ':'")
+	}
+	if p.eof() || p.peek().kind != tokIRI {
+		return p.errf("expected IRI in @prefix")
+	}
+	iri := p.next().text
+	if p.eof() || p.peek().kind != tokDot {
+		return p.errf("expected '.' after @prefix")
+	}
+	p.next()
+	p.prefixes[strings.TrimSuffix(pname, ":")] = iri
+	return nil
+}
+
+func (p *parser) statement() ([]rdf.Triple, error) {
+	subj, err := p.subjectTerm()
+	if err != nil {
+		return nil, err
+	}
+	var out []rdf.Triple
+	for {
+		pred, err := p.predicateTerm()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			obj, err := p.objectTerm()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rdf.Triple{S: subj, P: pred, O: obj})
+			if !p.eof() && p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if !p.eof() && p.peek().kind == tokSemi {
+			p.next()
+			// Allow trailing ';' before '.'.
+			if !p.eof() && p.peek().kind == tokDot {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if p.eof() || p.peek().kind != tokDot {
+		return nil, p.errf("expected '.' to end statement")
+	}
+	p.next()
+	return out, nil
+}
+
+func (p *parser) subjectTerm() (rdf.Term, error) {
+	if p.eof() {
+		return rdf.Term{}, p.errf("expected subject")
+	}
+	t := p.next()
+	switch t.kind {
+	case tokIRI:
+		return rdf.IRI(t.text), nil
+	case tokPName:
+		return p.expand(t)
+	case tokBlank:
+		return rdf.Blank(t.text), nil
+	default:
+		return rdf.Term{}, p.errf("invalid subject token %q", t.text)
+	}
+}
+
+func (p *parser) predicateTerm() (rdf.Term, error) {
+	if p.eof() {
+		return rdf.Term{}, p.errf("expected predicate")
+	}
+	t := p.next()
+	switch t.kind {
+	case tokA:
+		return rdf.Type, nil
+	case tokIRI:
+		return rdf.IRI(t.text), nil
+	case tokPName:
+		return p.expand(t)
+	default:
+		return rdf.Term{}, p.errf("invalid predicate token %q", t.text)
+	}
+}
+
+func (p *parser) objectTerm() (rdf.Term, error) {
+	if p.eof() {
+		return rdf.Term{}, p.errf("expected object")
+	}
+	t := p.next()
+	switch t.kind {
+	case tokIRI:
+		return rdf.IRI(t.text), nil
+	case tokPName:
+		return p.expand(t)
+	case tokBlank:
+		return rdf.Blank(t.text), nil
+	case tokInteger:
+		return rdf.TypedLiteral(t.text, rdf.XSDInteger), nil
+	case tokLiteral:
+		lex := t.text
+		if !p.eof() {
+			switch p.peek().kind {
+			case tokLangTag:
+				return rdf.LangLiteral(lex, p.next().text), nil
+			case tokDatatypeSep:
+				p.next()
+				if p.eof() {
+					return rdf.Term{}, p.errf("expected datatype after '^^'")
+				}
+				dt := p.next()
+				switch dt.kind {
+				case tokIRI:
+					return rdf.TypedLiteral(lex, dt.text), nil
+				case tokPName:
+					term, err := p.expand(dt)
+					if err != nil {
+						return rdf.Term{}, err
+					}
+					return rdf.TypedLiteral(lex, term.Value), nil
+				default:
+					return rdf.Term{}, p.errf("invalid datatype token %q", dt.text)
+				}
+			}
+		}
+		return rdf.Literal(lex), nil
+	default:
+		return rdf.Term{}, p.errf("invalid object token %q", t.text)
+	}
+}
+
+func (p *parser) expand(t token) (rdf.Term, error) {
+	iri, ok := rdf.ExpandQName(t.text, p.prefixes)
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("turtle: line %d: unknown prefix in %q", t.line, t.text)
+	}
+	return rdf.IRI(iri), nil
+}

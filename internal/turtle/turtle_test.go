@@ -1,0 +1,123 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+)
+
+func TestMarshalGroupsBySubject(t *testing.T) {
+	ts := []rdf.Triple{
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.Type, rdf.Class),
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.SubClassOf, rdf.IRI(rdf.DMNS+"Party")),
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.Label, rdf.Literal("Customer")),
+	}
+	doc := Marshal(ts)
+	if strings.Count(doc, "dm:Customer") != 1 {
+		t.Errorf("subject should appear once:\n%s", doc)
+	}
+	if !strings.Contains(doc, "@prefix dm:") {
+		t.Errorf("missing dm prefix:\n%s", doc)
+	}
+	if !strings.Contains(doc, " a ") {
+		t.Errorf("rdf:type should render as 'a':\n%s", doc)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ts := []rdf.Triple{
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.Type, rdf.Class),
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.SubClassOf, rdf.IRI(rdf.DMNS+"Party")),
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.Label, rdf.Literal("The \"Customer\" class")),
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.IRI(rdf.DMNS+"priority"), rdf.TypedLiteral("3", rdf.XSDInteger)),
+		rdf.T(rdf.IRI(rdf.DMNS+"Customer"), rdf.IRI(rdf.RDFSComment), rdf.LangLiteral("Kunde", "de")),
+		rdf.T(rdf.Blank("b0"), rdf.Label, rdf.Literal("anonymous")),
+		rdf.T(rdf.IRI("http://other.example/x"), rdf.Label, rdf.Literal("no prefix")),
+	}
+	doc := Marshal(ts)
+	got, err := Unmarshal(doc)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\ndoc:\n%s", err, doc)
+	}
+	rdf.SortTriples(ts)
+	rdf.SortTriples(got)
+	if len(got) != len(ts) {
+		t.Fatalf("got %d triples, want %d\ndoc:\n%s", len(got), len(ts), doc)
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Errorf("triple %d:\n got %v\nwant %v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestParseHandAuthored(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+# The hierarchy snippet from Figure 3.
+ex:Individual rdfs:subClassOf ex:Party ;
+    rdfs:label "Individual", "Person"@en .
+ex:Institution rdfs:subClassOf ex:Party .
+ex:count ex:value 42 .
+_:b ex:p ex:Individual .
+`
+	ts, err := Unmarshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 6 {
+		t.Fatalf("got %d triples: %v", len(ts), ts)
+	}
+	want := rdf.T(rdf.IRI("http://example.org/Individual"), rdf.SubClassOf, rdf.IRI("http://example.org/Party"))
+	found := false
+	for _, tr := range ts {
+		if tr == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing %v in %v", want, ts)
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	ts, err := Unmarshal(`@prefix ex: <http://example.org/> .
+ex:x a ex:Thing .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].P != rdf.Type {
+		t.Errorf("got %v", ts)
+	}
+}
+
+func TestWellKnownPrefixFallback(t *testing.T) {
+	// rdf:/rdfs:/owl: should resolve without @prefix declarations.
+	ts, err := Unmarshal(`dm:Customer rdfs:subClassOf dm:Party .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].S != rdf.IRI(rdf.DMNS+"Customer") {
+		t.Errorf("got %v", ts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`ex:x ex:p ex:o .`,                  // unknown prefix
+		`@prefix ex <http://e/> .`,          // missing colon
+		`@prefix ex: "nope" .`,              // not an IRI
+		`dm:x rdfs:label "unterminated .`,   // literal
+		`dm:x rdfs:label`,                   // missing dot
+		`dm:x .`,                            // missing predicate/object
+		`<http://e/x> <http://e/p> "v"^^ .`, // missing datatype
+	}
+	for _, doc := range bad {
+		if _, err := Unmarshal(doc); err == nil {
+			t.Errorf("expected error for %q", doc)
+		}
+	}
+}
