@@ -32,6 +32,7 @@ import (
 	"mdw/internal/sparql"
 	"mdw/internal/staging"
 	"mdw/internal/store"
+	"mdw/internal/textindex"
 )
 
 // ---------------------------------------------------------------------
@@ -49,6 +50,9 @@ var (
 
 	figOnce sync.Once
 	figFix  *fixture
+
+	paperOnce sync.Once
+	paperFix  *fixture
 )
 
 func smallLandscape(b *testing.B) *fixture {
@@ -67,6 +71,24 @@ func smallLandscape(b *testing.B) *fixture {
 		smallFix = &fixture{l: l, st: st, stats: stats}
 	})
 	return smallFix
+}
+
+func paperLandscape(b *testing.B) *fixture {
+	b.Helper()
+	paperOnce.Do(func() {
+		l := landscape.Generate(landscape.PaperScale())
+		st := store.New()
+		stats, err := staging.Pipeline{Store: st, Model: "DWH_CURR"}.Run(l.Exports, l.Ontology.Triples())
+		if err != nil {
+			panic(err)
+		}
+		st.AddAll("DWH_CURR", l.ExtraTriples())
+		if _, _, err := reason.NewEngine(st).Materialize("DWH_CURR"); err != nil {
+			panic(err)
+		}
+		paperFix = &fixture{l: l, st: st, stats: stats}
+	})
+	return paperFix
 }
 
 func figure3Fixture(b *testing.B) *fixture {
@@ -152,6 +174,9 @@ func BenchmarkFigure4Pipeline(b *testing.B) {
 func BenchmarkFigure6Search(b *testing.B) {
 	f := smallLandscape(b)
 	th := dbpedia.FromTriples(dbpedia.Banking())
+	// One manager shared by every case, so the inverted index is built
+	// once; a warm-up search triggers that build before the timer runs.
+	mgr := textindex.NewManager(textindex.Config{})
 
 	cases := []struct {
 		name string
@@ -166,17 +191,61 @@ func BenchmarkFigure6Search(b *testing.B) {
 		{"descriptions", search.New(f.st, "DWH_CURR", nil), search.Options{MatchDescriptions: true}},
 	}
 	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			var hits int
-			for i := 0; i < b.N; i++ {
-				res, err := c.svc.Search("customer", c.opt)
-				if err != nil {
+		svc := c.svc.WithIndexManager(mgr)
+		for _, mode := range []string{"indexed", "scan"} {
+			opt := c.opt
+			opt.ForceScan = mode == "scan"
+			b.Run(c.name+"/"+mode, func(b *testing.B) {
+				if _, err := svc.Search("customer", opt); err != nil {
 					b.Fatal(err)
 				}
-				hits = res.Instances
-			}
-			b.ReportMetric(float64(hits), "hits")
-		})
+				b.ResetTimer()
+				var hits int
+				for i := 0; i < b.N; i++ {
+					res, err := svc.Search("customer", opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hits = res.Instances
+				}
+				b.ReportMetric(float64(hits), "hits")
+			})
+		}
+	}
+}
+
+// BenchmarkSearchIndexed isolates the tentpole comparison: the inverted
+// full-text index against the retained literal-scan oracle, at the small
+// scale and at the paper's published graph scale.
+func BenchmarkSearchIndexed(b *testing.B) {
+	scales := []struct {
+		name string
+		fix  func(*testing.B) *fixture
+	}{
+		{"small", smallLandscape},
+		{"paper", paperLandscape},
+	}
+	for _, sc := range scales {
+		f := sc.fix(b)
+		svc := search.New(f.st, "DWH_CURR", nil)
+		for _, mode := range []string{"indexed", "scan"} {
+			opt := search.Options{ForceScan: mode == "scan"}
+			b.Run(sc.name+"/"+mode, func(b *testing.B) {
+				if _, err := svc.Search("customer", opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				var hits int
+				for i := 0; i < b.N; i++ {
+					res, err := svc.Search("customer", opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hits = res.Instances
+				}
+				b.ReportMetric(float64(hits), "hits")
+			})
+		}
 	}
 }
 
@@ -400,31 +469,39 @@ func BenchmarkOWLPrimeIndex(b *testing.B) {
 func BenchmarkSynonymSearch(b *testing.B) {
 	f := smallLandscape(b)
 	th := dbpedia.FromTriples(dbpedia.Banking())
-	plain := search.New(f.st, "DWH_CURR", nil)
-	semantic := search.New(f.st, "DWH_CURR", th)
+	mgr := textindex.NewManager(textindex.Config{})
+	plain := search.New(f.st, "DWH_CURR", nil).WithIndexManager(mgr)
+	semantic := search.New(f.st, "DWH_CURR", th).WithIndexManager(mgr)
 
-	b.Run("plain", func(b *testing.B) {
-		var hits int
-		for i := 0; i < b.N; i++ {
-			res, err := plain.Search("client", search.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			hits = res.Instances
+	cases := []struct {
+		name string
+		svc  *search.Service
+		opt  search.Options
+	}{
+		{"plain", plain, search.Options{}},
+		{"semantic", semantic, search.Options{Semantic: true}},
+	}
+	for _, c := range cases {
+		for _, mode := range []string{"indexed", "scan"} {
+			opt := c.opt
+			opt.ForceScan = mode == "scan"
+			b.Run(c.name+"/"+mode, func(b *testing.B) {
+				if _, err := c.svc.Search("client", opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				var hits int
+				for i := 0; i < b.N; i++ {
+					res, err := c.svc.Search("client", opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hits = res.Instances
+				}
+				b.ReportMetric(float64(hits), "hits")
+			})
 		}
-		b.ReportMetric(float64(hits), "hits")
-	})
-	b.Run("semantic", func(b *testing.B) {
-		var hits int
-		for i := 0; i < b.N; i++ {
-			res, err := semantic.Search("client", search.Options{Semantic: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			hits = res.Instances
-		}
-		b.ReportMetric(float64(hits), "hits")
-	})
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -8,6 +8,7 @@
 //
 //	mdw generate     -scale small|paper -out DIR   write XML exports + ontology
 //	mdw search       [-data DIR] [flags] TERM      search the graph (§IV.A)
+//	mdw index        [-data DIR] [flags]           build/inspect the full-text index
 //	mdw lineage      [-data DIR] [flags] ITEM      trace provenance (§IV.B)
 //	mdw query        [-data DIR] [-explain] 'SPARQL'
 //	mdw semmatch     [-data DIR] 'SEM_MATCH(...)'  Oracle-style call (Listings 1/2)
@@ -43,6 +44,7 @@ import (
 	"mdw/internal/search"
 	"mdw/internal/sparql"
 	"mdw/internal/staging"
+	"mdw/internal/textindex"
 )
 
 func main() {
@@ -63,6 +65,8 @@ func run(args []string) error {
 		return cmdGenerate(rest)
 	case "search":
 		return cmdSearch(rest)
+	case "index":
+		return cmdIndex(rest)
 	case "lineage":
 		return cmdLineage(rest)
 	case "query":
@@ -94,6 +98,7 @@ func usage() {
 commands:
   generate   write a synthetic landscape (XML exports + ontology) to a directory
   search     search the meta-data graph for a term (Section IV.A)
+  index      build the inverted full-text search index and inspect its vocabulary
   lineage    trace the lineage of an information item (Section IV.B)
   query      run a SPARQL query against the graph
   semmatch   run an Oracle-style SEM_MATCH call (Listings 1 and 2)
@@ -221,6 +226,67 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	fmt.Print(search.FormatResult(res))
+	return nil
+}
+
+// cmdIndex builds the full-text index and reports on it: overall size
+// counters, and on request slices of the vocabulary (prefix/substring
+// token lookups) or the literals matching a term.
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	prefix := fs.String("prefix", "", "list indexed tokens starting with this prefix")
+	contains := fs.String("contains", "", "list indexed tokens containing this substring")
+	term := fs.String("term", "", "show the literals matching this term")
+	limit := fs.Int("n", 20, "max tokens or matches listed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	ix, err := w.TextIndex()
+	if err != nil {
+		return err
+	}
+	st := ix.Stats()
+	fmt.Printf("model       %s\n", st.Model)
+	fmt.Printf("generation  %d\n", st.Gen)
+	fmt.Printf("predicates  %d\n", st.Predicates)
+	fmt.Printf("literals    %d\n", st.Literals)
+	fmt.Printf("tokens      %d\n", st.Tokens)
+	fmt.Printf("postings    %d\n", st.Postings)
+
+	capped := func(label string, toks []string) {
+		fmt.Printf("\n%d tokens %s\n", len(toks), label)
+		for i, t := range toks {
+			if i >= *limit {
+				fmt.Printf("  ... and %d more\n", len(toks)-*limit)
+				break
+			}
+			fmt.Printf("  %s\n", t)
+		}
+	}
+	if *prefix != "" {
+		capped(fmt.Sprintf("with prefix %q", *prefix), ix.TokensWithPrefix(*prefix))
+	}
+	if *contains != "" {
+		capped(fmt.Sprintf("containing %q", *contains), ix.TokensContaining(*contains))
+	}
+	if *term != "" {
+		dict := w.Store().Dict()
+		names := ix.Search(*term, textindex.FieldName)
+		descs := ix.Search(*term, textindex.FieldDescription)
+		fmt.Printf("\nterm %q: %d name matches, %d description matches\n", *term, len(names), len(descs))
+		for i, p := range names {
+			if i >= *limit {
+				fmt.Printf("  ... and %d more\n", len(names)-*limit)
+				break
+			}
+			fmt.Printf("  %-40s %s\n", dict.Term(p.Object).Value, rdf.QName(dict.Term(p.Subject).Value))
+		}
+	}
 	return nil
 }
 

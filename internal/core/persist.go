@@ -12,6 +12,7 @@ import (
 	"mdw/internal/history"
 	"mdw/internal/rdf"
 	"mdw/internal/store"
+	"mdw/internal/textindex"
 )
 
 // metaModel holds warehouse bookkeeping (release history records) so a
@@ -75,11 +76,21 @@ func ReadFrom(r io.Reader, model string) (*Warehouse, error) {
 	if !st.HasModel(model) {
 		return nil, fmt.Errorf("core: dump has no model %q (models: %v)", model, st.ModelNames())
 	}
-	w := &Warehouse{st: st, model: model, hist: history.NewHistorian(st, model)}
+	w := &Warehouse{
+		st:    st,
+		model: model,
+		hist:  history.NewHistorian(st, model),
+		tix:   textindex.NewManager(textindex.Config{}),
+	}
 	if err := w.restoreMeta(); err != nil {
 		return nil, err
 	}
 	w.restoreThesaurus()
+	// Build-on-load: a dump carries its entailment index (adopted as
+	// current by ReadDump), so this only constructs the full-text index.
+	if _, err := w.TextIndex(); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 

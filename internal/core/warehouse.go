@@ -24,6 +24,7 @@ import (
 	"mdw/internal/sparql"
 	"mdw/internal/staging"
 	"mdw/internal/store"
+	"mdw/internal/textindex"
 )
 
 // DefaultModel is the model name used when none is given; it matches the
@@ -37,6 +38,10 @@ type Warehouse struct {
 	hist      *history.Historian
 	thesaurus *dbpedia.Thesaurus
 	ontology  *ontology.Ontology
+	// tix caches the full-text indexes (Section IV.A search) per model
+	// generation; it is shared by every search service the warehouse
+	// hands out so an index is built once and delta-updated thereafter.
+	tix *textindex.Manager
 }
 
 // New returns an empty warehouse storing its graph in the named model
@@ -51,6 +56,7 @@ func New(model string) *Warehouse {
 		st:    st,
 		model: model,
 		hist:  history.NewHistorian(st, model),
+		tix:   textindex.NewManager(textindex.Config{}),
 	}
 }
 
@@ -84,30 +90,32 @@ func (w *Warehouse) LoadOntology(o *ontology.Ontology) (staging.LoadStats, error
 }
 
 // LoadExports runs the Figure 4 pipeline for the given XML meta-data
-// exports, rebuilding the entailment index afterwards.
+// exports, rebuilding the entailment index and the full-text search
+// index afterwards so the first search after a load is already fast.
 func (w *Warehouse) LoadExports(exports []*staging.Export) (staging.LoadStats, error) {
-	return staging.Pipeline{Store: w.st, Model: w.model}.Run(exports, nil)
+	stats, err := staging.Pipeline{Store: w.st, Model: w.model}.Run(exports, nil)
+	if err != nil {
+		return stats, err
+	}
+	_, err = w.TextIndex()
+	return stats, err
 }
 
-// LoadTriples adds raw triples (e.g. auxiliary relatedness edges) and
-// invalidates the entailment index.
+// LoadTriples adds raw triples (e.g. auxiliary relatedness edges). The
+// entailment and full-text indexes notice the new base generation and
+// are refreshed on the next query or search.
 func (w *Warehouse) LoadTriples(ts []rdf.Triple) int {
-	n := w.st.AddAll(w.model, ts)
-	w.invalidateIndex()
-	return n
+	return w.st.AddAll(w.model, ts)
 }
 
 // IntegrateDBpedia loads a DBpedia-style extract (Section III.B),
 // derives synonym/homonym edges, and enables semantic search expansion.
+// The new labels are folded into the full-text index immediately.
 func (w *Warehouse) IntegrateDBpedia(extract []rdf.Triple) int {
 	n := dbpedia.Integrate(w.st, w.model, extract)
 	w.thesaurus = dbpedia.FromTriples(extract)
-	w.invalidateIndex()
+	_, _ = w.TextIndex() // build-on-load; next search verifies freshness anyway
 	return n
-}
-
-func (w *Warehouse) invalidateIndex() {
-	w.st.DropModel(reason.IndexModelName(w.model, reason.RulebaseOWLPrime))
 }
 
 // Reindex forces rematerialization of the OWLPRIME index and returns the
@@ -117,9 +125,24 @@ func (w *Warehouse) Reindex() (int, error) {
 	return n, err
 }
 
-// Search runs the Section IV.A search service.
+// TextIndex returns the full-text index over the current graph (base
+// model ∪ OWLPRIME entailment), materializing the entailment and
+// building or delta-updating the index as needed.
+func (w *Warehouse) TextIndex() (*textindex.Index, error) {
+	return search.EnsureIndex(w.st, w.model, w.tix)
+}
+
+// TextIndexStats reports the size counters of every cached full-text
+// index (the current model plus any historized releases searched so
+// far).
+func (w *Warehouse) TextIndexStats() []textindex.Stats {
+	return w.tix.StatsAll()
+}
+
+// Search runs the Section IV.A search service over the warehouse's
+// shared full-text index.
 func (w *Warehouse) Search(term string, opt search.Options) (*search.Result, error) {
-	return search.New(w.st, w.model, w.thesaurus).Search(term, opt)
+	return search.New(w.st, w.model, w.thesaurus).WithIndexManager(w.tix).Search(term, opt)
 }
 
 // Lineage runs the Section IV.B provenance service.
@@ -163,7 +186,10 @@ func (w *Warehouse) Query(query string) (*sparql.Result, error) {
 		return nil, err
 	}
 	idx := reason.IndexModelName(w.model, reason.RulebaseOWLPrime)
-	if !w.st.HasModel(idx) {
+	// Re-materialize when the base model has mutated since the index was
+	// derived (the generation check catches both a missing and a stale
+	// index).
+	if !w.st.Current(w.model, idx) {
 		if _, err := w.Reindex(); err != nil {
 			return nil, err
 		}
@@ -212,16 +238,25 @@ type Stats struct {
 	Derived  int
 	Nodes    int
 	Versions int
+	// IndexCurrent reports whether the OWLPRIME entailment index still
+	// reflects the base model's present generation.
+	IndexCurrent bool
+	// TextIndex lists the cached full-text indexes (one per indexed
+	// model).
+	TextIndex []textindex.Stats
 }
 
 // Stats reports the current graph and version sizes.
 func (w *Warehouse) Stats() Stats {
 	cs := w.Census()
+	idx := reason.IndexModelName(w.model, reason.RulebaseOWLPrime)
 	return Stats{
-		Model:    w.model,
-		Triples:  w.st.Len(w.model),
-		Derived:  w.st.Len(reason.IndexModelName(w.model, reason.RulebaseOWLPrime)),
-		Nodes:    cs.NodeTotal(),
-		Versions: len(w.hist.Versions()),
+		Model:        w.model,
+		Triples:      w.st.Len(w.model),
+		Derived:      w.st.Len(idx),
+		Nodes:        cs.NodeTotal(),
+		Versions:     len(w.hist.Versions()),
+		IndexCurrent: w.st.Current(w.model, idx),
+		TextIndex:    w.tix.StatsAll(),
 	}
 }

@@ -357,6 +357,10 @@ func (s *Server) handleStats(rw http.ResponseWriter, _ *http.Request) {
 		"derived":  st.Derived,
 		"nodes":    st.Nodes,
 		"versions": st.Versions,
+		// Index health: whether the OWLPRIME entailment matches the base
+		// model, and the cached full-text indexes powering /api/search.
+		"indexCurrent": st.IndexCurrent,
+		"textIndexes":  st.TextIndex,
 	})
 }
 

@@ -79,21 +79,26 @@ func NewEngine(st *store.Store) *Engine {
 // stores the *derived-only* triples in the corresponding index model,
 // replacing any previous contents. It returns the index model name and
 // the number of derived triples.
+//
+// The closure is computed over a locked snapshot of the base model and
+// the finished index model is swapped in atomically, with the base
+// generation it was derived from recorded as its basis: concurrent
+// writers never race with the rule engine, readers never observe a
+// half-built index, and store.Current(model, idxName) reports whether
+// the index still reflects the base model.
 func (e *Engine) Materialize(model string) (string, int, error) {
-	if !e.st.HasModel(model) {
+	idxName := IndexModelName(model, RulebaseOWLPrime)
+	// Working closure starts as a detached snapshot of the base model;
+	// everything the rules add beyond the base goes to the index model.
+	work := e.st.SnapshotModel(model)
+	if work == nil {
 		return "", 0, fmt.Errorf("reason: no such model %q", model)
 	}
-	idxName := IndexModelName(model, RulebaseOWLPrime)
-	e.st.DropModel(idxName)
-
-	base := e.st.Model(model)
-	// Working closure starts as a snapshot of the base model; everything
-	// the rules add beyond the base goes to the index model.
-	work := base.Clone("work")
-	derived := e.st.Model(idxName)
+	basis := work.Gen()
+	derived := store.NewModel(idxName)
 
 	var queue []store.ETriple
-	base.ForEach(store.Wildcard, store.Wildcard, store.Wildcard, func(t store.ETriple) bool {
+	work.ForEach(store.Wildcard, store.Wildcard, store.Wildcard, func(t store.ETriple) bool {
 		queue = append(queue, t)
 		return true
 	})
@@ -110,6 +115,8 @@ func (e *Engine) Materialize(model string) (string, int, error) {
 		queue = queue[1:]
 		e.applyRules(work, t, emit)
 	}
+	derived.SetBasis(basis)
+	e.st.InstallModel(derived)
 	return idxName, derived.Len(), nil
 }
 

@@ -1,0 +1,194 @@
+package search
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mdw/internal/dbpedia"
+	"mdw/internal/landscape"
+	"mdw/internal/rdf"
+	"mdw/internal/staging"
+	"mdw/internal/store"
+)
+
+// canon normalizes a result for comparison: hits are sorted by the full
+// (Name, IRI, Matched) key so ties in the user-facing by-Name order
+// cannot make two equal results compare unequal.
+func canon(r *Result) *Result {
+	for gi := range r.Groups {
+		hits := r.Groups[gi].Hits
+		sort.Slice(hits, func(i, j int) bool {
+			a, b := hits[i], hits[j]
+			if a.Name != b.Name {
+				return a.Name < b.Name
+			}
+			if a.IRI.Value != b.IRI.Value {
+				return a.IRI.Value < b.IRI.Value
+			}
+			return a.Matched < b.Matched
+		})
+	}
+	return r
+}
+
+// TestIndexedScanParity is the differential test of the inverted-index
+// search path: on a generated landscape, the indexed path and the
+// retained literal-scan oracle must return identical results for a
+// corpus of terms — exact, prefix, substring, synonym-expanded,
+// description-matching — across the Figure 6 filter combinations.
+func TestIndexedScanParity(t *testing.T) {
+	l := landscape.Generate(landscape.Small())
+	st := store.New()
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, l.Ontology.Triples()); err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll("m", l.ExtraTriples())
+	th := dbpedia.FromTriples(dbpedia.Banking())
+	svc := New(st, "m", th)
+
+	terms := []string{
+		"customer",    // exact word
+		"CUSTOMER",    // case folding
+		"cust",        // prefix
+		"stome",       // infix substring
+		"customer_id", // multi-token with separator
+		"client",      // has synonyms in the thesaurus
+		"interest",    // homonym hints
+		"id",          // high-frequency token
+		"e",           // single letter, huge candidate set
+		"zz_nothing",  // no matches
+	}
+	opts := []Options{
+		{},
+		{Semantic: true},
+		{MatchDescriptions: true},
+		{Semantic: true, MatchDescriptions: true},
+		{FilterClasses: []string{rdf.DMNS + "Attribute"}},
+		{Area: "mart"},
+		{Layer: "conceptual"},
+		{Tag: "pii"},
+	}
+	for _, term := range terms {
+		for i, opt := range opts {
+			indexed, err := svc.Search(term, opt)
+			if err != nil {
+				t.Fatalf("indexed %q/%d: %v", term, i, err)
+			}
+			scanOpt := opt
+			scanOpt.ForceScan = true
+			scanned, err := svc.Search(term, scanOpt)
+			if err != nil {
+				t.Fatalf("scan %q/%d: %v", term, i, err)
+			}
+			if !reflect.DeepEqual(canon(indexed), canon(scanned)) {
+				t.Errorf("term %q opts %+v: indexed and scan results differ\nindexed: %+v\nscan:    %+v",
+					term, opt, indexed, scanned)
+			}
+		}
+	}
+}
+
+// TestSearchSeesLaterWrites is the stale-entailment regression test: a
+// triple added after the first search must be visible — including its
+// *inherited* class groups, which only exist in the re-materialized
+// OWLPRIME index — on the next search, on both matching paths.
+func TestSearchSeesLaterWrites(t *testing.T) {
+	st := fixture(t)
+	svc := New(st, "DWH_CURR", nil)
+
+	for _, forceScan := range []bool{false, true} {
+		opt := Options{ForceScan: forceScan}
+		res, err := svc.Search("zz_late_column", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Instances != 0 {
+			t.Fatalf("forceScan=%v: phantom hit before the write", forceScan)
+		}
+	}
+
+	// Write to the base model after the service has already built its
+	// entailment index and full-text index.
+	col := rdf.IRI(rdf.InstNS + "late/zz_late_column")
+	st.Add("DWH_CURR", rdf.T(col, rdf.Type, rdf.IRI(rdf.DMNS+"Application1_View_Column")))
+	st.Add("DWH_CURR", rdf.T(col, rdf.HasName, rdf.Literal("zz_late_column")))
+
+	for _, forceScan := range []bool{false, true} {
+		res, err := svc.Search("zz_late_column", Options{ForceScan: forceScan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Instances != 1 {
+			t.Fatalf("forceScan=%v: instances = %d after write, want 1", forceScan, res.Instances)
+		}
+		// The hit must group under its superclasses too — proof that the
+		// entailment was re-materialized, not just the base re-scanned.
+		if g := groupByLabel(res, "Attribute"); g == nil || g.Count != 1 {
+			t.Errorf("forceScan=%v: inherited Attribute group missing: %v", forceScan, labels(res))
+		}
+	}
+
+	// Removal is noticed as well.
+	st.Remove("DWH_CURR", rdf.T(col, rdf.HasName, rdf.Literal("zz_late_column")))
+	res, err := svc.Search("zz_late_column", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 0 {
+		t.Errorf("instances = %d after removal, want 0", res.Instances)
+	}
+}
+
+// TestEnsureIndexTracksGenerations covers the exported index-building
+// entry point the warehouse uses for build-on-load.
+func TestEnsureIndexTracksGenerations(t *testing.T) {
+	st := fixture(t)
+	svc := New(st, "DWH_CURR", nil)
+
+	ix, err := EnsureIndex(st, "DWH_CURR", svc.IndexManager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Gen() != st.Generation("DWH_CURR") {
+		t.Fatalf("index gen %d != model gen %d", ix.Gen(), st.Generation("DWH_CURR"))
+	}
+	st.Add("DWH_CURR", rdf.T(rdf.IRI(rdf.InstNS+"x"), rdf.HasName, rdf.Literal("xname")))
+	ix2, err := EnsureIndex(st, "DWH_CURR", svc.IndexManager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2 == ix || ix2.Gen() != st.Generation("DWH_CURR") {
+		t.Error("EnsureIndex did not refresh after a write")
+	}
+	if _, err := EnsureIndex(st, "no_such_model", svc.IndexManager()); err == nil {
+		t.Error("EnsureIndex accepted a missing model")
+	}
+}
+
+// TestManyModelsOneManager checks that one manager serves several models
+// independently — the historized-release scenario.
+func TestManyModelsOneManager(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 3; i++ {
+		model := fmt.Sprintf("rel%d", i)
+		st.Add(model, rdf.T(rdf.IRI(rdf.InstNS+"c"), rdf.Type, rdf.IRI(rdf.DMNS+"Column")))
+		st.Add(model, rdf.T(rdf.IRI(rdf.InstNS+"c"), rdf.HasName, rdf.Literal(fmt.Sprintf("col_v%d", i))))
+	}
+	shared := New(st, "rel0", nil).IndexManager()
+	for i := 0; i < 3; i++ {
+		model := fmt.Sprintf("rel%d", i)
+		svc := New(st, model, nil).WithIndexManager(shared)
+		res, err := svc.Search(fmt.Sprintf("col_v%d", i), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Instances != 1 {
+			t.Errorf("model %s: instances = %d", model, res.Instances)
+		}
+	}
+	if stats := shared.StatsAll(); len(stats) != 3 {
+		t.Errorf("manager caches %d indexes, want 3", len(stats))
+	}
+}

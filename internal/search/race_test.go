@@ -1,0 +1,94 @@
+package search
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mdw/internal/landscape"
+	"mdw/internal/rdf"
+	"mdw/internal/staging"
+	"mdw/internal/store"
+)
+
+// TestConcurrentSearchAndWrite runs indexed and scan searches against
+// concurrent AddTriple-style writes and Evolve/reload cycles. It is a
+// race-detector test: run with -race it proves the snapshot/ReadView
+// protocol keeps the index, the entailment materializer, and the dict
+// free of data races; without -race it is a cheap smoke test.
+func TestConcurrentSearchAndWrite(t *testing.T) {
+	l := landscape.Generate(landscape.Small())
+	st := store.New()
+	if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, l.Ontology.Triples()); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(st, "m", nil)
+
+	var wg sync.WaitGroup
+
+	// Searchers: half indexed, half forced onto the scan oracle.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			opt := Options{ForceScan: g%2 == 1, Semantic: g%3 == 0}
+			terms := []string{"customer", "id", "zz_hot_row", "account"}
+			for i := 0; i < 12; i++ {
+				if _, err := svc.Search(terms[i%len(terms)], opt); err != nil {
+					t.Errorf("searcher %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Writer: single-triple adds, hammering Dict.Intern and the
+	// generation counter.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			s := rdf.IRI(fmt.Sprintf("%shot/%d", rdf.InstNS, i))
+			st.Add("m", rdf.T(s, rdf.Type, rdf.IRI(rdf.DMNS+"Column")))
+			st.Add("m", rdf.T(s, rdf.HasName, rdf.Literal(fmt.Sprintf("zz_hot_row_%d", i))))
+			if i%10 == 9 {
+				st.Remove("m", rdf.T(s, rdf.HasName, rdf.Literal(fmt.Sprintf("zz_hot_row_%d", i))))
+			}
+		}
+	}()
+
+	// Evolver: whole-landscape releases re-running the staging pipeline,
+	// which bulk-loads and re-materializes the entailment index.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 2; r <= 4; r++ {
+			if _, err := landscape.Evolve(l, r, 0.03); err != nil {
+				t.Errorf("evolve %d: %v", r, err)
+				return
+			}
+			if _, err := (staging.Pipeline{Store: st, Model: "m"}).Run(l.Exports, nil); err != nil {
+				t.Errorf("reload %d: %v", r, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// At quiescence the two paths must agree again.
+	for _, term := range []string{"customer", "zz_hot_row", "id"} {
+		indexed, err := svc.Search(term, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := svc.Search(term, Options{ForceScan: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(canon(indexed), canon(scanned)) {
+			t.Errorf("post-race parity broken for %q", term)
+		}
+	}
+}

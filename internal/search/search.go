@@ -15,11 +15,25 @@
 //
 // The semantic extension of Section V is included: with a thesaurus the
 // term is expanded by its DBpedia-derived synonyms before matching.
+//
+// Step 3 has two implementations with identical results:
+//
+//   - the default path looks candidates up in the inverted full-text
+//     index of internal/textindex (O(matching tokens) per term);
+//   - the scan path (Options.ForceScan) walks every name literal and
+//     matches by case-folded substring — the paper's regexp_like
+//     semantics verbatim, retained as the correctness oracle the
+//     differential tests compare the index against.
+//
+// Either way a search runs against a consistent snapshot: the service
+// checks that the OWLPRIME entailment index still reflects the base
+// model (via the store's generation counters), re-materializes it when
+// the model has moved, and evaluates the query under the store's read
+// lock so concurrent writers cannot tear the view.
 package search
 
 import (
 	"fmt"
-	"regexp"
 	"sort"
 	"strings"
 
@@ -27,6 +41,7 @@ import (
 	"mdw/internal/rdf"
 	"mdw/internal/reason"
 	"mdw/internal/store"
+	"mdw/internal/textindex"
 )
 
 // Service answers meta-data searches over one model of a store.
@@ -34,13 +49,34 @@ type Service struct {
 	st        *store.Store
 	model     string
 	thesaurus *dbpedia.Thesaurus
+	tix       *textindex.Manager
 }
 
 // New returns a search service for the named model. The thesaurus is
 // optional; without it Semantic searches fall back to plain matching.
+// The service maintains its own full-text index; callers that share one
+// warehouse across services should inject a shared manager with
+// WithIndexManager so the index is built once.
 func New(st *store.Store, model string, th *dbpedia.Thesaurus) *Service {
-	return &Service{st: st, model: model, thesaurus: th}
+	return &Service{
+		st:        st,
+		model:     model,
+		thesaurus: th,
+		tix:       textindex.NewManager(textindex.Config{}),
+	}
 }
+
+// WithIndexManager makes the service use the given (shared) full-text
+// index manager instead of its private one and returns the service.
+func (s *Service) WithIndexManager(m *textindex.Manager) *Service {
+	if m != nil {
+		s.tix = m
+	}
+	return s
+}
+
+// IndexManager returns the full-text index manager the service queries.
+func (s *Service) IndexManager() *textindex.Manager { return s.tix }
 
 // Options refine a search, mirroring the filters of the Figure 6
 // frontend.
@@ -67,6 +103,11 @@ type Options struct {
 	// MaxHitsPerGroup caps the instances listed per class group
 	// (0 = unlimited). Counts are always exact.
 	MaxHitsPerGroup int
+	// ForceScan bypasses the inverted full-text index and matches by
+	// scanning every literal of the view — the paper's Listing 1
+	// executed naively, kept as the correctness oracle for the indexed
+	// path.
+	ForceScan bool
 }
 
 // Hit is one matching instance.
@@ -103,16 +144,16 @@ type Result struct {
 	Instances int
 }
 
+// maxFreshAttempts bounds how often Search chases a base model that
+// keeps mutating under it before serving from a consistent-but-stale
+// snapshot (scan path, so no stale index is cached).
+const maxFreshAttempts = 3
+
 // Search runs the three-step algorithm for term.
 func (s *Service) Search(term string, opt Options) (*Result, error) {
 	if strings.TrimSpace(term) == "" {
 		return nil, fmt.Errorf("search: empty term")
 	}
-	view, err := s.indexedView()
-	if err != nil {
-		return nil, err
-	}
-	dict := s.st.Dict()
 
 	// Term expansion (semantic search) and homonym hints.
 	expanded := []string{strings.ToLower(term)}
@@ -123,14 +164,81 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 			expanded = s.thesaurus.Expand(term)
 		}
 	}
-	regexes := make([]*regexp.Regexp, len(expanded))
-	for i, t := range expanded {
-		re, err := regexp.Compile("(?i)" + regexp.QuoteMeta(t))
-		if err != nil {
-			return nil, fmt.Errorf("search: term %q: %w", t, err)
+
+	idxName := reason.IndexModelName(s.model, reason.RulebaseOWLPrime)
+	for attempt := 0; ; attempt++ {
+		if !s.st.HasModel(s.model) {
+			return nil, fmt.Errorf("search: no such model %q", s.model)
 		}
-		regexes[i] = re
+		// Bring the entailment up to date outside the read lock
+		// (Materialize snapshots the base and swaps the index model in
+		// atomically).
+		if !s.st.Current(s.model, idxName) {
+			if _, _, err := reason.NewEngine(s.st).Materialize(s.model); err != nil {
+				return nil, err
+			}
+		}
+		var res *Result
+		var err error
+		done := false
+		s.st.ReadView(func(v *store.View, infos []store.ModelInfo) {
+			if !infos[0].Exists {
+				err = fmt.Errorf("search: no such model %q", s.model)
+				done = true
+				return
+			}
+			fresh := infos[1].Exists && infos[1].Basis == infos[0].Gen
+			if !fresh && attempt < maxFreshAttempts {
+				return // base moved since Materialize; retry
+			}
+			// Writers outran us: serve this (consistent) snapshot via the
+			// scan path rather than caching an index whose generation key
+			// would not describe its contents.
+			useIndex := !opt.ForceScan && fresh
+			res, err = s.searchView(v, infos[0].Gen, useIndex, term, expanded, homonyms, opt)
+			done = true
+		}, s.model, idxName)
+		if done {
+			return res, err
+		}
 	}
+}
+
+// EnsureIndex returns an up-to-date full-text index over model ∪ its
+// OWLPRIME entailment, materializing the entailment and refreshing the
+// index as needed. It fails only when the model is missing or keeps
+// mutating faster than it can be indexed.
+func EnsureIndex(st *store.Store, model string, mgr *textindex.Manager) (*textindex.Index, error) {
+	idxName := reason.IndexModelName(model, reason.RulebaseOWLPrime)
+	for attempt := 0; attempt <= maxFreshAttempts; attempt++ {
+		if !st.HasModel(model) {
+			return nil, fmt.Errorf("search: no such model %q", model)
+		}
+		if !st.Current(model, idxName) {
+			if _, _, err := reason.NewEngine(st).Materialize(model); err != nil {
+				return nil, err
+			}
+		}
+		var ix *textindex.Index
+		st.ReadView(func(v *store.View, infos []store.ModelInfo) {
+			if infos[0].Exists && infos[1].Exists && infos[1].Basis == infos[0].Gen {
+				ix = mgr.Refresh(model, infos[0].Gen, v, st.Dict())
+			}
+		}, model, idxName)
+		if ix != nil {
+			return ix, nil
+		}
+	}
+	return nil, fmt.Errorf("search: model %q kept changing while indexing", model)
+}
+
+// searchView evaluates the query against one consistent view (held under
+// the store's read lock by the caller). gen is the base model generation
+// the view represents; useIndex selects the inverted-index candidate
+// path over the literal scan.
+func (s *Service) searchView(v *store.View, gen uint64, useIndex bool,
+	term string, expanded, homonyms []string, opt Options) (*Result, error) {
+	dict := s.st.Dict()
 
 	// Steps 1+2: resolve the filter classes. Because instance membership
 	// in superclasses is materialized in the index, requiring
@@ -150,66 +258,133 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 	nameID, _ := dict.Lookup(rdf.HasName)
 	commentID, _ := dict.Lookup(rdf.IRI(rdf.RDFSComment))
 
-	// Step 3: scan named instances and match.
+	// Step 3: match named instances, names first, then (optionally)
+	// descriptions. Both paths process the expanded terms in order, so a
+	// hit is attributed to the first term that matches it; an instance
+	// that fails the (term-independent) filters once is rejected for
+	// good. Candidate generation differs, the accepted set does not.
 	matched := map[store.ID]Hit{}
-	scan := func(predID store.ID) {
+	rejected := map[store.ID]bool{}
+	folded := make([]string, len(expanded))
+	for i, t := range expanded {
+		folded[i] = textindex.Fold(t)
+	}
+
+	admit := func(subj store.ID, text string, isName bool, termIdx int) {
+		if _, done := matched[subj]; done || rejected[subj] {
+			return
+		}
+		if !s.passesFilters(v, dict, subj, filterIDs, typeID, opt) {
+			rejected[subj] = true
+			return
+		}
+		name := text
+		if !isName {
+			name = s.nameOf(v, dict, subj, nameID)
+		}
+		matched[subj] = Hit{IRI: dict.Term(subj), Name: name, Matched: expanded[termIdx]}
+	}
+
+	var ix *textindex.Index
+	if useIndex {
+		ix = s.tix.Refresh(s.model, gen, v, dict)
+	}
+	match := func(predID store.ID, field textindex.Field, isName bool) {
 		if predID == store.Wildcard {
 			return
 		}
-		view.ForEach(store.Wildcard, predID, store.Wildcard, func(t store.ETriple) bool {
-			if _, done := matched[t.S]; done {
+		if ix != nil {
+			// Indexed path: per term, the index returns exactly the
+			// postings whose folded text contains the folded term. The
+			// index also covers rdfs:label literals, so keep only the
+			// predicate this pass matches (parity with the scan).
+			for i := range expanded {
+				for _, p := range ix.Search(expanded[i], field) {
+					if p.Pred == predID {
+						admit(p.Subject, dict.Term(p.Object).Value, isName, i)
+					}
+				}
+			}
+			return
+		}
+		// Scan path: the paper's regexp_like(text, term, 'i') — the
+		// patterns are always quoted literals, so case-folded substring
+		// matching is equivalent and skips the regex machinery.
+		for i := range folded {
+			v.ForEach(store.Wildcard, predID, store.Wildcard, func(t store.ETriple) bool {
+				if _, done := matched[t.S]; done || rejected[t.S] {
+					return true
+				}
+				text := dict.Term(t.O).Value
+				if strings.Contains(textindex.Fold(text), folded[i]) {
+					admit(t.S, text, isName, i)
+				}
 				return true
-			}
-			text := dict.Term(t.O).Value
-			for i, re := range regexes {
-				if !re.MatchString(text) {
-					continue
-				}
-				if !s.passesFilters(view, dict, t.S, filterIDs, typeID, opt) {
-					break
-				}
-				name := text
-				if predID != nameID {
-					name = s.nameOf(view, dict, t.S, nameID)
-				}
-				matched[t.S] = Hit{IRI: dict.Term(t.S), Name: name, Matched: expanded[i]}
-				break
-			}
-			return true
-		})
+			})
+		}
 	}
-	scan(nameID)
+	match(nameID, textindex.FieldName, true)
 	if opt.MatchDescriptions {
-		scan(commentID)
+		match(commentID, textindex.FieldDescription, false)
 	}
 
 	// Group by every class the instance belongs to (via the index, so an
 	// Application1_View_Column hit also appears under Attribute, Column,
-	// etc. — exactly the multi-group behaviour of Figure 6).
-	labelID, _ := dict.Lookup(rdf.Label)
-	groups := map[store.ID]*Group{}
+	// etc. — exactly the multi-group behaviour of Figure 6). Hits are
+	// sorted by name once up front, so appending in that order leaves
+	// every group pre-sorted — cheaper than a per-group sort when one
+	// instance lands in many inherited-class groups.
+	type hitRef struct {
+		id  store.ID
+		hit Hit
+	}
+	order := make([]hitRef, 0, len(matched))
 	for id, hit := range matched {
-		for _, cls := range view.Objects(id, typeID) {
-			clsTerm := dict.Term(cls)
-			if !strings.HasPrefix(clsTerm.Value, rdf.DMNS) {
-				continue // skip owl:Class and friends
+		order = append(order, hitRef{id, hit})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].hit.Name < order[j].hit.Name })
+
+	// Accumulate int indexes into order rather than Hit values: a hit
+	// lands in every inherited-class group, and regrowing []Hit (several
+	// strings each) per group is the single hottest spot at paper scale.
+	type protoGroup struct {
+		group Group
+		refs  []int32
+	}
+	labelID, _ := dict.Lookup(rdf.Label)
+	groups := map[store.ID]*protoGroup{}
+	skip := map[store.ID]bool{} // owl:Class and friends
+	for hi, hr := range order {
+		v.ForEach(hr.id, typeID, store.Wildcard, func(t store.ETriple) bool {
+			cls := t.O
+			if skip[cls] {
+				return true
 			}
 			g, ok := groups[cls]
 			if !ok {
-				g = &Group{Class: clsTerm, Label: s.labelOf(view, dict, cls, labelID)}
+				clsTerm := dict.Term(cls)
+				if !strings.HasPrefix(clsTerm.Value, rdf.DMNS) {
+					skip[cls] = true
+					return true
+				}
+				g = &protoGroup{group: Group{Class: clsTerm, Label: s.labelOf(v, dict, cls, labelID)}}
 				groups[cls] = g
 			}
-			g.Count++
-			if opt.MaxHitsPerGroup == 0 || len(g.Hits) < opt.MaxHitsPerGroup {
-				g.Hits = append(g.Hits, hit)
+			g.group.Count++
+			if opt.MaxHitsPerGroup == 0 || len(g.refs) < opt.MaxHitsPerGroup {
+				g.refs = append(g.refs, int32(hi))
 			}
-		}
+			return true
+		})
 	}
 
 	res := &Result{Term: term, Expanded: expanded, Homonyms: homonyms, Instances: len(matched)}
 	for _, g := range groups {
-		sort.Slice(g.Hits, func(i, j int) bool { return g.Hits[i].Name < g.Hits[j].Name })
-		res.Groups = append(res.Groups, *g)
+		g.group.Hits = make([]Hit, len(g.refs))
+		for i, hi := range g.refs {
+			g.group.Hits[i] = order[hi].hit
+		}
+		res.Groups = append(res.Groups, g.group)
 	}
 	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Label < res.Groups[j].Label })
 	return res, nil
@@ -328,21 +503,6 @@ func (s *Service) labelOf(view *store.View, dict *store.Dict, cls store.ID, labe
 		}
 	}
 	return rdf.LocalName(dict.Term(cls).Value)
-}
-
-// indexedView returns base ∪ OWLPRIME index, materializing the index on
-// first use.
-func (s *Service) indexedView() (*store.View, error) {
-	idx := reason.IndexModelName(s.model, reason.RulebaseOWLPrime)
-	if !s.st.HasModel(idx) {
-		if !s.st.HasModel(s.model) {
-			return nil, fmt.Errorf("search: no such model %q", s.model)
-		}
-		if _, _, err := reason.NewEngine(s.st).Materialize(s.model); err != nil {
-			return nil, err
-		}
-	}
-	return s.st.ViewOf(s.model, idx), nil
 }
 
 // FormatResult renders the result like the Figure 6 frontend: the class

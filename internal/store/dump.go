@@ -88,5 +88,15 @@ func ReadDump(r io.Reader) (*Store, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// A dump is written from a consistent store, so every derived model
+	// (named "<base>$<rulebase>") is adopted as current w.r.t. its base —
+	// otherwise the first query after a load would needlessly re-entail.
+	for name, m := range st.models {
+		if i := strings.IndexByte(name, '$'); i > 0 {
+			if base, ok := st.models[name[:i]]; ok {
+				m.basis = base.gen
+			}
+		}
+	}
 	return st, nil
 }

@@ -16,6 +16,15 @@ type Model struct {
 	pos  map[ID]map[ID][]ID // predicate -> object -> subjects
 	osp  map[ID]map[ID][]ID // object -> subject -> predicates
 	size int
+	// gen counts successful mutations (Add/Remove). Derived artifacts —
+	// the OWLPRIME index models and the full-text indexes — record the
+	// base model's gen they were computed from, so stale derivations are
+	// detectable without diffing triples. gen starts at 1 so that a zero
+	// basis always reads as "never derived".
+	gen uint64
+	// basis is the generation of the base model this model was derived
+	// from (index models only; 0 = not a recorded derivation).
+	basis uint64
 }
 
 // NewModel returns an empty model with the given name.
@@ -25,6 +34,7 @@ func NewModel(name string) *Model {
 		spo:  make(map[ID]map[ID][]ID),
 		pos:  make(map[ID]map[ID][]ID),
 		osp:  make(map[ID]map[ID][]ID),
+		gen:  1,
 	}
 }
 
@@ -33,6 +43,19 @@ func (m *Model) Name() string { return m.name }
 
 // Len returns the number of triples in the model.
 func (m *Model) Len() int { return m.size }
+
+// Gen returns the model's mutation generation: it changes on every
+// successful Add or Remove, so equality of generations implies equality
+// of contents over the model's lifetime.
+func (m *Model) Gen() uint64 { return m.gen }
+
+// Basis returns the recorded base generation of a derived model
+// (0 when none was recorded).
+func (m *Model) Basis() uint64 { return m.basis }
+
+// SetBasis records the base generation this (derived) model was computed
+// from.
+func (m *Model) SetBasis(gen uint64) { m.basis = gen }
 
 // Add inserts the encoded triple and reports whether it was newly added.
 func (m *Model) Add(t ETriple) bool {
@@ -43,6 +66,7 @@ func (m *Model) Add(t ETriple) bool {
 	addIdx(m.pos, t.P, t.O, t.S)
 	addIdx(m.osp, t.O, t.S, t.P)
 	m.size++
+	m.gen++
 	return true
 }
 
@@ -55,6 +79,7 @@ func (m *Model) Remove(t ETriple) bool {
 	removeIdx(m.pos, t.P, t.O, t.S)
 	removeIdx(m.osp, t.O, t.S, t.P)
 	m.size--
+	m.gen++
 	return true
 }
 
@@ -248,10 +273,14 @@ func (m *Model) Predicates() []ID {
 }
 
 // Clone returns a deep copy of the model under a new name. Historization
-// uses this to snapshot a release before the next one mutates it.
+// uses this to snapshot a release before the next one mutates it; the
+// reasoner uses it to compute entailment closures off to the side. The
+// copy keeps the source's generation so derivations from the copy can be
+// checked against the original.
 func (m *Model) Clone(name string) *Model {
 	c := NewModel(name)
 	c.size = m.size
+	c.gen = m.gen
 	c.spo = cloneIdx(m.spo)
 	c.pos = cloneIdx(m.pos)
 	c.osp = cloneIdx(m.osp)

@@ -54,6 +54,93 @@ func (s *Store) HasModel(name string) bool {
 	return ok
 }
 
+// Generation returns the mutation generation of the named model (0 if
+// the model does not exist; live models start at 1). Two reads returning
+// the same generation bracket a span with no writes to the model.
+func (s *Store) Generation(model string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if m, ok := s.models[model]; ok {
+		return m.gen
+	}
+	return 0
+}
+
+// Current reports whether the derived model idx exists and was computed
+// from the present generation of base — i.e. whether the derivation is
+// up to date. A derived model that never recorded a basis is never
+// current.
+func (s *Store) Current(base, idx string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.models[base]
+	if !ok {
+		return false
+	}
+	i, ok := s.models[idx]
+	return ok && i.basis == b.gen
+}
+
+// SnapshotModel returns a deep copy of the named model taken under the
+// read lock (nil if absent). The copy is detached: the caller owns it and
+// may read or mutate it freely while other goroutines keep writing to the
+// store — the safe way to run a long computation over a consistent state.
+func (s *Store) SnapshotModel(model string) *Model {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[model]
+	if !ok {
+		return nil
+	}
+	return m.Clone(model)
+}
+
+// InstallModel atomically publishes m under its name, replacing any
+// existing model. Readers holding a View over the replaced model keep
+// seeing the old contents; new Views pick up m. This is how derived
+// models (entailment indexes) are swapped in without a window in which
+// the model is missing or half-built.
+func (s *Store) InstallModel(m *Model) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models[m.name] = m
+}
+
+// ModelInfo is a point-in-time summary of one model, as observed inside
+// a ReadView critical section.
+type ModelInfo struct {
+	Name    string
+	Exists  bool
+	Gen     uint64 // mutation generation (0 when absent)
+	Basis   uint64 // recorded base generation for derived models
+	Triples int
+}
+
+// ReadView resolves the named models (missing ones are skipped, as in
+// ViewOf) and runs fn with a View over them plus a ModelInfo per
+// requested name, holding the store's read lock for the whole call. No
+// writer can mutate any model while fn runs, so fn may use the view and
+// the infos as one consistent snapshot. fn must not call locking Store
+// methods (Add, Model, ViewOf, ...) — that would self-deadlock; the
+// shared Dict has its own lock and remains safe to use.
+func (s *Store) ReadView(fn func(*View, []ModelInfo), names ...string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]ModelInfo, len(names))
+	var ms []*Model
+	for i, n := range names {
+		infos[i] = ModelInfo{Name: n}
+		if m, ok := s.models[n]; ok {
+			infos[i].Exists = true
+			infos[i].Gen = m.gen
+			infos[i].Basis = m.basis
+			infos[i].Triples = m.size
+			ms = append(ms, m)
+		}
+	}
+	fn(NewView(ms...), infos)
+}
+
 // DropModel removes the named model and reports whether it existed.
 func (s *Store) DropModel(name string) bool {
 	s.mu.Lock()

@@ -1,0 +1,94 @@
+package textindex
+
+import (
+	"sort"
+	"sync"
+
+	"mdw/internal/store"
+)
+
+// Manager caches one Index per model, keyed by the model generation it
+// was built from. It is the component the search service and the
+// warehouse share: the warehouse registers indexes when models load, the
+// search service asks for the index matching the generation it observed
+// and refreshes it when the model has moved on.
+//
+// Manager methods are safe for concurrent use. Returned *Index values
+// are immutable, so callers query them outside the manager's lock.
+type Manager struct {
+	mu  sync.Mutex
+	cfg Config
+	idx map[string]*Index // model -> latest index
+}
+
+// NewManager returns a manager building indexes with cfg (zero-valued
+// slices in cfg select the defaults).
+func NewManager(cfg Config) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), idx: make(map[string]*Index)}
+}
+
+// Config returns the predicate configuration the manager builds with.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Get returns the cached index for model if it matches generation gen.
+func (m *Manager) Get(model string, gen uint64) (*Index, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ix, ok := m.idx[model]
+	if !ok || ix.gen != gen {
+		return nil, false
+	}
+	return ix, true
+}
+
+// Cached returns the latest cached index for model regardless of its
+// generation (nil when none exists) — the best-effort answer when a
+// fresh index cannot be obtained.
+func (m *Manager) Cached(model string) *Index {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.idx[model]
+}
+
+// Refresh returns an index for model at generation gen, building or
+// delta-updating as needed and caching the result. The view must be a
+// consistent snapshot of the model (plus its entailment index) at gen;
+// callers obtain one via store.ReadView. Concurrent Refresh calls for
+// the same model serialize on the manager's lock; whichever finishes
+// last wins the cache slot, and every caller gets an index valid for the
+// generation it presented.
+func (m *Manager) Refresh(model string, gen uint64, v *store.View, dict *store.Dict) *Index {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ix, ok := m.idx[model]; ok {
+		if ix.gen == gen {
+			return ix
+		}
+		next, _, _ := ix.Update(v, gen)
+		m.idx[model] = next
+		return next
+	}
+	ix := Build(model, gen, v, dict, m.cfg)
+	m.idx[model] = ix
+	return ix
+}
+
+// Drop forgets the cached index for model (e.g. when the model is
+// dropped or bulk-replaced and a delta update would be wasteful).
+func (m *Manager) Drop(model string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.idx, model)
+}
+
+// StatsAll reports the stats of every cached index, sorted by model.
+func (m *Manager) StatsAll() []Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Stats, 0, len(m.idx))
+	for _, ix := range m.idx {
+		out = append(out, ix.Stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}

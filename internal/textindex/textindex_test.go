@@ -1,0 +1,250 @@
+package textindex
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mdw/internal/rdf"
+	"mdw/internal/store"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"customer_id", []string{"customer", "id"}},
+		{"v_customer", []string{"v", "customer"}},
+		{"TCD100", []string{"TCD100"}},
+		{"  spaced  out ", []string{"spaced", "out"}},
+		{"___", nil},
+		{"", nil},
+		{"a", []string{"a"}},
+		{"dup dup dup", []string{"dup", "dup", "dup"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// fixture builds a store with a handful of named (and described)
+// subjects and returns the index over it.
+func fixture(t *testing.T) (*store.Store, *Index) {
+	t.Helper()
+	st := store.New()
+	add := func(path, name, desc string) {
+		s := rdf.IRI(rdf.InstNS + path)
+		st.Add("m", rdf.T(s, rdf.HasName, rdf.Literal(name)))
+		if desc != "" {
+			st.Add("m", rdf.T(s, rdf.IRI(rdf.RDFSComment), rdf.Literal(desc)))
+		}
+	}
+	add("t1", "customer_id", "")
+	add("t2", "Customer Account", "primary account holder")
+	add("t3", "v_customer", "")
+	add("t4", "TCD100", "customer segment marker")
+	add("t5", "partner_id", "")
+	ix := Build("m", st.Generation("m"), st.ViewOf("m"), st.Dict(), Config{})
+	return st, ix
+}
+
+func subjectsOf(st *store.Store, ps []Posting) []string {
+	var out []string
+	for _, p := range ps {
+		out = append(out, st.Dict().Term(p.Subject).Value)
+	}
+	return out
+}
+
+func TestSearchFoldedSubstring(t *testing.T) {
+	st, ix := fixture(t)
+
+	for _, term := range []string{"customer", "CUSTOMER", "stome"} {
+		got := subjectsOf(st, ix.Search(term, FieldName))
+		if len(got) != 3 {
+			t.Errorf("Search(%q) names = %v, want 3 subjects", term, got)
+		}
+	}
+	// Tokens-spanning term: "r_i" occurs in "customer_id" and
+	// "partner_id" across the token boundary and must still be found.
+	if got := ix.Search("r_i", FieldName); len(got) != 2 {
+		t.Errorf("Search(r_i) = %v, want customer_id and partner_id", subjectsOf(st, got))
+	}
+	// "r i" (space, not underscore) occurs in neither literal.
+	if got := ix.Search("r i", FieldName); len(got) != 0 {
+		t.Errorf("Search(\"r i\") = %v, want none", subjectsOf(st, got))
+	}
+	// Descriptions are a separate field.
+	if got := ix.Search("customer", FieldDescription); len(got) != 1 {
+		t.Errorf("Search(customer, desc) = %v, want TCD100's comment", subjectsOf(st, got))
+	}
+	// A separator-only term matches no literal but must not panic (its
+	// candidate set is the whole field).
+	if got := ix.Search("###", FieldName); len(got) != 0 {
+		t.Errorf("Search(###) = %v, want none", subjectsOf(st, got))
+	}
+}
+
+func TestVocabularyLookups(t *testing.T) {
+	_, ix := fixture(t)
+	if got := ix.TokensWithPrefix("cust"); !reflect.DeepEqual(got, []string{"customer"}) {
+		t.Errorf("TokensWithPrefix(cust) = %v", got)
+	}
+	if got := ix.TokensWithPrefix("CUST"); !reflect.DeepEqual(got, []string{"customer"}) {
+		t.Errorf("TokensWithPrefix folds its argument: %v", got)
+	}
+	got := ix.TokensContaining("ccoun")
+	if !reflect.DeepEqual(got, []string{"account"}) {
+		t.Errorf("TokensContaining(ccoun) = %v", got)
+	}
+	if got := ix.TokensWithPrefix("zzz"); len(got) != 0 {
+		t.Errorf("TokensWithPrefix(zzz) = %v", got)
+	}
+}
+
+func TestSearchAnyAttributesFirstTerm(t *testing.T) {
+	st, ix := fixture(t)
+	ms := ix.SearchAny([]string{"partner", "customer"}, FieldName)
+	if len(ms) != 4 {
+		t.Fatalf("SearchAny = %v", ms)
+	}
+	for _, m := range ms {
+		subj := st.Dict().Term(m.Subject).Value
+		wantTerm := 1
+		if subj == rdf.InstNS+"t5" {
+			wantTerm = 0
+		}
+		if m.Term != wantTerm {
+			t.Errorf("%s attributed to term %d, want %d", subj, m.Term, wantTerm)
+		}
+	}
+}
+
+func TestUpdateIsIncrementalAndImmutable(t *testing.T) {
+	st, ix := fixture(t)
+	before := ix.Stats()
+
+	// Add a new literal and remove one.
+	s6 := rdf.IRI(rdf.InstNS + "t6")
+	st.Add("m", rdf.T(s6, rdf.HasName, rdf.Literal("customer_flag")))
+	st.Remove("m", rdf.T(rdf.IRI(rdf.InstNS+"t5"), rdf.HasName, rdf.Literal("partner_id")))
+
+	next, added, removed := ix.Update(st.ViewOf("m"), st.Generation("m"))
+	if added != 1 || removed != 1 {
+		t.Fatalf("Update added=%d removed=%d, want 1/1", added, removed)
+	}
+	if next.Gen() != st.Generation("m") {
+		t.Errorf("updated index gen = %d, want %d", next.Gen(), st.Generation("m"))
+	}
+	// The predecessor still answers from its old state.
+	if got := ix.Search("partner", FieldName); len(got) != 1 {
+		t.Errorf("old index lost partner_id: %v", subjectsOf(st, got))
+	}
+	if got := ix.Stats(); got != before {
+		t.Errorf("old index stats changed: %+v -> %+v", before, got)
+	}
+	// The successor reflects both changes.
+	if got := next.Search("partner", FieldName); len(got) != 0 {
+		t.Errorf("new index still has partner_id: %v", subjectsOf(st, got))
+	}
+	if got := next.Search("customer", FieldName); len(got) != 4 {
+		t.Errorf("new index missing customer_flag: %v", subjectsOf(st, got))
+	}
+
+	// A no-op update shares everything and reports no changes.
+	same, a, r := next.Update(st.ViewOf("m"), st.Generation("m"))
+	if a != 0 || r != 0 {
+		t.Errorf("no-op update added=%d removed=%d", a, r)
+	}
+	if same.Stats().Literals != next.Stats().Literals {
+		t.Errorf("no-op update changed literal count")
+	}
+}
+
+func TestManagerCachesPerGeneration(t *testing.T) {
+	st, _ := fixture(t)
+	m := NewManager(Config{})
+
+	gen := st.Generation("m")
+	ix := m.Refresh("m", gen, st.ViewOf("m"), st.Dict())
+	if got, ok := m.Get("m", gen); !ok || got != ix {
+		t.Fatal("Get after Refresh missed")
+	}
+	// Same generation: Refresh returns the cached value.
+	if again := m.Refresh("m", gen, st.ViewOf("m"), st.Dict()); again != ix {
+		t.Error("Refresh rebuilt an up-to-date index")
+	}
+	// New generation: the old key no longer answers, Refresh updates.
+	st.Add("m", rdf.T(rdf.IRI(rdf.InstNS+"t9"), rdf.HasName, rdf.Literal("fresh")))
+	if _, ok := m.Get("m", st.Generation("m")); ok {
+		t.Error("Get hit for a generation never indexed")
+	}
+	next := m.Refresh("m", st.Generation("m"), st.ViewOf("m"), st.Dict())
+	if next == ix {
+		t.Error("Refresh did not advance the index")
+	}
+	if m.Cached("m") != next {
+		t.Error("Cached should return the latest index")
+	}
+
+	stats := m.StatsAll()
+	if len(stats) != 1 || stats[0].Model != "m" || stats[0].Gen != st.Generation("m") {
+		t.Errorf("StatsAll = %+v", stats)
+	}
+	m.Drop("m")
+	if m.Cached("m") != nil {
+		t.Error("Drop left a cached index")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	_, ix := fixture(t)
+	st := ix.Stats()
+	if st.Literals != 7 { // 5 names + 2 descriptions
+		t.Errorf("Literals = %d, want 7", st.Literals)
+	}
+	if st.Predicates != 2 { // dm:hasName + rdfs:comment (no rdfs:label in fixture)
+		t.Errorf("Predicates = %d, want 2", st.Predicates)
+	}
+	if st.Tokens == 0 || st.Postings < st.Literals {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+// TestBuildMatchesScanOnRandomishCorpus cross-checks Search against a
+// brute-force fold+contains scan over a generated corpus of literals.
+func TestBuildMatchesScanOnRandomishCorpus(t *testing.T) {
+	st := store.New()
+	words := []string{"customer", "client", "partner", "account", "tcd100", "v", "id", "flag", "segment"}
+	var texts []string
+	for i := 0; i < 120; i++ {
+		text := fmt.Sprintf("%s_%s_%d", words[i%len(words)], words[(i*7+3)%len(words)], i%10)
+		texts = append(texts, text)
+		st.Add("m", rdf.T(rdf.IRI(fmt.Sprintf("%sc%d", rdf.InstNS, i)), rdf.HasName, rdf.Literal(text)))
+	}
+	ix := Build("m", st.Generation("m"), st.ViewOf("m"), st.Dict(), Config{})
+	for _, term := range []string{"customer", "CUST", "0_cl", "d_1", "tcd", "nope", "t_1", "1"} {
+		want := 0
+		for _, text := range texts {
+			if containsFolded(text, term) {
+				want++
+			}
+		}
+		if got := len(ix.Search(term, FieldName)); got != want {
+			t.Errorf("Search(%q) = %d matches, scan says %d", term, got, want)
+		}
+	}
+}
+
+func containsFolded(text, term string) bool {
+	f, ft := Fold(text), Fold(term)
+	for i := 0; i+len(ft) <= len(f); i++ {
+		if f[i:i+len(ft)] == ft {
+			return true
+		}
+	}
+	return false
+}
