@@ -141,6 +141,74 @@ func TestSearchSeesLaterWrites(t *testing.T) {
 	}
 }
 
+// TestLateDescriptionPredicateIndexed reproduces the frozen-field-map
+// bug end to end: the full-text index is built while no rdfs:comment
+// triple exists anywhere (so the predicate is not interned yet), then
+// the first description is written. The delta-updated index must find
+// it — previously the indexed path silently returned 0 while the scan
+// oracle found 1.
+func TestLateDescriptionPredicateIndexed(t *testing.T) {
+	st := store.New()
+	col := rdf.IRI(rdf.InstNS + "late/c1")
+	st.Add("DWH_CURR", rdf.T(col, rdf.Type, rdf.IRI(rdf.DMNS+"Column")))
+	st.Add("DWH_CURR", rdf.T(col, rdf.HasName, rdf.Literal("tcd100")))
+	svc := New(st, "DWH_CURR", nil)
+
+	opt := Options{MatchDescriptions: true}
+	if res, err := svc.Search("tcd100", opt); err != nil || res.Instances != 1 {
+		t.Fatalf("prime search: %v, %+v", err, res)
+	}
+
+	st.Add("DWH_CURR", rdf.T(col, rdf.IRI(rdf.RDFSComment), rdf.Literal("customer segment marker")))
+
+	indexed, err := svc.Search("segment", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexed.Instances != 1 {
+		t.Errorf("indexed search missed the late description: %d instances, want 1", indexed.Instances)
+	}
+	scanOpt := opt
+	scanOpt.ForceScan = true
+	scanned, err := svc.Search("segment", scanOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon(indexed), canon(scanned)) {
+		t.Errorf("indexed and scan disagree on late description\nindexed: %+v\nscan:    %+v", indexed, scanned)
+	}
+}
+
+// TestMultiNameHitAttributionDeterministic pins the tie-break for
+// subjects carrying several matching name literals: the lowest object ID
+// (the first-interned literal) supplies Hit.Name on BOTH paths, every
+// run — triple-map iteration order must not leak into results.
+func TestMultiNameHitAttributionDeterministic(t *testing.T) {
+	st := store.New()
+	col := rdf.IRI(rdf.InstNS + "dup/c1")
+	st.Add("DWH_CURR", rdf.T(col, rdf.Type, rdf.IRI(rdf.DMNS+"Column")))
+	st.Add("DWH_CURR", rdf.T(col, rdf.HasName, rdf.Literal("customer_beta")))
+	st.Add("DWH_CURR", rdf.T(col, rdf.HasName, rdf.Literal("customer_alpha")))
+	svc := New(st, "DWH_CURR", nil)
+
+	for run := 0; run < 8; run++ {
+		for _, forceScan := range []bool{false, true} {
+			res, err := svc.Search("customer", Options{ForceScan: forceScan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := groupByLabel(res, "Column")
+			if g == nil || len(g.Hits) != 1 {
+				t.Fatalf("forceScan=%v: unexpected result %+v", forceScan, res)
+			}
+			if g.Hits[0].Name != "customer_beta" {
+				t.Errorf("forceScan=%v run %d: Hit.Name = %q, want first-interned \"customer_beta\"",
+					forceScan, run, g.Hits[0].Name)
+			}
+		}
+	}
+}
+
 // TestEnsureIndexTracksGenerations covers the exported index-building
 // entry point the warehouse uses for build-on-load.
 func TestEnsureIndexTracksGenerations(t *testing.T) {

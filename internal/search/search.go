@@ -30,6 +30,13 @@
 // model (via the store's generation counters), re-materializes it when
 // the model has moved, and evaluates the query under the store's read
 // lock so concurrent writers cannot tear the view.
+//
+// Index maintenance is kept off the store's read lock: only the cheap
+// posting collection runs under it, while the O(all literals)
+// tokenization of a build or delta update happens outside, so a cold
+// index never stalls writers. Builds are single-flighted per model;
+// a search arriving while another goroutine is building serves its
+// query from the scan path instead of waiting.
 package search
 
 import (
@@ -178,6 +185,13 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 				return nil, err
 			}
 		}
+		if !opt.ForceScan {
+			// Bring the full-text index up to date before taking the read
+			// lock, so its tokenization never runs under it. Best-effort:
+			// on failure (another goroutine is mid-build, or writers keep
+			// racing) this query falls back to the scan path below.
+			ensureFresh(s.st, s.model, idxName, s.tix, false)
+		}
 		var res *Result
 		var err error
 		done := false
@@ -191,11 +205,15 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 			if !fresh && attempt < maxFreshAttempts {
 				return // base moved since Materialize; retry
 			}
-			// Writers outran us: serve this (consistent) snapshot via the
-			// scan path rather than caching an index whose generation key
-			// would not describe its contents.
-			useIndex := !opt.ForceScan && fresh
-			res, err = s.searchView(v, infos[0].Gen, useIndex, term, expanded, homonyms, opt)
+			// Use the prebuilt index only when it describes exactly this
+			// snapshot's generation; otherwise (writers outran us, or the
+			// build was skipped) serve this consistent snapshot via the
+			// scan path. Never build under the read lock.
+			var ix *textindex.Index
+			if !opt.ForceScan && fresh {
+				ix, _ = s.tix.Get(s.model, infos[0].Gen)
+			}
+			res, err = s.searchView(v, ix, term, expanded, homonyms, opt)
 			done = true
 		}, s.model, idxName)
 		if done {
@@ -219,24 +237,67 @@ func EnsureIndex(st *store.Store, model string, mgr *textindex.Manager) (*textin
 				return nil, err
 			}
 		}
-		var ix *textindex.Index
-		st.ReadView(func(v *store.View, infos []store.ModelInfo) {
-			if infos[0].Exists && infos[1].Exists && infos[1].Basis == infos[0].Gen {
-				ix = mgr.Refresh(model, infos[0].Gen, v, st.Dict())
-			}
-		}, model, idxName)
-		if ix != nil {
+		if ix := ensureFresh(st, model, idxName, mgr, true); ix != nil {
 			return ix, nil
 		}
 	}
 	return nil, fmt.Errorf("search: model %q kept changing while indexing", model)
 }
 
+// ensureFresh brings the manager's index for model up to date with the
+// store's present generation, keeping the expensive tokenization off the
+// store's read lock: only textindex.Collect (a cheap scan of the indexed
+// predicates) runs under ReadView; the build or delta update works from
+// the collected postings afterwards. Builds are single-flighted through
+// the manager's per-model build lock. When block is false and another
+// goroutine already holds it, ensureFresh returns nil immediately and
+// the caller serves its query from the scan path instead of stalling.
+// It also returns nil when the entailment index is stale relative to the
+// base (a writer raced the caller's Materialize); callers retry.
+func ensureFresh(st *store.Store, model, idxName string, mgr *textindex.Manager, block bool) *textindex.Index {
+	if ix, ok := mgr.Get(model, st.Generation(model)); ok {
+		return ix
+	}
+	bmu := mgr.BuildLock(model)
+	if block {
+		bmu.Lock()
+	} else if !bmu.TryLock() {
+		return nil
+	}
+	defer bmu.Unlock()
+	// Re-check under the build lock: the previous holder may have built
+	// exactly the generation we need.
+	if ix, ok := mgr.Get(model, st.Generation(model)); ok {
+		return ix
+	}
+	field := mgr.Fields(st.Dict())
+	var posts []textindex.Posting
+	var gen uint64
+	consistent := false
+	st.ReadView(func(v *store.View, infos []store.ModelInfo) {
+		if !infos[0].Exists || !infos[1].Exists || infos[1].Basis != infos[0].Gen {
+			return
+		}
+		gen = infos[0].Gen
+		posts = textindex.Collect(v, field)
+		consistent = true
+	}, model, idxName)
+	if !consistent {
+		return nil
+	}
+	var ix *textindex.Index
+	if prev := mgr.Cached(model); prev != nil {
+		ix, _, _ = prev.UpdateWith(gen, field, posts)
+	} else {
+		ix = textindex.BuildPostings(model, gen, st.Dict(), field, posts)
+	}
+	return mgr.Install(ix)
+}
+
 // searchView evaluates the query against one consistent view (held under
-// the store's read lock by the caller). gen is the base model generation
-// the view represents; useIndex selects the inverted-index candidate
-// path over the literal scan.
-func (s *Service) searchView(v *store.View, gen uint64, useIndex bool,
+// the store's read lock by the caller). ix is a full-text index over
+// exactly that view's generation, or nil to take the literal-scan path.
+func (s *Service) searchView(v *store.View, ix *textindex.Index,
 	term string, expanded, homonyms []string, opt Options) (*Result, error) {
 	dict := s.st.Dict()
 
@@ -285,10 +346,6 @@ func (s *Service) searchView(v *store.View, gen uint64, useIndex bool,
 		matched[subj] = Hit{IRI: dict.Term(subj), Name: name, Matched: expanded[termIdx]}
 	}
 
-	var ix *textindex.Index
-	if useIndex {
-		ix = s.tix.Refresh(s.model, gen, v, dict)
-	}
 	match := func(predID store.ID, field textindex.Field, isName bool) {
 		if predID == store.Wildcard {
 			return
@@ -297,7 +354,10 @@ func (s *Service) searchView(v *store.View, gen uint64, useIndex bool,
 			// Indexed path: per term, the index returns exactly the
 			// postings whose folded text contains the folded term. The
 			// index also covers rdfs:label literals, so keep only the
-			// predicate this pass matches (parity with the scan).
+			// predicate this pass matches (parity with the scan). Postings
+			// arrive sorted by (Subject, Pred, Object), so when a subject
+			// has several matching literals the lowest object ID supplies
+			// Hit.Name — the scan path applies the same tie-break.
 			for i := range expanded {
 				for _, p := range ix.Search(expanded[i], field) {
 					if p.Pred == predID {
@@ -309,18 +369,27 @@ func (s *Service) searchView(v *store.View, gen uint64, useIndex bool,
 		}
 		// Scan path: the paper's regexp_like(text, term, 'i') — the
 		// patterns are always quoted literals, so case-folded substring
-		// matching is equivalent and skips the regex machinery.
+		// matching is equivalent and skips the regex machinery. Among a
+		// subject's several matching literals the lowest object ID wins,
+		// deterministically and in parity with the indexed path's sorted
+		// postings (triple iteration order is not deterministic).
 		for i := range folded {
+			best := map[store.ID]store.ID{}
 			v.ForEach(store.Wildcard, predID, store.Wildcard, func(t store.ETriple) bool {
 				if _, done := matched[t.S]; done || rejected[t.S] {
 					return true
 				}
-				text := dict.Term(t.O).Value
-				if strings.Contains(textindex.Fold(text), folded[i]) {
-					admit(t.S, text, isName, i)
+				if o, ok := best[t.S]; ok && o <= t.O {
+					return true
+				}
+				if strings.Contains(textindex.Fold(dict.Term(t.O).Value), folded[i]) {
+					best[t.S] = t.O
 				}
 				return true
 			})
+			for subj, obj := range best {
+				admit(subj, dict.Term(obj).Value, isName, i)
+			}
 		}
 	}
 	match(nameID, textindex.FieldName, true)

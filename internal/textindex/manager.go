@@ -13,22 +13,35 @@ import (
 // search service asks for the index matching the generation it observed
 // and refreshes it when the model has moved on.
 //
-// Manager methods are safe for concurrent use. Returned *Index values
+// Manager methods are safe for concurrent use, and none of them holds
+// the manager's lock while tokenizing: a build in progress never makes
+// Get callers (i.e. concurrent searches) wait. Returned *Index values
 // are immutable, so callers query them outside the manager's lock.
 type Manager struct {
 	mu  sync.Mutex
 	cfg Config
-	idx map[string]*Index // model -> latest index
+	idx map[string]*Index      // model -> latest index
+	bld map[string]*sync.Mutex // model -> build lock (single-flight)
 }
 
 // NewManager returns a manager building indexes with cfg (zero-valued
 // slices in cfg select the defaults).
 func NewManager(cfg Config) *Manager {
-	return &Manager{cfg: cfg.withDefaults(), idx: make(map[string]*Index)}
+	return &Manager{
+		cfg: cfg.withDefaults(),
+		idx: make(map[string]*Index),
+		bld: make(map[string]*sync.Mutex),
+	}
 }
 
 // Config returns the predicate configuration the manager builds with.
 func (m *Manager) Config() Config { return m.cfg }
+
+// Fields interns the manager's configured predicates and returns the
+// predicate → field map (see Config.Fields).
+func (m *Manager) Fields(dict *store.Dict) map[store.ID]Field {
+	return m.cfg.Fields(dict)
+}
 
 // Get returns the cached index for model if it matches generation gen.
 func (m *Manager) Get(model string, gen uint64) (*Index, bool) {
@@ -50,27 +63,56 @@ func (m *Manager) Cached(model string) *Index {
 	return m.idx[model]
 }
 
-// Refresh returns an index for model at generation gen, building or
-// delta-updating as needed and caching the result. The view must be a
-// consistent snapshot of the model (plus its entailment index) at gen;
-// callers obtain one via store.ReadView. Concurrent Refresh calls for
-// the same model serialize on the manager's lock; whichever finishes
-// last wins the cache slot, and every caller gets an index valid for the
-// generation it presented.
-func (m *Manager) Refresh(model string, gen uint64, v *store.View, dict *store.Dict) *Index {
+// BuildLock returns the per-model mutex that single-flights index
+// construction: builders take it (Lock to wait, TryLock to fall back to
+// scanning instead) around the Collect → BuildPostings/UpdateWith →
+// Install sequence so at most one goroutine tokenizes a model at a time.
+func (m *Manager) BuildLock(model string) *sync.Mutex {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if ix, ok := m.idx[model]; ok {
-		if ix.gen == gen {
-			return ix
-		}
-		next, _, _ := ix.Update(v, gen)
-		m.idx[model] = next
-		return next
+	bm, ok := m.bld[model]
+	if !ok {
+		bm = &sync.Mutex{}
+		m.bld[model] = bm
 	}
-	ix := Build(model, gen, v, dict, m.cfg)
-	m.idx[model] = ix
+	return bm
+}
+
+// Install publishes ix as the latest index for its model and returns the
+// cached value: ix itself, or the already-installed index when one of
+// the same generation is present (so equal-generation callers observe a
+// stable pointer). Later installs win otherwise — generations are
+// monotonic per model, and builders are serialized by BuildLock.
+func (m *Manager) Install(ix *Index) *Index {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.idx[ix.model]; ok && cur.gen == ix.gen {
+		return cur
+	}
+	m.idx[ix.model] = ix
 	return ix
+}
+
+// Refresh returns an index for model at generation gen, building or
+// delta-updating as needed and caching the result. The view must be a
+// consistent snapshot of the model (plus its entailment index) at gen
+// for the whole call; callers obtain one via store.ReadView. Callers
+// that cannot afford tokenization under the store's read lock split the
+// work themselves (Collect under the lock, BuildPostings/UpdateWith and
+// Install outside it) — that is what the search service does.
+func (m *Manager) Refresh(model string, gen uint64, v *store.View, dict *store.Dict) *Index {
+	if ix, ok := m.Get(model, gen); ok {
+		return ix
+	}
+	field := m.Fields(dict)
+	posts := Collect(v, field)
+	var ix *Index
+	if prev := m.Cached(model); prev != nil {
+		ix, _, _ = prev.UpdateWith(gen, field, posts)
+	} else {
+		ix = BuildPostings(model, gen, dict, field, posts)
+	}
+	return m.Install(ix)
 }
 
 // Drop forgets the cached index for model (e.g. when the model is

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"mdw/internal/rdf"
 	"mdw/internal/store"
@@ -80,6 +81,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Fields resolves the configured predicates to their dictionary IDs and
+// returns the predicate → field map an index is built around. The
+// predicates are interned, not looked up: a configured predicate with no
+// triples yet (e.g. rdfs:comment before the first description is loaded)
+// must still get an ID, otherwise it would be frozen out of the field
+// map and every later delta update would silently skip its triples.
+// Name predicates win when a predicate is configured as both.
+func (c Config) Fields(dict *store.Dict) map[store.ID]Field {
+	c = c.withDefaults()
+	field := make(map[store.ID]Field, len(c.NamePredicates)+len(c.DescriptionPredicates))
+	for _, p := range c.NamePredicates {
+		field[dict.Intern(p)] = FieldName
+	}
+	for _, p := range c.DescriptionPredicates {
+		id := dict.Intern(p)
+		if _, taken := field[id]; !taken {
+			field[id] = FieldDescription
+		}
+	}
+	return field
+}
+
 // Posting locates one indexed literal: the subject carrying the text,
 // the predicate it is attached with, and the literal's dictionary ID.
 // A Posting identifies the literal occurrence, so it doubles as the
@@ -110,10 +133,22 @@ type Index struct {
 	toks  []string             // sorted distinct tokens
 }
 
-// Fold canonicalizes text for matching. Both the index and the retained
-// scan path fold with this exact function, which is what guarantees
-// result parity between them.
-func Fold(s string) string { return strings.ToLower(s) }
+// Fold canonicalizes text for matching. ASCII (the overwhelmingly
+// common case for warehouse identifiers) is lowercased directly;
+// anything else takes full Unicode case folding approximated as
+// upper-then-lower, which sends the special casings plain lowercasing
+// misses — ſ (U+017F) → s, the Kelvin sign K (U+212A) → k — to the same
+// representative on both the index and the query side. Both the index
+// and the retained scan path fold with this exact function, which is
+// what guarantees result parity between them.
+func Fold(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return strings.ToLower(strings.ToUpper(s))
+		}
+	}
+	return strings.ToLower(s)
+}
 
 // Tokenize splits folded text into its maximal letter/digit runs, in
 // order and with duplicates preserved.
@@ -156,47 +191,54 @@ func uniqueTokens(toks []string) []string {
 // Build indexes the configured predicates of the view, which must
 // represent the named model (plus its entailment index) at generation
 // gen. The caller is responsible for excluding writers while Build reads
-// the view (store.ReadView does exactly that).
+// the view (store.ReadView does exactly that). Callers that must not
+// hold the store's read lock for the whole O(all literals) tokenization
+// use the two-phase form instead: Collect under the lock, then
+// BuildPostings outside it.
 func Build(model string, gen uint64, v *store.View, dict *store.Dict, cfg Config) *Index {
+	field := cfg.Fields(dict)
+	return BuildPostings(model, gen, dict, field, Collect(v, field))
+}
+
+// Collect gathers every (subject, predicate, object) occurrence of a
+// field predicate in the view — possibly with duplicates when the view
+// spans overlapping models; indexing is idempotent per occurrence.
+// Objects are collected by their term value whatever their kind —
+// exactly the text the scan path matches against — though in a
+// well-formed warehouse they are literals. This is the only part of
+// index construction that must run while the view is protected against
+// writers (store.ReadView); the expensive tokenization (BuildPostings,
+// UpdateWith) works from the returned slice and needs no store lock.
+func Collect(v *store.View, field map[store.ID]Field) []Posting {
+	var out []Posting
+	for predID := range field {
+		v.ForEach(store.Wildcard, predID, store.Wildcard, func(t store.ETriple) bool {
+			out = append(out, Posting{Subject: t.S, Pred: t.P, Object: t.O})
+			return true
+		})
+	}
+	return out
+}
+
+// BuildPostings tokenizes the collected occurrences into a fresh index.
+// It reads only dict (which has its own lock) and its arguments, so it
+// is safe to run outside any store lock.
+func BuildPostings(model string, gen uint64, dict *store.Dict, field map[store.ID]Field, posts []Posting) *Index {
 	ix := &Index{
 		model: model,
 		gen:   gen,
 		dict:  dict,
-		field: map[store.ID]Field{},
+		field: field,
 		post:  map[string][]Posting{},
 		lits:  map[Posting]struct{}{},
 		ftext: map[store.ID]string{},
 	}
-	cfg = cfg.withDefaults()
-	for _, p := range cfg.NamePredicates {
-		if id, ok := dict.Lookup(p); ok {
-			ix.field[id] = FieldName
-		}
+	for _, p := range posts {
+		ix.add(p)
 	}
-	for _, p := range cfg.DescriptionPredicates {
-		if id, ok := dict.Lookup(p); ok {
-			if _, taken := ix.field[id]; !taken { // name wins on overlap
-				ix.field[id] = FieldDescription
-			}
-		}
-	}
-	ix.forEachLiteral(v, func(p Posting) { ix.add(p) })
 	ix.rebuildTokens()
 	ix.sortPostings(nil)
 	return ix
-}
-
-// forEachLiteral streams every (subject, predicate, object) occurrence
-// of an indexed predicate in the view. Objects are indexed by their
-// term value whatever their kind — exactly the text the scan path
-// matches against — though in a well-formed warehouse they are literals.
-func (ix *Index) forEachLiteral(v *store.View, fn func(Posting)) {
-	for predID := range ix.field {
-		v.ForEach(store.Wildcard, predID, store.Wildcard, func(t store.ETriple) bool {
-			fn(Posting{Subject: t.S, Pred: t.P, Object: t.O})
-			return true
-		})
-	}
 }
 
 // add inserts one literal occurrence (idempotent).
@@ -264,9 +306,23 @@ func (ix *Index) sortPostings(tokens map[string]bool) {
 // describes (§III.A: meta-data only ever accumulates between releases).
 // The receiver is not modified; in-flight queries against it stay valid.
 // It also reports how many literal occurrences were added and removed.
+// Like Build it runs entirely under the caller's view protection; the
+// lock-splitting form is Collect + UpdateWith.
 func (ix *Index) Update(v *store.View, gen uint64) (*Index, int, int) {
-	cur := map[Posting]struct{}{}
-	ix.forEachLiteral(v, func(p Posting) { cur[p] = struct{}{} })
+	return ix.UpdateWith(gen, ix.field, Collect(v, ix.field))
+}
+
+// UpdateWith is the tokenization half of an incremental update: cur is
+// the complete occurrence set of the field predicates, as returned by
+// Collect under the store's read lock; UpdateWith itself needs no store
+// lock. field becomes the successor's predicate map (it may be a
+// superset of the receiver's — predicates configured but unseen when the
+// receiver was built).
+func (ix *Index) UpdateWith(gen uint64, field map[store.ID]Field, posts []Posting) (*Index, int, int) {
+	cur := make(map[Posting]struct{}, len(posts))
+	for _, p := range posts {
+		cur[p] = struct{}{}
+	}
 
 	var added, removed []Posting
 	for p := range cur {
@@ -280,7 +336,7 @@ func (ix *Index) Update(v *store.View, gen uint64) (*Index, int, int) {
 		}
 	}
 
-	next := &Index{model: ix.model, gen: gen, dict: ix.dict, field: ix.field}
+	next := &Index{model: ix.model, gen: gen, dict: ix.dict, field: field}
 	if len(added) == 0 && len(removed) == 0 {
 		next.post, next.lits, next.ftext, next.toks = ix.post, ix.lits, ix.ftext, ix.toks
 		return next, 0, 0

@@ -164,6 +164,57 @@ func TestUpdateIsIncrementalAndImmutable(t *testing.T) {
 	}
 }
 
+// TestUpdateLearnsLateConfiguredPredicate is the regression test for the
+// frozen-field-map bug: an index built before ANY triple of a configured
+// predicate exists (so the predicate was not even interned at build
+// time) must still pick that predicate's triples up through delta
+// updates, not only through a full rebuild.
+func TestUpdateLearnsLateConfiguredPredicate(t *testing.T) {
+	st := store.New()
+	s1 := rdf.IRI(rdf.InstNS + "t1")
+	st.Add("m", rdf.T(s1, rdf.HasName, rdf.Literal("tcd100")))
+	ix := Build("m", st.Generation("m"), st.ViewOf("m"), st.Dict(), Config{})
+
+	// First description ever, added after the build.
+	st.Add("m", rdf.T(s1, rdf.IRI(rdf.RDFSComment), rdf.Literal("customer segment marker")))
+	next, added, removed := ix.Update(st.ViewOf("m"), st.Generation("m"))
+	if added != 1 || removed != 0 {
+		t.Fatalf("Update added=%d removed=%d, want 1/0", added, removed)
+	}
+	if got := next.Search("marker", FieldDescription); len(got) != 1 {
+		t.Errorf("description added after build: %d indexed matches, want 1", len(got))
+	}
+
+	// Same for the first rdfs:label.
+	st.Add("m", rdf.T(s1, rdf.Label, rdf.Literal("Segment Marker Column")))
+	next2, _, _ := next.Update(st.ViewOf("m"), st.Generation("m"))
+	if got := next2.Search("segment", FieldName); len(got) != 1 {
+		t.Errorf("label added after build: %d indexed matches, want 1", len(got))
+	}
+}
+
+func TestFoldUnicode(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Customer_ID", "customer_id"},
+		{"plain ascii", "plain ascii"},
+		{"ſecret", "secret"}, // long s — plain ToLower misses this
+		{"Kelvin", "kelvin"}, // Kelvin sign
+	}
+	for _, c := range cases {
+		if got := Fold(c.in); got != c.want {
+			t.Errorf("Fold(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Index and query sides fold identically: a literal spelled with the
+	// Kelvin sign is found by its ASCII spelling.
+	st := store.New()
+	st.Add("m", rdf.T(rdf.IRI(rdf.InstNS+"k"), rdf.HasName, rdf.Literal("temp_K_sensor")))
+	ix := Build("m", st.Generation("m"), st.ViewOf("m"), st.Dict(), Config{})
+	if got := ix.Search("K_sensor", FieldName); len(got) != 1 {
+		t.Errorf("Search(K_sensor) = %d matches, want 1", len(got))
+	}
+}
+
 func TestManagerCachesPerGeneration(t *testing.T) {
 	st, _ := fixture(t)
 	m := NewManager(Config{})
@@ -206,8 +257,11 @@ func TestStatsCounters(t *testing.T) {
 	if st.Literals != 7 { // 5 names + 2 descriptions
 		t.Errorf("Literals = %d, want 7", st.Literals)
 	}
-	if st.Predicates != 2 { // dm:hasName + rdfs:comment (no rdfs:label in fixture)
-		t.Errorf("Predicates = %d, want 2", st.Predicates)
+	// Every configured predicate is interned up front — including
+	// rdfs:label, which has no triples in the fixture — so that triples
+	// using it later are picked up by delta updates.
+	if st.Predicates != 3 { // dm:hasName + rdfs:label + rdfs:comment
+		t.Errorf("Predicates = %d, want 3", st.Predicates)
 	}
 	if st.Tokens == 0 || st.Postings < st.Literals {
 		t.Errorf("Stats = %+v", st)
