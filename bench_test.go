@@ -531,7 +531,10 @@ func BenchmarkGraphVsRelational(b *testing.B) {
 	})
 	b.Run("relational-load", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			c := relstore.NewTextbook()
+			c, err := relstore.NewTextbook()
+			if err != nil {
+				b.Fatal(err)
+			}
 			if _, err := c.LoadExports(plain); err != nil {
 				b.Fatal(err)
 			}
@@ -558,7 +561,10 @@ func BenchmarkGraphVsRelational(b *testing.B) {
 	b.Run("relational-new-kind", func(b *testing.B) {
 		var ddl int
 		for i := 0; i < b.N; i++ {
-			c := relstore.NewTextbook()
+			c, err := relstore.NewTextbook()
+			if err != nil {
+				b.Fatal(err)
+			}
 			if _, err := c.LoadExports(plain); err != nil {
 				b.Fatal(err)
 			}

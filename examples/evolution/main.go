@@ -84,7 +84,10 @@ func main() {
 	fmt.Printf("graph warehouse:  release diff R1→R2: +%d / -%d triples\n\n", len(d.Added), len(d.Removed))
 
 	// ---- Textbook relational catalog ----
-	c := relstore.NewTextbook()
+	c, err := relstore.NewTextbook()
+	if err != nil {
+		log.Fatal(err)
+	}
 	dropped, err := c.LoadExports(withoutConcepts)
 	if err != nil {
 		log.Fatal(err)

@@ -74,7 +74,10 @@ func TestEveryChainIsTraceable(t *testing.T) {
 // names finds.
 func TestSearchSupersetOfRelationalLike(t *testing.T) {
 	w, l := buildSmall(t)
-	c := relstore.NewTextbook()
+	c, err := relstore.NewTextbook()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.LoadExports(l.Exports); err != nil {
 		t.Fatal(err)
 	}

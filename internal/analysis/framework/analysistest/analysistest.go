@@ -1,0 +1,141 @@
+// Package analysistest runs a framework.Analyzer over fixture packages
+// and checks its diagnostics against "// want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line expects diagnostics by carrying a trailing comment of
+// the form
+//
+//	// want "regexp" `another regexp`
+//
+// Every diagnostic reported on that line must match one of the regexps,
+// and every regexp must be matched by exactly one diagnostic. Lines
+// without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mdw/internal/analysis/framework"
+)
+
+// Run loads each named fixture directory (resolved relative to
+// dir/testdata/src) as one package, applies the analyzer, and reports
+// mismatches through t.
+func Run(t *testing.T, dir string, a *framework.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fx := range fixtures {
+		runOne(t, filepath.Join(dir, "testdata", "src", fx), fx, a)
+	}
+}
+
+func runOne(t *testing.T, fxDir, fxName string, a *framework.Analyzer) {
+	t.Helper()
+	loader, err := framework.NewLoader(fxDir)
+	if err != nil {
+		t.Fatalf("%s: %v", fxName, err)
+	}
+	pkg, err := loader.LoadDir(fxDir, "fixture/"+fxName)
+	if err != nil {
+		t.Fatalf("%s: loading fixture: %v", fxName, err)
+	}
+	diags, err := framework.Run([]*framework.Package{pkg}, a)
+	if err != nil {
+		t.Fatalf("%s: running %s: %v", fxName, a.Name, err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", fxName, err)
+	}
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", fxName, filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", fxName, w.re.String(), filepath.Base(w.file), w.line)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+func (ws *wantSet) match(d framework.Diagnostic) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func collectWants(pkg *framework.Package) (*wantSet, error) {
+	ws := &wantSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+					}
+					ws.wants = append(ws.wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// splitPatterns parses a sequence of "..." or `...` quoted regexps.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want patterns must be quoted with \" or `, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

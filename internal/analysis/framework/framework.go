@@ -1,0 +1,160 @@
+// Package framework is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer holds a
+// name, documentation, and a Run function; a Pass hands the Run function
+// one type-checked package at a time and collects diagnostics.
+//
+// The x/tools module is deliberately not vendored — the warehouse builds
+// offline — so this package supplies the small subset the mdwlint
+// analyzers need: a source loader for the repository's own module (see
+// load.go), positional diagnostics, and per-line suppression comments.
+// Analyzers written against it look exactly like go/analysis analyzers
+// and could be ported to the real framework by swapping the import.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//mdwlint:allow <name>" suppression comments.
+	Name string
+	// Doc is the help text shown by cmd/mdwlint.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer run and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path (or a synthetic path for
+	// directory loads in tests).
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ConstString returns the constant string value of expr, if the
+// type-checker folded it to one (string literals, concatenations of
+// constants, references to string constants).
+func (p *Pass) ConstString(expr ast.Expr) (string, bool) {
+	return constString(p.TypesInfo, expr)
+}
+
+// Run applies the analyzers to every loaded package and returns all
+// diagnostics sorted by position. Suppressed diagnostics (see
+// suppressed) are dropped.
+func Run(pkgs []*Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = filterSuppressed(diags, pkg)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// filterSuppressed drops diagnostics whose source line (or the line
+// directly above it) carries a "//mdwlint:allow <analyzer> <reason>"
+// comment. The reason is mandatory by convention: a bare allow reads as
+// an unexplained override in review.
+func filterSuppressed(diags []Diagnostic, pkg *Package) []Diagnostic {
+	// file -> set of (analyzer, line) suppressions.
+	type key struct {
+		analyzer string
+		line     int
+	}
+	allow := map[string]map[key]bool{}
+	for _, f := range pkg.Files {
+		fname := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "mdwlint:allow ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "mdwlint:allow "))
+				if len(fields) == 0 {
+					continue
+				}
+				if allow[fname] == nil {
+					allow[fname] = map[key]bool{}
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				// The comment suppresses its own line and the next: a
+				// trailing comment covers its statement, a standalone
+				// comment covers the statement below it.
+				allow[fname][key{fields[0], line}] = true
+				allow[fname][key{fields[0], line + 1}] = true
+			}
+		}
+	}
+	if len(allow) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if allow[d.Pos.Filename][key{d.Analyzer, d.Pos.Line}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

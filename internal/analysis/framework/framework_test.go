@@ -1,0 +1,84 @@
+package framework
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+func TestLoaderModulePackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "mdw" {
+		t.Fatalf("module path = %q, want mdw", l.ModulePath)
+	}
+	pkgs, err := l.Load("mdw/internal/rdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "rdf" {
+		t.Fatalf("loaded %+v, want package rdf", pkgs)
+	}
+	// The vocabulary constants must fold to their full IRI values.
+	sc := pkgs[0].Types.Scope()
+	obj := sc.Lookup("RDFType")
+	if obj == nil {
+		t.Fatal("rdf.RDFType not found in package scope")
+	}
+}
+
+func TestLoaderConstantFolding(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// semmatch concatenates rdf constants into query text; folding those
+	// is what sparqlcheck depends on.
+	pkgs, err := l.Load("mdw/internal/ontology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	found := false
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if v, ok := constString(pkg.Info, e); ok && strings.Contains(v, "#") {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Fatal("no folded constant strings containing a namespace found in ontology package")
+	}
+}
+
+func TestLoadAllPackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from ./..., expected the whole tree", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		if seen[p.Path] {
+			t.Errorf("package %s loaded twice", p.Path)
+		}
+		seen[p.Path] = true
+	}
+	for _, want := range []string{"mdw/internal/store", "mdw/internal/sparql", "mdw/cmd/mdw"} {
+		if !seen[want] {
+			t.Errorf("missing package %s", want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package iricheck validates hand-typed ontology IRIs. The dm:, dt:,
+// mdw:, and the standard RDF/RDFS/OWL/XSD namespaces are closed worlds
+// in this repository — their vocabulary is exactly rdf.Vocabulary()
+// plus the classes and properties of ontology.DWH() — so a constant
+// string naming a term in one of them that the vocabulary does not
+// define is a typo: at runtime it would not fail, it would just match
+// nothing (the "silently returns empty results" failure mode).
+//
+// Checked forms:
+//   - full IRIs in Go string constants ("http://...data_modeling#Custmer")
+//   - prefixed names in Go string constants ("dm:Custmer")
+//   - every IRI mentioned by a constant query string handed to one of
+//     the query entry points (see queryutil), after parsing it with the
+//     repository's SPARQL parser.
+//
+// Open namespaces (instance data under inst:, DBpedia resources under
+// dbp:) are deliberately not checked.
+package iricheck
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"mdw/internal/analysis/framework"
+	"mdw/internal/analysis/queryutil"
+	"mdw/internal/ontology"
+	"mdw/internal/rdf"
+	"mdw/internal/semmatch"
+	"mdw/internal/sparql"
+)
+
+// Analyzer is the iricheck framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "iricheck",
+	Doc: "validate constant ontology IRIs and prefixed names\n\n" +
+		"Terms in the closed dm:/dt:/mdw:/rdf:/rdfs:/owl:/xsd: namespaces must\n" +
+		"be part of rdf.Vocabulary() or ontology.DWH(); anything else is a typo\n" +
+		"that would silently match nothing at runtime.",
+	Run: run,
+}
+
+// closedNamespaces are the namespaces whose term sets are fully known.
+var closedNamespaces = []string{
+	rdf.RDFNS, rdf.RDFSNS, rdf.OWLNS, rdf.XSDNS,
+	rdf.DMNS, rdf.DTNS, rdf.MDWNS,
+}
+
+// knownTerms is the union of the rdf vocabulary constants and the DWH
+// ontology's classes and properties.
+var knownTerms = func() map[string]bool {
+	m := map[string]bool{}
+	for _, iri := range rdf.Vocabulary() {
+		m[iri] = true
+	}
+	dwh := ontology.DWH()
+	for _, iri := range dwh.Classes() {
+		m[iri] = true
+	}
+	for _, iri := range dwh.Properties() {
+		m[iri] = true
+	}
+	return m
+}()
+
+// prefixedName matches candidate "prefix:Local" strings.
+var prefixedName = regexp.MustCompile(`^([A-Za-z][A-Za-z0-9]*):([A-Za-z_][A-Za-z0-9_]*)$`)
+
+func run(pass *framework.Pass) error {
+	// Query strings get the precise treatment: parse, then walk IRIs.
+	queryArgs := map[ast.Expr]bool{}
+	queryutil.ConstQueryCalls(pass, func(site queryutil.CallSite) {
+		queryArgs[site.Arg] = true
+		var q *sparql.Query
+		switch site.Kind {
+		case queryutil.KindSPARQL:
+			q, _ = sparql.Parse(site.Text)
+		case queryutil.KindSemMatch:
+			if req, err := semmatch.ParseCall(site.Text); err == nil {
+				q, _ = sparql.Parse(req.QueryText())
+			}
+		}
+		if q == nil {
+			return // sparqlcheck owns the syntax diagnostic
+		}
+		sparql.WalkIRIs(q, func(iri string) {
+			if msg, bad := checkIRI(iri); bad {
+				pass.Reportf(site.Arg.Pos(), "query passed to %s mentions %s", site.Fn, msg)
+			}
+		})
+	}, nil)
+
+	for _, f := range pass.Files {
+		// covered spans suppress re-reporting the constant parts of an
+		// already-checked constant expression (preorder walk: parents
+		// first).
+		var covered []ast.Expr
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if queryArgs[expr] {
+				return false // handled above, including its sub-expressions
+			}
+			for _, c := range covered {
+				if expr.Pos() >= c.Pos() && expr.End() <= c.End() {
+					return true
+				}
+			}
+			// Only expressions that spell the term out in this file are
+			// checked: a bare identifier or selector referencing a
+			// constant defined elsewhere is reported at its definition,
+			// not at every use.
+			if !containsStringLit(expr) {
+				return true
+			}
+			v, ok := pass.ConstString(expr)
+			if !ok {
+				return true
+			}
+			covered = append(covered, expr)
+			if msg, bad := checkConstString(v); bad {
+				pass.Reportf(expr.Pos(), "%s", msg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// containsStringLit reports whether expr lexically contains a string
+// literal.
+func containsStringLit(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkConstString validates a Go string constant: a full IRI in a
+// closed namespace, or a well-known prefixed name.
+func checkConstString(v string) (string, bool) {
+	for _, ns := range closedNamespaces {
+		if strings.HasPrefix(v, ns) && v != ns {
+			return checkIRI(v)
+		}
+	}
+	m := prefixedName.FindStringSubmatch(v)
+	if m == nil {
+		return "", false
+	}
+	ns, ok := rdf.WellKnownPrefixes[m[1]]
+	if !ok || !isClosed(ns) {
+		return "", false
+	}
+	if iri := ns + m[2]; !knownTerms[iri] {
+		return "unknown term " + v + " (expands to <" + iri + ">)" + suggest(iri), true
+	}
+	return "", false
+}
+
+// checkIRI validates one full IRI against the closed namespaces.
+func checkIRI(iri string) (string, bool) {
+	for _, ns := range closedNamespaces {
+		if !strings.HasPrefix(iri, ns) || iri == ns {
+			continue
+		}
+		local := iri[len(ns):]
+		if strings.ContainsAny(local, "#/") {
+			return "", false // a longer URL sharing the host, not a term
+		}
+		if !knownTerms[iri] {
+			return "unknown term <" + iri + "> in closed namespace " + ns + suggest(iri), true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+func isClosed(ns string) bool {
+	for _, c := range closedNamespaces {
+		if ns == c {
+			return true
+		}
+	}
+	return false
+}
+
+// suggest names the closest known term in the same namespace when the
+// edit distance is small enough to smell like a typo.
+func suggest(iri string) string {
+	ns, local := rdf.Namespace(iri), rdf.LocalName(iri)
+	best, bestDist := "", 3
+	var candidates []string
+	for term := range knownTerms {
+		if strings.HasPrefix(term, ns) {
+			candidates = append(candidates, term)
+		}
+	}
+	sort.Strings(candidates) // deterministic tie-breaking
+	for _, term := range candidates {
+		if d := editDistance(local, rdf.LocalName(term), bestDist); d < bestDist {
+			best, bestDist = term, d
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return " (did you mean " + rdf.QName(best) + "?)"
+}
+
+// editDistance is Levenshtein with a cutoff: any value >= max means
+// "too far".
+func editDistance(a, b string, max int) int {
+	if abs(len(a)-len(b)) >= max {
+		return max
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin >= max {
+			return max
+		}
+		prev, cur = cur, prev
+	}
+	return min(prev[len(b)], max)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

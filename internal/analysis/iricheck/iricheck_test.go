@@ -1,0 +1,12 @@
+package iricheck_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/framework/analysistest"
+	"mdw/internal/analysis/iricheck"
+)
+
+func TestIricheck(t *testing.T) {
+	analysistest.Run(t, ".", iricheck.Analyzer, "a", "b")
+}

@@ -1,0 +1,42 @@
+// Package b holds well-formed vocabulary references: iricheck must
+// stay silent.
+package b
+
+import (
+	"mdw/internal/rdf"
+	"mdw/internal/sparql"
+)
+
+// Known terms, as prefixed names and as full IRIs.
+const (
+	goodPName = "dm:Customer"
+	goodProp  = "dt:isMappedTo"
+	goodIRI   = rdf.DMNS + "Table_Column"
+	goodRDFS  = "rdfs:subClassOf"
+)
+
+// Open namespaces are not checked: instances and DBpedia resources are
+// minted freely at load time.
+const (
+	instanceIRI = rdf.InstNS + "app1/db1/schema1/t1/c1"
+	dbpediaIRI  = "http://dbpedia.org/resource/Customer_relationship"
+)
+
+// Colon-bearing strings that are not prefixed names must not trip the
+// checker.
+const (
+	clock    = "12:30"
+	errLabel = "mdw: load failed"
+	urlConst = "http://example.com/x"
+)
+
+// goodQuery uses only defined vocabulary.
+const goodQuery = `
+PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+SELECT ?i WHERE { ?i a dm:Customer ; dm:hasName ?n . }
+`
+
+func use() *sparql.Query {
+	_ = []string{goodPName, goodProp, goodIRI, goodRDFS, instanceIRI, dbpediaIRI, clock, errLabel, urlConst}
+	return sparql.MustParse(goodQuery)
+}

@@ -1,0 +1,329 @@
+// Package locksafe guards the repository's coarse-grained locking
+// style. Store, textindex.Manager, and friends each protect their state
+// with a single sync.Mutex/sync.RWMutex field and take it at the top of
+// every exported method. That style has one classic failure mode: while
+// holding the lock, control reaches back into an exported method of the
+// same receiver (directly, or through a caller-supplied callback), which
+// tries to take the lock again. sync.RWMutex is not reentrant — a
+// recursive RLock can deadlock against a writer queued in between, and a
+// recursive Lock always deadlocks.
+//
+// For every method of a mutex-bearing struct, locksafe computes whether
+// it may acquire the receiver's mutex (directly or transitively through
+// same-receiver calls) and then, inside each method's locked region,
+// reports:
+//
+//   - calls to same-receiver methods that may acquire the mutex again
+//   - calls through function values (callbacks) — the callee is outside
+//     this package's control and may re-enter the receiver
+//   - channel sends — they block for an unbounded time with the lock held
+//
+// Intentional callback-under-lock APIs (e.g. Store.ForEach, whose
+// contract documents the held read lock) are suppressed at the call
+// site with //mdwlint:allow locksafe <reason>.
+package locksafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mdw/internal/analysis/framework"
+)
+
+// Analyzer is the locksafe framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "locksafe",
+	Doc: "flag lock re-entry hazards in mutex-bearing structs\n\n" +
+		"Reports same-receiver calls that can re-acquire the held mutex,\n" +
+		"callback invocations under the lock, and channel sends under the lock.",
+	Run: run,
+}
+
+// mutexField captures "this struct type has a mutex field named mu".
+type mutexField struct {
+	typeName string // struct type name
+	field    string // mutex field name
+}
+
+// method is one FuncDecl on a mutex-bearing receiver.
+type method struct {
+	decl     *ast.FuncDecl
+	typeName string
+	recvName string // receiver identifier, "" if anonymous
+}
+
+func run(pass *framework.Pass) error {
+	mutexes := map[string][]string{} // type name -> mutex field names
+	var methods []method
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				for _, mf := range structMutexFields(d) {
+					mutexes[mf.typeName] = append(mutexes[mf.typeName], mf.field)
+				}
+			case *ast.FuncDecl:
+				if m, ok := receiverOf(d); ok {
+					methods = append(methods, m)
+				}
+			}
+		}
+	}
+	if len(mutexes) == 0 {
+		return nil
+	}
+
+	// mayLock[type][method] — the method can acquire a receiver mutex,
+	// directly or through same-receiver calls. Fixed point over the
+	// call graph restricted to same-receiver edges.
+	mayLock := map[string]map[string]bool{}
+	for t := range mutexes {
+		mayLock[t] = map[string]bool{}
+	}
+	for _, m := range methods {
+		fields := mutexes[m.typeName]
+		if len(fields) == 0 {
+			continue
+		}
+		if len(lockCalls(m, fields, false)) > 0 {
+			mayLock[m.typeName][m.decl.Name.Name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			tbl := mayLock[m.typeName]
+			if tbl == nil || tbl[m.decl.Name.Name] {
+				continue
+			}
+			for _, callee := range sameReceiverCalls(m) {
+				if tbl[callee.name] {
+					tbl[m.decl.Name.Name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, m := range methods {
+		fields := mutexes[m.typeName]
+		if len(fields) == 0 {
+			continue
+		}
+		checkMethod(pass, m, fields, mayLock[m.typeName])
+	}
+	return nil
+}
+
+// structMutexFields scans a type declaration for sync.Mutex /
+// sync.RWMutex fields (value or pointer). Detection is syntactic: the
+// analysis loader stubs the sync package, so the field's type object
+// carries no usable information.
+func structMutexFields(d *ast.GenDecl) []mutexField {
+	var out []mutexField
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, f := range st.Fields.List {
+			if !isMutexType(f.Type) {
+				continue
+			}
+			for _, name := range f.Names {
+				out = append(out, mutexField{typeName: ts.Name.Name, field: name.Name})
+			}
+		}
+	}
+	return out
+}
+
+func isMutexType(e ast.Expr) bool {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+func receiverOf(d *ast.FuncDecl) (method, bool) {
+	if d.Recv == nil || len(d.Recv.List) != 1 || d.Body == nil {
+		return method{}, false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return method{}, false
+	}
+	m := method{decl: d, typeName: id.Name}
+	if names := d.Recv.List[0].Names; len(names) == 1 {
+		m.recvName = names[0].Name
+	}
+	return m, ok
+}
+
+// lockCall is one recv.mu.Lock()/RLock()/Unlock()/RUnlock() call.
+type lockCall struct {
+	call     *ast.CallExpr
+	op       string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+}
+
+// lockCalls finds calls on the receiver's mutex fields inside the
+// method body. With unlocks=true it returns the releases instead of the
+// acquisitions.
+func lockCalls(m method, fields []string, unlocks bool) []lockCall {
+	if m.recvName == "" {
+		return nil
+	}
+	var out []lockCall
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[ds.Call] = true
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := mutexOp(call, m.recvName, fields)
+		if !ok {
+			return true
+		}
+		isUnlock := op == "Unlock" || op == "RUnlock"
+		if isUnlock == unlocks {
+			out = append(out, lockCall{call: call, op: op, deferred: deferredCalls[call]})
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp matches recv.<field>.<op>() and returns the op name.
+func mutexOp(call *ast.CallExpr, recvName string, fields []string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	op := sel.Sel.Name
+	if op != "Lock" && op != "RLock" && op != "Unlock" && op != "RUnlock" {
+		return "", false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	recv, ok := inner.X.(*ast.Ident)
+	if !ok || recv.Name != recvName {
+		return "", false
+	}
+	for _, f := range fields {
+		if inner.Sel.Name == f {
+			return op, true
+		}
+	}
+	return "", false
+}
+
+// callee is a same-receiver method call site.
+type callee struct {
+	name string
+	call *ast.CallExpr
+}
+
+// sameReceiverCalls finds recv.Method(...) calls in the method body,
+// excluding mutex operations.
+func sameReceiverCalls(m method) []callee {
+	if m.recvName == "" {
+		return nil
+	}
+	var out []callee
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || recv.Name != m.recvName {
+			return true
+		}
+		out = append(out, callee{name: sel.Sel.Name, call: call})
+		return true
+	})
+	return out
+}
+
+// checkMethod reports hazards inside the method's locked region: from
+// the first mutex acquisition to the first explicit (non-deferred)
+// release, or the end of the body when the release is deferred.
+func checkMethod(pass *framework.Pass, m method, fields []string, mayLock map[string]bool) {
+	acquires := lockCalls(m, fields, false)
+	if len(acquires) == 0 {
+		return
+	}
+	start := acquires[0].call.End()
+	end := m.decl.Body.End()
+	for _, rel := range lockCalls(m, fields, true) {
+		if !rel.deferred && rel.call.Pos() > start && rel.call.Pos() < end {
+			end = rel.call.Pos()
+		}
+	}
+	lockName := m.recvName + "." + fields[0]
+
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		if n == nil || n.Pos() < start || n.Pos() >= end {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s holds %s; the send can block indefinitely with the lock held", m.decl.Name.Name, lockName)
+		case *ast.CallExpr:
+			if _, isMu := mutexOp(n, m.recvName, fields); isMu {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == m.recvName && mayLock[sel.Sel.Name] {
+					pass.Reportf(n.Pos(), "%s calls %s.%s while holding %s; %s acquires the same mutex and can self-deadlock",
+						m.decl.Name.Name, m.recvName, sel.Sel.Name, lockName, sel.Sel.Name)
+				}
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && isFuncValue(pass, id) {
+				pass.Reportf(n.Pos(), "%s invokes callback %s while holding %s; the callback can re-enter the receiver and deadlock", m.decl.Name.Name, id.Name, lockName)
+			}
+		}
+		return true
+	})
+}
+
+// isFuncValue reports whether the identifier names a function-valued
+// variable (parameter, local, closure capture) rather than a declared
+// function, builtin, or type.
+func isFuncValue(pass *framework.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Var)
+	return ok
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/framework/analysistest"
+	"mdw/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, ".", locksafe.Analyzer, "a", "b")
+}

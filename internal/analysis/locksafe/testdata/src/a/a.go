@@ -1,0 +1,61 @@
+// Package a exercises locksafe diagnostics: lock re-entry through a
+// same-receiver call (direct and transitive), a callback invoked under
+// the lock, and a channel send under the lock.
+package a
+
+import "sync"
+
+type Reg struct {
+	mu   sync.RWMutex
+	vals map[string]int
+}
+
+func (r *Reg) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.vals[k]
+}
+
+// Sum re-enters Get while already holding the read lock: an RLock held
+// twice deadlocks as soon as a writer queues between the two.
+func (r *Reg) Sum(ks []string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, k := range ks {
+		total += r.Get(k) // want `Sum calls r.Get while holding r.mu`
+	}
+	return total
+}
+
+// doubled takes no lock itself but calls Get, so it may lock
+// transitively.
+func (r *Reg) doubled(k string) int {
+	return 2 * r.Get(k)
+}
+
+func (r *Reg) Both(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.doubled(k) // want `Both calls r.doubled while holding r.mu`
+}
+
+// Each hands control to an arbitrary callback while the lock is held.
+func (r *Reg) Each(fn func(string, int) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, v := range r.vals {
+		if !fn(k, v) { // want `Each invokes callback fn while holding r.mu`
+			return
+		}
+	}
+}
+
+// Publish blocks on an unbuffered channel with the write lock held.
+func (r *Reg) Publish(ch chan string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.vals {
+		ch <- k // want `channel send while Publish holds r.mu`
+	}
+}

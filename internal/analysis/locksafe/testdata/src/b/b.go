@@ -1,0 +1,64 @@
+// Package b holds lock usage that locksafe must accept: non-locking
+// helpers under the lock, locking calls after an explicit unlock, a
+// waived callback contract, and mutex-free types.
+package b
+
+import "sync"
+
+type Reg struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// get never touches the mutex; calling it under the lock is the
+// intended "Locked helper" pattern.
+func (r *Reg) get(k string) int { return r.vals[k] }
+
+func (r *Reg) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.get(k)
+}
+
+// Snapshot releases explicitly before returning; nothing after the
+// Unlock is in the locked region.
+func (r *Reg) Snapshot() map[string]int {
+	r.mu.Lock()
+	out := make(map[string]int, len(r.vals))
+	for k, v := range r.vals {
+		out[k] = v
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// GetTwice calls the locking Get only after the explicit Unlock.
+func (r *Reg) GetTwice(k string) int {
+	r.mu.Lock()
+	v := r.vals[k]
+	r.mu.Unlock()
+	return v + r.Get(k)
+}
+
+// Each documents its callback-under-lock contract and waives the
+// diagnostic explicitly.
+func (r *Reg) Each(fn func(string, int) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.vals {
+		if !fn(k, v) { //mdwlint:allow locksafe documented contract: fn must not call Reg methods
+			return
+		}
+	}
+}
+
+// plain has no mutex field; its callback use is nobody's business.
+type plain struct{ vals []int }
+
+func (p *plain) Sum(fn func(int) int) int {
+	t := 0
+	for _, v := range p.vals {
+		t += fn(v)
+	}
+	return t
+}

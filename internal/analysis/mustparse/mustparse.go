@@ -1,0 +1,37 @@
+// Package mustparse restricts sparql.MustParse to constant arguments.
+// MustParse panics on malformed input, which is the right contract for
+// query literals baked into the binary (sparqlcheck proves those parse
+// at lint time) and the wrong one for anything assembled at runtime: a
+// user-supplied or concatenated query reaching MustParse turns a bad
+// request into a process crash. Non-constant queries must go through
+// sparql.Parse and handle the error.
+//
+// Test files are exempt — panicking on a malformed literal inside a
+// test is just a test failure.
+package mustparse
+
+import (
+	"go/ast"
+
+	"mdw/internal/analysis/framework"
+	"mdw/internal/analysis/queryutil"
+)
+
+// Analyzer is the mustparse framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "mustparse",
+	Doc: "forbid sparql.MustParse on non-constant queries\n\n" +
+		"MustParse panics on malformed input; runtime-assembled query text\n" +
+		"must use sparql.Parse and handle the error.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	queryutil.ConstQueryCalls(pass, func(queryutil.CallSite) {}, func(fn string, call *ast.CallExpr, arg ast.Expr) {
+		if fn != "sparql.MustParse" {
+			return
+		}
+		pass.Reportf(arg.Pos(), "non-constant query passed to sparql.MustParse, which panics on malformed input; use sparql.Parse and handle the error")
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package mustparse_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/framework/analysistest"
+	"mdw/internal/analysis/mustparse"
+)
+
+func TestMustparse(t *testing.T) {
+	analysistest.Run(t, ".", mustparse.Analyzer, "a", "b")
+}

@@ -1,0 +1,18 @@
+// Package a exercises mustparse: runtime-assembled query text handed to
+// the panicking entry point.
+package a
+
+import (
+	"mdw/internal/sparql"
+)
+
+const prefix = "PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>\n"
+
+func fromUser(input string) *sparql.Query {
+	return sparql.MustParse(input) // want `non-constant query passed to sparql.MustParse`
+}
+
+func concatenated(cls string) *sparql.Query {
+	q := prefix + "SELECT ?i WHERE { ?i a " + cls + " . }"
+	return sparql.MustParse(q) // want `non-constant query passed to sparql.MustParse`
+}

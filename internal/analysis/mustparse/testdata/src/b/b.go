@@ -1,0 +1,18 @@
+// Package b holds the accepted MustParse shape — constant query text —
+// plus runtime text routed through the error-returning Parse.
+package b
+
+import (
+	"mdw/internal/sparql"
+)
+
+const listing1 = `
+PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+SELECT ?i WHERE { ?i a dm:Customer . }
+`
+
+var compiled = sparql.MustParse(listing1)
+
+func dynamic(input string) (*sparql.Query, error) {
+	return sparql.Parse(input)
+}

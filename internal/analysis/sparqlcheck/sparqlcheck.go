@@ -1,0 +1,46 @@
+// Package sparqlcheck validates the constant query strings the
+// warehouse embeds in Go source. Every constant argument of a query
+// entry point — sparql.Parse, sparql.MustParse, the semmatch
+// SEM_MATCH front ends, and the core.Warehouse façade methods — is
+// parsed at lint time with the repository's own SPARQL parser, so a
+// malformed Listing 1/2 query or an unbound prefix fails the build
+// instead of the first production request that reaches it.
+package sparqlcheck
+
+import (
+	"mdw/internal/analysis/framework"
+	"mdw/internal/analysis/queryutil"
+	"mdw/internal/semmatch"
+	"mdw/internal/sparql"
+)
+
+// Analyzer is the sparqlcheck framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "sparqlcheck",
+	Doc: "parse constant SPARQL queries and SEM_MATCH calls at lint time\n\n" +
+		"Constant strings passed to sparql.Parse/MustParse, semmatch.Exec/ParseCall,\n" +
+		"and Warehouse.Query/QueryFacts/SemMatch are parsed with internal/sparql;\n" +
+		"syntax errors and unbound prefixes become diagnostics.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	queryutil.ConstQueryCalls(pass, func(site queryutil.CallSite) {
+		switch site.Kind {
+		case queryutil.KindSPARQL:
+			if _, err := sparql.Parse(site.Text); err != nil {
+				pass.Reportf(site.Arg.Pos(), "constant query passed to %s does not parse: %v", site.Fn, err)
+			}
+		case queryutil.KindSemMatch:
+			req, err := semmatch.ParseCall(site.Text)
+			if err != nil {
+				pass.Reportf(site.Arg.Pos(), "constant SEM_MATCH call passed to %s is malformed: %v", site.Fn, err)
+				return
+			}
+			if _, err := sparql.Parse(req.QueryText()); err != nil {
+				pass.Reportf(site.Arg.Pos(), "graph pattern of SEM_MATCH call passed to %s does not parse: %v", site.Fn, err)
+			}
+		}
+	}, nil)
+	return nil
+}

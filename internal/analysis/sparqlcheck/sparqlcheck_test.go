@@ -1,0 +1,12 @@
+package sparqlcheck_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/framework/analysistest"
+	"mdw/internal/analysis/sparqlcheck"
+)
+
+func TestSparqlcheck(t *testing.T) {
+	analysistest.Run(t, ".", sparqlcheck.Analyzer, "a", "b")
+}

@@ -1,0 +1,54 @@
+// Package a exercises sparqlcheck diagnostics: malformed constant
+// queries at every entry point.
+package a
+
+import (
+	"mdw/internal/core"
+	"mdw/internal/semmatch"
+	"mdw/internal/sparql"
+	"mdw/internal/store"
+)
+
+// brokenListing2 is the paper's Listing 2 lineage query with the
+// closing brace of the group pattern dropped — the typo class
+// sparqlcheck exists to catch.
+const brokenListing2 = `
+PREFIX dt: <http://www.credit-suisse.com/dwh/mdm/data_transfer#>
+SELECT ?src
+WHERE {
+  ?src dt:isMappedTo+ ?tgt .
+`
+
+// brokenSemMatch drops the object of the second triple pattern.
+const brokenSemMatch = `SEM_MATCH(
+  {?s dt:isMappedTo ?t . ?t dm:hasName },
+  SEM_MODELS('DWH_CURR'),
+  SEM_RULEBASES('OWLPRIME'),
+  null)`
+
+// noPatternCall has no {...} graph pattern at all.
+const noPatternCall = `SEM_MATCH(SEM_MODELS('DWH_CURR'), null)`
+
+func useBroken() {
+	_ = sparql.MustParse(brokenListing2) // want `unterminated group pattern`
+}
+
+func unboundPrefix() (*sparql.Query, error) {
+	return sparql.Parse(`SELECT ?x WHERE { ?x foo:bar ?y }`) // want `unknown prefix`
+}
+
+func badKeyword() {
+	_, _ = sparql.Parse("SELECTT ?x WHERE { ?x ?p ?o }") // want `unexpected identifier`
+}
+
+func badSemMatch(st *store.Store) {
+	_, _ = semmatch.Exec(st, brokenSemMatch) // want `does not parse`
+}
+
+func noPattern() {
+	_, _ = semmatch.ParseCall(noPatternCall) // want `missing graph pattern`
+}
+
+func facadeBroken(w *core.Warehouse) {
+	_, _ = w.Query(`SELECT ?x WHERE { ?x `) // want `does not parse`
+}

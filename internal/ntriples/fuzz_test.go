@@ -1,0 +1,66 @@
+package ntriples
+
+import (
+	"reflect"
+	"testing"
+)
+
+var fuzzLines = []string{
+	`<http://www.credit-suisse.com/dwh/mdm/instances#app1/db1> <http://www.credit-suisse.com/dwh/mdm/data_modeling#hasName> "DB1" .`,
+	`<http://a> <http://b> <http://c> . # trailing comment`,
+	`_:b1 <http://b> "esc\"aped\n"@en .`,
+	`<http://a> <http://b> "42"^^<http://www.w3.org/2001/XMLSchema#int> .`,
+	`# full-line comment`,
+	`   `,
+	`<http://a> <http://b> "unterminated`,
+	`<http://a> <http://b> "x"^^missing .`,
+	`"literal" <http://b> <http://c> .`,
+	`<http://a> <http://b> <http://c> junk`,
+	"<http://a> <http://b> \"tab\tand\\u0041unicode\" .",
+	`_: <http://b> <http://c> .`,
+}
+
+// FuzzParseLine asserts that parsing never panics and that every
+// successfully parsed statement survives a serialize→parse round trip
+// unchanged.
+func FuzzParseLine(f *testing.F) {
+	for _, s := range fuzzLines {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, ok, err := ParseLine(line)
+		if err != nil || !ok {
+			return
+		}
+		nt := tr.NTriple()
+		tr2, ok2, err2 := ParseLine(nt)
+		if err2 != nil || !ok2 {
+			t.Fatalf("round trip of %q failed: rendered %q, err=%v ok=%v", line, nt, err2, ok2)
+		}
+		if tr2 != tr {
+			t.Fatalf("round trip changed triple:\n in: %#v\nout: %#v\nvia: %q", tr, tr2, nt)
+		}
+	})
+}
+
+// FuzzUnmarshal asserts the document reader never panics and that a
+// parsed document re-marshals to an equivalent one.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add("<http://a> <http://b> <http://c> .\n<http://a> <http://b> \"x\"@en .\n")
+	for _, s := range fuzzLines {
+		f.Add(s + "\n" + s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		ts, err := Unmarshal(doc)
+		if err != nil {
+			return
+		}
+		ts2, err := Unmarshal(Marshal(ts))
+		if err != nil {
+			t.Fatalf("re-parsing marshaled document failed: %v", err)
+		}
+		if !reflect.DeepEqual(ts, ts2) && !(len(ts) == 0 && len(ts2) == 0) {
+			t.Fatalf("round trip changed triples:\n in: %v\nout: %v", ts, ts2)
+		}
+	})
+}

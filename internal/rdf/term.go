@@ -157,8 +157,11 @@ func EscapeLiteral(s string) string {
 	}
 	var b strings.Builder
 	b.Grow(len(s) + 8)
-	for _, r := range s {
-		switch r {
+	// Byte-wise: every escaped character is ASCII, and copying the rest
+	// verbatim keeps even invalid UTF-8 intact (rune iteration would
+	// silently replace such bytes with U+FFFD and break round-tripping).
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
 		case '"':
 			b.WriteString(`\"`)
 		case '\\':
@@ -170,7 +173,7 @@ func EscapeLiteral(s string) string {
 		case '\t':
 			b.WriteString(`\t`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()

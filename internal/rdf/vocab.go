@@ -122,6 +122,33 @@ var (
 	IsMappedTo    = IRI(MDWIsMappedTo)
 )
 
+// Vocabulary returns every vocabulary IRI this package defines: the
+// core RDF/RDFS/OWL/XSD terms plus the warehouse-specific dm:/dt:/mdw:
+// properties and classes. Static checkers (mdwlint's iricheck) treat
+// these namespaces as closed worlds and validate hand-typed IRIs
+// against this list, so every constant above must appear here — adding
+// a vocabulary constant without extending Vocabulary makes its users
+// lint-dirty, which is the reminder to keep the two in sync.
+func Vocabulary() []string {
+	return []string{
+		RDFType, RDFProperty, RDFResource,
+		RDFSSubClassOf, RDFSSubPropertyOf, RDFSDomain, RDFSRange,
+		RDFSLabel, RDFSComment, RDFSClass, RDFSResource,
+		OWLClass, OWLObjectProperty, OWLDatatypeProperty,
+		OWLSymmetricProperty, OWLTransitiveProperty, OWLInverseOf,
+		OWLSameAs, OWLEquivalentClass, OWLEquivalentProperty, OWLThing,
+		XSDString, XSDInteger, XSDBoolean, XSDDecimal, XSDDouble, XSDDate,
+		MDWHasName, MDWIsMappedTo, MDWFeeds, MDWSynonymOf, MDWHomonymOf,
+		MDWIsRelatedTo, MDWHasValue, MDWInArea, MDWInLayer, MDWOwnedBy,
+		MDWHasRole, MDWPartOf, MDWHasColumn, MDWHasTable, MDWHasSchema,
+		MDWImplements, MDWUsesDB, MDWConnectsTo, MDWSourceOf, MDWTargetOf,
+		MDWMapsFrom, MDWMapsTo, MDWRuleCond, MDWDataType, MDWLength,
+		MDWUsedBy, MDWTaggedWith, MDWUsesTech, MDWVersionOfTech,
+		MDWHasLogFile, MDWVersion, MDWVersionNumber, MDWVersionTag,
+		MDWVersionAt, MDWVersionModel, MDWVersionTriples,
+	}
+}
+
 // WellKnownPrefixes maps the conventional short prefixes to their
 // namespaces; parsers and serializers use it as the default prefix table.
 var WellKnownPrefixes = map[string]string{

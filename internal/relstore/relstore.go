@@ -68,12 +68,16 @@ func New() *Catalog {
 }
 
 // NewTextbook returns a catalog with the comprehensive schema a textbook
-// design for Figure 1 would start from.
-func NewTextbook() *Catalog {
+// design for Figure 1 would start from. The error path triggers only if
+// the static schema below is edited into an invalid state (say, a
+// duplicated table name); callers surface it instead of panicking so
+// schema mistakes fail like any other initialization error.
+func NewTextbook() (*Catalog, error) {
 	c := New()
+	var firstErr error
 	must := func(err error) {
-		if err != nil {
-			panic(err) // static schema; cannot fail
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	must(c.CreateTable("applications", Column{"app_id", "TEXT"}, Column{"name", "TEXT"}, Column{"owner", "TEXT"}, Column{"area", "TEXT"}))
@@ -85,8 +89,11 @@ func NewTextbook() *Catalog {
 	must(c.CreateTable("interfaces", Column{"itf_id", "TEXT"}, Column{"from_app", "TEXT"}, Column{"to_app", "TEXT"}))
 	must(c.CreateTable("users", Column{"user_id", "TEXT"}, Column{"name", "TEXT"}))
 	must(c.CreateTable("role_assignments", Column{"user_id", "TEXT"}, Column{"app_id", "TEXT"}, Column{"role", "TEXT"}))
+	if firstErr != nil {
+		return nil, fmt.Errorf("relstore: textbook schema: %w", firstErr)
+	}
 	c.DDLCount = 0 // initial schema is free; only evolution counts
-	return c
+	return c, nil
 }
 
 // CreateTable adds a new table (DDL).
@@ -176,7 +183,9 @@ func (c *Catalog) Insert(table string, values ...string) error {
 }
 
 // Select scans the table and returns rows satisfying the predicate
-// (nil = all rows).
+// (nil = all rows). The catalog's read lock is held while the predicate
+// runs, so where must not call locking Catalog methods (Insert, Select,
+// Count, ...) — that would self-deadlock.
 func (c *Catalog) Select(table string, where func(row []string) bool) ([][]string, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -186,7 +195,7 @@ func (c *Catalog) Select(table string, where func(row []string) bool) ([][]strin
 	}
 	var out [][]string
 	for _, r := range t.Rows {
-		if where == nil || where(r) {
+		if where == nil || where(r) { //mdwlint:allow locksafe documented contract: where must not call locking Catalog methods
 			out = append(out, r)
 		}
 	}

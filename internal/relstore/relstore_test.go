@@ -82,7 +82,10 @@ func TestDropTable(t *testing.T) {
 }
 
 func TestTextbookSchema(t *testing.T) {
-	c := NewTextbook()
+	c, err := NewTextbook()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []string{"applications", "columns", "databases", "interfaces", "mappings", "relations", "role_assignments", "schemas", "users"}
 	got := c.Tables()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
@@ -98,7 +101,10 @@ func TestTextbookSchema(t *testing.T) {
 }
 
 func TestLoadExportsDropsConcepts(t *testing.T) {
-	c := NewTextbook()
+	c, err := NewTextbook()
+	if err != nil {
+		t.Fatal(err)
+	}
 	exports := []*staging.Export{landscape.Figure3Export()}
 	dropped, err := c.LoadExports(exports)
 	if err != nil {
@@ -123,7 +129,10 @@ func TestLoadExportsDropsConcepts(t *testing.T) {
 }
 
 func TestSearchColumnsIsFlat(t *testing.T) {
-	c := NewTextbook()
+	c, err := NewTextbook()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +148,10 @@ func TestSearchColumnsIsFlat(t *testing.T) {
 }
 
 func TestLineageBackward(t *testing.T) {
-	c := NewTextbook()
+	c, err := NewTextbook()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +165,10 @@ func TestLineageBackward(t *testing.T) {
 }
 
 func TestConceptMigration(t *testing.T) {
-	c := NewTextbook()
+	c, err := NewTextbook()
+	if err != nil {
+		t.Fatal(err)
+	}
 	exports := []*staging.Export{landscape.Figure3Export()}
 	if _, err := c.LoadExports(exports); err != nil {
 		t.Fatal(err)
@@ -181,7 +196,10 @@ func TestConceptMigration(t *testing.T) {
 }
 
 func TestRowCount(t *testing.T) {
-	c := NewTextbook()
+	c, err := NewTextbook()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.RowCount() != 0 {
 		t.Error("fresh catalog not empty")
 	}

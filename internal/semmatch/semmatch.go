@@ -71,15 +71,17 @@ func (r Request) Exec(st *store.Store) (*sparql.Result, error) {
 	}
 	src := st.ViewOf(names...)
 
-	q, err := sparql.Parse(r.queryText())
+	q, err := sparql.Parse(r.QueryText())
 	if err != nil {
 		return nil, err
 	}
 	return q.Exec(src, st.Dict())
 }
 
-// queryText assembles the SPARQL text for the request.
-func (r Request) queryText() string {
+// QueryText assembles the SPARQL text the request executes. It is
+// exported so static checkers (mdwlint's sparqlcheck) can validate
+// constant SEM_MATCH calls with exactly the text Exec would parse.
+func (r Request) QueryText() string {
 	var b strings.Builder
 	for p, ns := range r.Aliases {
 		fmt.Fprintf(&b, "PREFIX %s: <%s>\n", p, ns)

@@ -1,0 +1,95 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// Seed queries: the paper's Listing 1 (search) and Listing 2 (lineage)
+// graph patterns as full SPARQL, plus the syntactic corners the parser
+// accepts (paths, OPTIONAL, UNION, FILTER EXISTS, CONSTRUCT) and a few
+// deliberately broken inputs to push the corpus toward error paths.
+var fuzzSeeds = []string{
+	`PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?class ?object WHERE {
+  ?object a ?c .
+  ?c rdfs:label ?class .
+  ?object dm:hasName ?term .
+  FILTER regex(?term, "customer", "i")
+}`,
+	`PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+PREFIX dt: <http://www.credit-suisse.com/dwh/mdm/data_transfer#>
+SELECT ?source_id ?target_name WHERE {
+  ?source_id dt:isMappedTo+ ?target_id .
+  ?target_id a dm:Application1_View_Column .
+  ?target_id dm:hasName ?target_name .
+}`,
+	`SELECT * WHERE { ?s ?p ?o }`,
+	`SELECT ?s WHERE { ?s a/rdfs:subClassOf* ?c . OPTIONAL { ?s <p> ?v } }`,
+	`SELECT ?s WHERE { { ?s a <A> } UNION { ?s a <B> } FILTER EXISTS { ?s <q> ?w } }`,
+	`CONSTRUCT { ?s <p> ?o } WHERE { ?o <p> ?s }`,
+	`SELECT ?s WHERE { ?s <p> "lit"@en ; <q> "42"^^<http://www.w3.org/2001/XMLSchema#int> . }`,
+	`SELECT ?s WHERE { ?s (<p>|^<q>)? ?o }`,
+	"SELECT ?s WHERE { ?s <p> 'unterminated",
+	`SELECT ?s WHERE { ?s <p ?o }`,
+	`PREFIX dm: SELECT ?s WHERE { ?s dm:x ?o }`,
+	`SELECT ?s WHERE { ?s foo:bar ?o }`,
+	`SELECTT ?s WHERE { ?s ?p ?o }`,
+	`SELECT ?s WHERE { ?s ?p ?o`,
+	"",
+	"\x00\\\"<>{}()?.;,a",
+}
+
+// FuzzParse asserts the parser's no-panic contract: any input either
+// yields a query or an error, and a successful parse yields an AST
+// whose IRI walk terminates without panicking.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := Parse(in)
+		if err != nil {
+			if q != nil {
+				t.Fatalf("Parse returned both a query and an error: %v", err)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatal("Parse returned nil query and nil error")
+		}
+		n := 0
+		WalkIRIs(q, func(iri string) { n++ })
+		_ = n
+	})
+}
+
+// FuzzLexer asserts the lexer terminates on arbitrary input and that
+// every produced token actually came from the input (no fabricated
+// text, no unbounded token stream).
+func FuzzLexer(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		toks, err := lex(in)
+		if err != nil {
+			return
+		}
+		if len(toks) > len(in)+1 {
+			t.Fatalf("lexer produced %d tokens from %d bytes", len(toks), len(in))
+		}
+		for _, tok := range toks {
+			// Literal text is unescaped and keywords are case-folded,
+			// so their text may differ from the raw input; everything
+			// else must appear in it.
+			if tok.kind == tkLiteral || tok.kind == tkKeyword {
+				continue
+			}
+			if tok.text != "" && !strings.Contains(in, tok.text) {
+				t.Fatalf("token %q (kind %d) not found in input", tok.text, tok.kind)
+			}
+		}
+	})
+}

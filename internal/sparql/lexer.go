@@ -182,6 +182,11 @@ func (l *lexer) run() error {
 				j++
 			}
 			if j == l.pos+1 {
+				if c == '$' {
+					// '$' introduces a variable only; it is not an
+					// alias for the '?' path modifier.
+					return fmt.Errorf("sparql: offset %d: '$' must be followed by a variable name", start)
+				}
 				// Bare '?' — the optional path modifier.
 				l.emit(tkQuestion, "?", start)
 				l.pos++

@@ -1,0 +1,77 @@
+package sparql
+
+// WalkIRIs calls fn for every IRI mentioned by the query: constant
+// subjects and objects, predicate paths (including every step of
+// sequence/alternative/closure paths), typed-literal datatypes, and the
+// CONSTRUCT template. Prefixed names were already expanded by the
+// parser, so fn always receives full IRIs. Static checkers use this to
+// validate query vocabulary against the ontology.
+func WalkIRIs(q *Query, fn func(iri string)) {
+	if q == nil {
+		return
+	}
+	for _, tp := range q.Template {
+		walkTripleIRIs(&tp, fn)
+	}
+	walkGroupIRIs(q.Where, fn)
+}
+
+func walkGroupIRIs(g *GroupPattern, fn func(string)) {
+	if g == nil {
+		return
+	}
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case *TriplePattern:
+			walkTripleIRIs(e, fn)
+		case *Filter:
+			// Filter expressions hold variables and literals only in the
+			// supported subset; nothing to do.
+		case *ExistsFilter:
+			walkGroupIRIs(e.Pattern, fn)
+		case *Optional:
+			walkGroupIRIs(e.Pattern, fn)
+		case *Union:
+			walkGroupIRIs(e.Left, fn)
+			walkGroupIRIs(e.Right, fn)
+		case *GroupPattern:
+			walkGroupIRIs(e, fn)
+		}
+	}
+}
+
+func walkTripleIRIs(tp *TriplePattern, fn func(string)) {
+	walkNodeIRIs(tp.S, fn)
+	walkPathIRIs(tp.P, fn)
+	walkNodeIRIs(tp.O, fn)
+}
+
+func walkNodeIRIs(n NodePattern, fn func(string)) {
+	if n.IsVar() {
+		return
+	}
+	if n.Term.IsIRI() {
+		fn(n.Term.Value)
+	} else if n.Term.IsLiteral() && n.Term.Datatype != "" {
+		fn(n.Term.Datatype)
+	}
+}
+
+func walkPathIRIs(p Path, fn func(string)) {
+	switch pp := p.(type) {
+	case PathIRI:
+		fn(pp.IRI)
+	case PathSeq:
+		for _, part := range pp.Parts {
+			walkPathIRIs(part, fn)
+		}
+	case PathAlt:
+		for _, part := range pp.Parts {
+			walkPathIRIs(part, fn)
+		}
+	case PathInverse:
+		walkPathIRIs(pp.P, fn)
+	case PathRepeat:
+		walkPathIRIs(pp.P, fn)
+	}
+}

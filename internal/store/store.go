@@ -138,7 +138,7 @@ func (s *Store) ReadView(fn func(*View, []ModelInfo), names ...string) {
 			ms = append(ms, m)
 		}
 	}
-	fn(NewView(ms...), infos)
+	fn(NewView(ms...), infos) //mdwlint:allow locksafe documented contract: fn must not call locking Store methods
 }
 
 // DropModel removes the named model and reports whether it existed.
@@ -302,7 +302,7 @@ func (s *Store) ForEach(model string, sub, pred, obj rdf.Term, fn func(rdf.Tripl
 		return
 	}
 	m.ForEach(si, pi, oi, func(et ETriple) bool {
-		return fn(rdf.Triple{S: s.dict.Term(et.S), P: s.dict.Term(et.P), O: s.dict.Term(et.O)})
+		return fn(rdf.Triple{S: s.dict.Term(et.S), P: s.dict.Term(et.P), O: s.dict.Term(et.O)}) //mdwlint:allow locksafe documented contract: fn must not call mutating Store methods
 	})
 }
 

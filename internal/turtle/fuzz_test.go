@@ -1,0 +1,52 @@
+package turtle
+
+import (
+	"reflect"
+	"testing"
+
+	"mdw/internal/rdf"
+)
+
+var fuzzDocs = []string{
+	`@prefix dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#> .
+dm:Customer a dm:Entity ;
+    dm:hasName "Customer", "Kunde"@de .`,
+	`<http://a> <http://b> <http://c> .
+<http://a> <http://b> 42 .`,
+	`_:b1 a <http://c> . # comment`,
+	`@prefix : bad .`,
+	`<http://a> <http://b> "x"^^<http://www.w3.org/2001/XMLSchema#int> .`,
+	`<http://a> <http://b> "unterminated`,
+	`dm:NoPrefix a dm:Entity .`,
+	`<http://a> <http://b> ; .`,
+	"",
+}
+
+// FuzzUnmarshal asserts the Turtle reader never panics, and that any
+// document it accepts survives Marshal→Unmarshal with the same triple
+// set (Marshal sorts and dedups, so compare against the canonical form).
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range fuzzDocs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		ts, err := Unmarshal(doc)
+		if err != nil {
+			return
+		}
+		want := make([]rdf.Triple, len(ts))
+		copy(want, ts)
+		rdf.SortTriples(want)
+		want = rdf.DedupTriples(want)
+
+		out := Marshal(ts)
+		got, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-parsing marshaled document failed: %v\ndoc: %q", err, out)
+		}
+		rdf.SortTriples(got)
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("round trip changed triples:\n in: %v\nout: %v\nvia: %q", want, got, out)
+		}
+	})
+}

@@ -117,12 +117,30 @@ func renderPredicate(p rdf.Term) string {
 func renderTerm(t rdf.Term) string {
 	switch t.Kind {
 	case rdf.IRIKind:
-		return rdf.QName(t.Value)
+		return renderIRI(t.Value)
 	case rdf.BlankKind:
 		return "_:" + t.Value
 	default:
 		return t.String()
 	}
+}
+
+// renderIRI prefers a prefixed name but falls back to the full <iri>
+// form when the local part contains characters the tokenizer would not
+// read back (e.g. spaces or slashes in instance IRIs) — rdf.QName alone
+// would emit a document that fails to re-parse.
+func renderIRI(iri string) string {
+	q := rdf.QName(iri)
+	if strings.HasPrefix(q, "<") {
+		return q
+	}
+	local := q[strings.IndexByte(q, ':')+1:]
+	for i := 0; i < len(local); i++ {
+		if !isPNChar(local[i]) {
+			return "<" + iri + ">"
+		}
+	}
+	return q
 }
 
 // Unmarshal parses a Turtle document.

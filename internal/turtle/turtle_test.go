@@ -121,3 +121,21 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestMarshalUnsafeLocalPartFallsBackToIRI(t *testing.T) {
+	// The local part contains a space, so a prefixed name would not
+	// tokenize on the way back in; Marshal must emit the full IRI form.
+	in := rdf.Triple{
+		S: rdf.IRI(rdf.DMNS + "foo bar"),
+		P: rdf.IRI(rdf.DMNS + "has name"),
+		O: rdf.IRI(rdf.InstNS + "app1/db1"),
+	}
+	doc := Marshal([]rdf.Triple{in})
+	ts, err := Unmarshal(doc)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\ndoc: %q", err, doc)
+	}
+	if len(ts) != 1 || ts[0] != in {
+		t.Fatalf("round trip changed triple: %v (doc %q)", ts, doc)
+	}
+}
