@@ -11,6 +11,7 @@
 //	mdw index        [-data DIR] [flags]           build/inspect the full-text index
 //	mdw lineage      [-data DIR] [flags] ITEM      trace provenance (§IV.B)
 //	mdw query        [-data DIR] [-explain] 'SPARQL'
+//	mdw explain      [-data DIR] 'SPARQL'|'SEM_MATCH(...)'  print the evaluation plan
 //	mdw semmatch     [-data DIR] 'SEM_MATCH(...)'  Oracle-style call (Listings 1/2)
 //	mdw audit        [-data DIR] ITEM              who can access the item
 //	mdw impact       [-wh DUMP] -from N -to M      release change impact
@@ -71,6 +72,8 @@ func run(args []string) error {
 		return cmdLineage(rest)
 	case "query":
 		return cmdQuery(rest)
+	case "explain":
+		return cmdExplain(rest)
 	case "semmatch":
 		return cmdSemMatch(rest)
 	case "audit":
@@ -101,6 +104,7 @@ commands:
   index      build the inverted full-text search index and inspect its vocabulary
   lineage    trace the lineage of an information item (Section IV.B)
   query      run a SPARQL query against the graph
+  explain    print the evaluation plan of a SPARQL query or SEM_MATCH call
   semmatch   run an Oracle-style SEM_MATCH call (Listings 1 and 2)
   audit      report which users and roles can access an information item
   impact     analyze the downstream impact of changes between two releases
@@ -387,6 +391,36 @@ func cmdQuery(args []string) error {
 		return nil
 	}
 	printResultTable(res.Vars, resultRows(res))
+	return nil
+}
+
+// cmdExplain prints the statistics-driven evaluation plan — join order
+// with estimated cardinalities, filter placement, streaming notes — for
+// a SPARQL query or an Oracle-style SEM_MATCH call, without executing it.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain: want exactly one SPARQL or SEM_MATCH(...) argument")
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	text := fs.Arg(0)
+	var plan string
+	if strings.Contains(text, "SEM_MATCH") {
+		plan, err = w.ExplainSemMatch(text)
+	} else {
+		plan, err = w.Explain(text)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan)
 	return nil
 }
 

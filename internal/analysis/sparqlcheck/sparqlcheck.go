@@ -20,7 +20,10 @@ var Analyzer = &framework.Analyzer{
 	Doc: "parse constant SPARQL queries and SEM_MATCH calls at lint time\n\n" +
 		"Constant strings passed to sparql.Parse/MustParse, semmatch.Exec/ParseCall,\n" +
 		"and Warehouse.Query/QueryFacts/SemMatch are parsed with internal/sparql;\n" +
-		"syntax errors and unbound prefixes become diagnostics.",
+		"syntax errors and unbound prefixes become diagnostics. Queries that parse\n" +
+		"are planned, and structural problems the planner notices — basic graph\n" +
+		"patterns that fall apart into variable-disjoint components (cartesian\n" +
+		"products) — are reported too.",
 	Run: run,
 }
 
@@ -28,19 +31,33 @@ func run(pass *framework.Pass) error {
 	queryutil.ConstQueryCalls(pass, func(site queryutil.CallSite) {
 		switch site.Kind {
 		case queryutil.KindSPARQL:
-			if _, err := sparql.Parse(site.Text); err != nil {
+			q, err := sparql.Parse(site.Text)
+			if err != nil {
 				pass.Reportf(site.Arg.Pos(), "constant query passed to %s does not parse: %v", site.Fn, err)
+				return
 			}
+			reportPlanWarnings(pass, site, q)
 		case queryutil.KindSemMatch:
 			req, err := semmatch.ParseCall(site.Text)
 			if err != nil {
 				pass.Reportf(site.Arg.Pos(), "constant SEM_MATCH call passed to %s is malformed: %v", site.Fn, err)
 				return
 			}
-			if _, err := sparql.Parse(req.QueryText()); err != nil {
+			q, err := sparql.Parse(req.QueryText())
+			if err != nil {
 				pass.Reportf(site.Arg.Pos(), "graph pattern of SEM_MATCH call passed to %s does not parse: %v", site.Fn, err)
+				return
 			}
+			reportPlanWarnings(pass, site, q)
 		}
 	}, nil)
 	return nil
+}
+
+// reportPlanWarnings plans the query without data (static heuristics)
+// and surfaces the planner's structural warnings at the call site.
+func reportPlanWarnings(pass *framework.Pass, site queryutil.CallSite, q *sparql.Query) {
+	for _, w := range q.Plan(nil, nil).Warnings() {
+		pass.Reportf(site.Arg.Pos(), "constant query passed to %s: %s", site.Fn, w)
+	}
 }

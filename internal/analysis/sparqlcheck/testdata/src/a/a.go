@@ -52,3 +52,30 @@ func noPattern() {
 func facadeBroken(w *core.Warehouse) {
 	_, _ = w.Query(`SELECT ?x WHERE { ?x `) // want `does not parse`
 }
+
+// cartesianQuery joins two patterns sharing no variable: a cartesian
+// product no join order can avoid.
+const cartesianQuery = `
+PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+SELECT ?a ?c
+WHERE {
+  ?a dm:hasName ?b .
+  ?c dm:hasDataType ?d .
+}
+`
+
+func cartesian() {
+	_ = sparql.MustParse(cartesianQuery) // want `cartesian product`
+}
+
+// cartesianSemMatchCall joins two patterns sharing no variable inside a
+// SEM_MATCH graph pattern.
+const cartesianSemMatchCall = `SEM_MATCH(
+	{?s dt:isMappedTo ?t . ?x dm:hasName ?n},
+	SEM_MODELS('DWH_CURR'),
+	SEM_RULEBASES('OWLPRIME'),
+	null)`
+
+func cartesianSemMatch(st *store.Store) {
+	_, _ = semmatch.Exec(st, cartesianSemMatchCall) // want `cartesian product`
+}

@@ -212,6 +212,34 @@ func (w *Warehouse) SemMatch(call string) (*sparql.Result, error) {
 	return semmatch.Exec(w.st, call)
 }
 
+// Explain renders the evaluation plan Query would execute: the
+// statistics-driven join order with estimated cardinalities against the
+// base-plus-index view. The index is (re)materialized first so the plan
+// sees the same statistics execution would.
+func (w *Warehouse) Explain(query string) (string, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	idx := reason.IndexModelName(w.model, reason.RulebaseOWLPrime)
+	if !w.st.Current(w.model, idx) {
+		if _, err := w.Reindex(); err != nil {
+			return "", err
+		}
+	}
+	return q.ExplainOn(w.st.ViewOf(w.model, idx), w.st.Dict()), nil
+}
+
+// ExplainSemMatch renders the evaluation plan of an Oracle-style
+// SEM_MATCH call with the model/rulebase view the call names.
+func (w *Warehouse) ExplainSemMatch(call string) (string, error) {
+	req, err := semmatch.ParseCall(call)
+	if err != nil {
+		return "", err
+	}
+	return req.Explain(w.st)
+}
+
 // Snapshot historizes the current graph as a new release version.
 func (w *Warehouse) Snapshot(tag string, at time.Time) (history.Version, error) {
 	return w.hist.Snapshot(tag, at)

@@ -45,6 +45,38 @@ type Request struct {
 // Exec runs the request against st. Index models for requested rulebases
 // are materialized on demand.
 func (r Request) Exec(st *store.Store) (*sparql.Result, error) {
+	src, err := r.source(st)
+	if err != nil {
+		return nil, err
+	}
+	q, err := sparql.Parse(r.QueryText())
+	if err != nil {
+		return nil, err
+	}
+	return q.Exec(src, st.Dict())
+}
+
+// Explain renders the evaluation plan the request would execute —
+// the statistics-driven join order with estimated cardinalities against
+// the request's model view. It is the same Plan structure Exec runs.
+// Index models are materialized on demand exactly as Exec would, so the
+// explained plan sees the statistics execution would see.
+func (r Request) Explain(st *store.Store) (string, error) {
+	src, err := r.source(st)
+	if err != nil {
+		return "", err
+	}
+	q, err := sparql.Parse(r.QueryText())
+	if err != nil {
+		return "", err
+	}
+	return q.ExplainOn(src, st.Dict()), nil
+}
+
+// source resolves the request's SEM_MODELS/SEM_RULEBASES combination to
+// the union view execution runs against, materializing index models on
+// demand.
+func (r Request) source(st *store.Store) (store.Source, error) {
 	if len(r.Models) == 0 {
 		return nil, fmt.Errorf("semmatch: no models given")
 	}
@@ -69,13 +101,7 @@ func (r Request) Exec(st *store.Store) (*sparql.Result, error) {
 			names = append(names, idx)
 		}
 	}
-	src := st.ViewOf(names...)
-
-	q, err := sparql.Parse(r.QueryText())
-	if err != nil {
-		return nil, err
-	}
-	return q.Exec(src, st.Dict())
+	return st.ViewOf(names...), nil
 }
 
 // QueryText assembles the SPARQL text the request executes. It is

@@ -12,6 +12,8 @@
 package sparql
 
 import (
+	"sync/atomic"
+
 	"mdw/internal/rdf"
 )
 
@@ -42,6 +44,12 @@ type Query struct {
 	OrderBy  []OrderCond
 	Limit    int // -1 when absent
 	Offset   int
+
+	// cachedPlan memoizes the last plan Exec built, so a parsed query
+	// executed repeatedly against the same source (the prepared-query
+	// pattern every warehouse service uses) pays the planning cost once.
+	// See Query.Exec for the revalidation rule.
+	cachedPlan atomic.Pointer[Plan]
 }
 
 // SelectItem is one projection entry: either a plain variable or an

@@ -1,8 +1,10 @@
 package sparql
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"mdw/internal/rdf"
@@ -24,15 +26,82 @@ type Result struct {
 }
 
 // Exec runs the query against a triple source. The dict must be the
-// dictionary underlying the source's models.
+// dictionary underlying the source's models. Exec plans and executes:
+// it is exactly Plan followed by Plan.Exec, except that the plan is
+// memoized on the query. A cached plan is reused when it was built for
+// the same source and dictionary and its constant resolution cannot
+// have gone stale: the dictionary only grows, so a fully resolved plan
+// stays valid, and one with unresolved constants is revalidated by
+// dictionary length. Join-order statistics may age with the data — that
+// only costs speed, never correctness — and new data is always visible
+// because the plan probes the live indexes.
 func (q *Query) Exec(src store.Source, dict *store.Dict) (*Result, error) {
-	ev := &evaluator{src: src, dict: dict}
-	sols, err := ev.group(q.Where, []env{{}})
-	if err != nil {
-		return nil, err
+	if p := q.cachedPlan.Load(); p != nil && p.dict == dict && sameSource(p.src, src) &&
+		(!p.unresolved || p.dictLen == dict.Len()) {
+		return p.Exec()
 	}
+	p := q.Plan(src, dict)
+	if cacheableSource(src) {
+		q.cachedPlan.Store(p)
+	}
+	return p.Exec()
+}
+
+// cacheableSource limits plan memoization to pointer-shaped sources,
+// whose identity comparison is cheap and panic-free. Exotic Source
+// implementations simply replan per Exec.
+func cacheableSource(src store.Source) bool {
+	switch src.(type) {
+	case *store.Model, *store.View:
+		return true
+	}
+	return false
+}
+
+// sameSource compares the cached plan's source to the incoming one.
+// Only cacheable (pointer-shaped) sources are ever stored, so the
+// interface comparison cannot panic on a non-comparable dynamic type.
+func sameSource(cached, src store.Source) bool {
+	if !cacheableSource(src) {
+		return false
+	}
+	return cached == src
+}
+
+// Exec executes the plan with a streaming, depth-first pipeline: one
+// solution flows through join steps, pushed filters, and the projection
+// before the next is produced, so ASK stops at the first solution and a
+// streamable LIMIT stops at row N.
+func (p *Plan) Exec() (*Result, error) {
+	if p.src == nil || p.dict == nil {
+		return nil, errors.New("sparql: plan was built without a source; use Query.Plan(src, dict)")
+	}
+	q := p.query
+	ev := &evaluator{src: p.src, dict: p.dict}
 	if q.Kind == AskQuery {
-		return &Result{Ask: len(sols) > 0}, nil
+		found := false
+		ev.runGroup(p.root, env{}, func(env) bool {
+			found = true
+			return false
+		})
+		if ev.err != nil {
+			return nil, ev.err
+		}
+		return &Result{Ask: found}, nil
+	}
+	if q.Kind == SelectQuery && len(q.Select) > 0 {
+		if hasAggregates(q) || len(q.GroupBy) > 0 {
+			return ev.aggregateRows(q, p.root)
+		}
+		return ev.selectRows(q, p.root)
+	}
+	var sols []env
+	ev.runGroup(p.root, env{}, func(s env) bool {
+		sols = append(sols, s.clone())
+		return true
+	})
+	if ev.err != nil {
+		return nil, ev.err
 	}
 	if q.Kind == ConstructQuery {
 		return ev.construct(q, sols)
@@ -40,7 +109,9 @@ func (q *Query) Exec(src store.Source, dict *store.Dict) (*Result, error) {
 	return ev.project(q, sols)
 }
 
-// env is a variable assignment at the dictionary-ID level.
+// env is a variable assignment at the dictionary-ID level. The executor
+// mutates one env in place along each depth-first probe and backtracks
+// by deleting, cloning only when a solution is materialized.
 type env map[string]store.ID
 
 func (e env) clone() env {
@@ -54,218 +125,486 @@ func (e env) clone() env {
 type evaluator struct {
 	src  store.Source
 	dict *store.Dict
+	// terms caches decoded terms per dictionary ID for filter
+	// evaluation, where the same value is decoded once per solution per
+	// filter; projection decodes straight from the dictionary since its
+	// values rarely repeat.
+	terms map[store.ID]rdf.Term
+	// err records the first execution error; recursion unwinds by
+	// returning false once it is set.
+	err error
 }
 
-// group evaluates a group pattern against the given input solutions.
-// Per SPARQL semantics, FILTERs constrain the whole group regardless of
-// their position inside it.
-func (ev *evaluator) group(g *GroupPattern, input []env) ([]env, error) {
-	sols := input
-	var filters []*Filter
-	var existsFilters []*ExistsFilter
-	i := 0
-	for i < len(g.Elements) {
-		switch el := g.Elements[i].(type) {
-		case *TriplePattern:
-			// Gather the contiguous run of triple patterns into one
-			// basic graph pattern so it can be join-ordered.
-			var block []*TriplePattern
-			for i < len(g.Elements) {
-				tp, ok := g.Elements[i].(*TriplePattern)
-				if !ok {
-					break
-				}
-				block = append(block, tp)
-				i++
-			}
-			var err error
-			sols, err = ev.bgp(block, sols)
-			if err != nil {
-				return nil, err
-			}
-			continue
-		case *Filter:
-			filters = append(filters, el)
-		case *ExistsFilter:
-			existsFilters = append(existsFilters, el)
-		case *Optional:
-			var out []env
-			for _, s := range sols {
-				extended, err := ev.group(el.Pattern, []env{s})
-				if err != nil {
-					return nil, err
-				}
-				if len(extended) == 0 {
-					out = append(out, s)
-				} else {
-					out = append(out, extended...)
-				}
-			}
-			sols = out
-		case *Union:
-			left, err := ev.group(el.Left, sols)
-			if err != nil {
-				return nil, err
-			}
-			right, err := ev.group(el.Right, sols)
-			if err != nil {
-				return nil, err
-			}
-			sols = append(left, right...)
-		case *GroupPattern:
-			var err error
-			sols, err = ev.group(el, sols)
-			if err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("sparql: unknown group element %T", el)
-		}
-		i++
+// term decodes an ID through the per-execution filter decode cache.
+func (ev *evaluator) term(id store.ID) rdf.Term {
+	if t, ok := ev.terms[id]; ok {
+		return t
 	}
-	for _, f := range filters {
-		var kept []env
-		for _, s := range sols {
-			ok, err := ev.filterHolds(f.Expr, s)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, s)
-			}
-		}
-		sols = kept
+	t := ev.dict.Term(id)
+	if ev.terms == nil {
+		ev.terms = make(map[store.ID]rdf.Term)
 	}
-	for _, ef := range existsFilters {
-		var kept []env
-		for _, s := range sols {
-			matches, err := ev.group(ef.Pattern, []env{s})
-			if err != nil {
-				return nil, err
-			}
-			if (len(matches) > 0) != ef.Negated {
-				kept = append(kept, s)
-			}
-		}
-		sols = kept
-	}
-	return sols, nil
+	ev.terms[id] = t
+	return t
 }
 
-// filterHolds evaluates a filter under SPARQL error semantics: an
-// evaluation error (e.g. unbound variable) makes the filter false.
-func (ev *evaluator) filterHolds(e Expr, s env) (bool, error) {
-	b := ev.decodeEnv(s)
-	v, err := e.Eval(b)
+// runGroup streams every solution of the planned group that extends s
+// into emit. It returns false when emit (or an error) asked to stop.
+func (ev *evaluator) runGroup(g *planGroup, s env, emit func(env) bool) bool {
+	return ev.runSteps(g.steps, 0, s, emit)
+}
+
+func (ev *evaluator) runSteps(steps []planStep, i int, s env, emit func(env) bool) bool {
+	if ev.err != nil {
+		return false
+	}
+	if i == len(steps) {
+		return emit(s)
+	}
+	next := func(s2 env) bool { return ev.runSteps(steps, i+1, s2, emit) }
+	switch st := steps[i].(type) {
+	case *bgpStep:
+		return ev.runBGP(st, s, next)
+	case *filterStep:
+		if !ev.constraintHolds(st.c, s) {
+			return ev.err == nil // drop this solution, keep streaming
+		}
+		return next(s)
+	case *optionalStep:
+		matched := false
+		if !ev.runGroup(st.group, s, func(s2 env) bool {
+			matched = true
+			return next(s2)
+		}) {
+			return false
+		}
+		if !matched {
+			return next(s)
+		}
+		return true
+	case *unionStep:
+		if !ev.runGroup(st.left, s, next) {
+			return false
+		}
+		return ev.runGroup(st.right, s, next)
+	case *groupStep:
+		return ev.runGroup(st.group, s, next)
+	default:
+		ev.err = fmt.Errorf("sparql: unknown plan step %T", st)
+		return false
+	}
+}
+
+// bgpRun is the per-execution state of one basic graph pattern: one
+// frame per pattern plus a ForEach callback created once per pattern, so
+// matching allocates O(patterns), not O(matches).
+type bgpRun struct {
+	ev     *evaluator
+	b      *bgpStep
+	s      env
+	emit   func(env) bool
+	frames []bgpFrame
+}
+
+// bgpFrame holds the loop-variant state of one pattern position while
+// its matches are enumerated. Frames are never re-entered concurrently:
+// the depth-first walk visits each position at most once per probe.
+type bgpFrame struct {
+	svar, ovar string // variables to bind ("" when constant or already bound)
+	pvarBound  bool   // variable predicate was already bound
+	cont       bool   // false once a deeper level asked to stop
+	cb         func(store.ETriple) bool
+}
+
+// runBGP extends s through the BGP's patterns in planned order, applying
+// each pattern's pushed constraints the moment its variables bind, and
+// emits every full match.
+func (ev *evaluator) runBGP(b *bgpStep, s env, emit func(env) bool) bool {
+	r := &bgpRun{ev: ev, b: b, s: s, emit: emit, frames: make([]bgpFrame, len(b.patterns))}
+	for i := range r.frames {
+		idx := i
+		r.frames[i].cb = func(t store.ETriple) bool { return r.onTriple(idx, t) }
+	}
+	return r.next(0)
+}
+
+// next enumerates the matches of pattern idx (or emits the solution when
+// every pattern matched). It returns false when the consumer asked to
+// stop. Constants were already resolved at plan time.
+func (r *bgpRun) next(idx int) bool {
+	if idx == len(r.b.patterns) {
+		return r.emit(r.s)
+	}
+	pp := r.b.patterns[idx]
+	sid, svar, ok := derefNode(pp.s, r.s)
+	if !ok {
+		return true // constant unknown to the dictionary: zero matches
+	}
+	oid, ovar, ok := derefNode(pp.o, r.s)
+	if !ok {
+		return true
+	}
+	f := &r.frames[idx]
+	f.svar, f.ovar, f.cont = svar, ovar, true
+	switch pp.pk {
+	case pkSimple:
+		if pp.pid == store.Wildcard {
+			return true // predicate IRI unknown to the dictionary
+		}
+		r.ev.src.ForEach(sid, pp.pid, oid, f.cb)
+		return f.cont
+	case pkVar:
+		pid := store.Wildcard
+		f.pvarBound = false
+		if bound, isBound := r.s[pp.pvar]; isBound {
+			pid, f.pvarBound = bound, true
+		}
+		r.ev.src.ForEach(sid, pid, oid, f.cb)
+		return f.cont
+	default:
+		// Composite property path: delegate to the path engine, which
+		// returns the endpoint pairs reachable under the (possibly
+		// bound) endpoints.
+		for _, pr := range r.ev.evalPath(pp.tp.P, sid, oid) {
+			if svar != "" && svar == ovar && pr[0] != pr[1] {
+				continue
+			}
+			if svar != "" {
+				r.s[svar] = pr[0]
+			}
+			if ovar != "" {
+				r.s[ovar] = pr[1]
+			}
+			cont := r.matched(idx)
+			if svar != "" {
+				delete(r.s, svar)
+			}
+			if ovar != "" {
+				delete(r.s, ovar)
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// onTriple handles one index match for pattern idx: bind the pattern's
+// variables in place, run the deeper levels, then restore the bindings.
+func (r *bgpRun) onTriple(idx int, t store.ETriple) bool {
+	pp := r.b.patterns[idx]
+	f := &r.frames[idx]
+	s := r.s
+	svar, ovar := f.svar, f.ovar
+	if pp.pk == pkVar {
+		// Shared variables across positions must agree.
+		pvar := pp.pvar
+		if svar != "" && svar == pvar && t.S != t.P {
+			return true
+		}
+		if ovar != "" && ovar == pvar && t.O != t.P {
+			return true
+		}
+		if svar != "" && svar == ovar && t.S != t.O {
+			return true
+		}
+		if svar != "" {
+			s[svar] = t.S
+		}
+		if !f.pvarBound {
+			s[pvar] = t.P
+		}
+		if ovar != "" {
+			s[ovar] = t.O
+		}
+		cont := r.matched(idx)
+		if svar != "" {
+			delete(s, svar)
+		}
+		if !f.pvarBound {
+			delete(s, pvar)
+		}
+		if ovar != "" {
+			delete(s, ovar)
+		}
+		f.cont = cont
+		return cont
+	}
+	if svar != "" {
+		if svar == ovar && t.S != t.O {
+			return true
+		}
+		s[svar] = t.S
+	}
+	if ovar != "" {
+		s[ovar] = t.O
+	}
+	cont := r.matched(idx)
+	if svar != "" {
+		delete(s, svar)
+	}
+	if ovar != "" {
+		delete(s, ovar)
+	}
+	f.cont = cont
+	return cont
+}
+
+// matched applies pattern idx's pushed constraints to the extended
+// solution, then advances to the next pattern.
+func (r *bgpRun) matched(idx int) bool {
+	pp := r.b.patterns[idx]
+	for _, c := range pp.pushed {
+		if !r.ev.constraintHolds(c, r.s) {
+			return r.ev.err == nil // reject this extension, continue matching
+		}
+	}
+	return r.next(idx + 1)
+}
+
+// constraintHolds applies a planned FILTER or (NOT) EXISTS constraint to
+// the current solution under SPARQL error semantics (evaluation error →
+// false).
+func (ev *evaluator) constraintHolds(c *plannedConstraint, s env) bool {
+	if c.exists != nil {
+		found := false
+		ev.runGroup(c.group, s, func(env) bool {
+			found = true
+			return false // first match settles EXISTS
+		})
+		if ev.err != nil {
+			return false
+		}
+		return found != c.exists.Negated
+	}
+	if c.fastVar != "" {
+		// ID-level fast path: compare dictionary IDs, no term decoding.
+		id, bound := s[c.fastVar]
+		if !bound {
+			return false
+		}
+		eq := c.fastKnown && id == c.fastID
+		if c.fastNeg {
+			return !eq
+		}
+		return eq
+	}
+	b := make(Binding, len(c.vars))
+	for _, v := range c.vars {
+		if id, ok := s[v]; ok {
+			b[v] = ev.term(id)
+		}
+	}
+	v, err := c.filter.Expr.Eval(b)
 	if err != nil {
-		return false, nil
+		return false
 	}
 	t, err := v.Truth()
 	if err != nil {
-		return false, nil
+		return false
 	}
-	return t, nil
+	return t
 }
 
-func (ev *evaluator) decodeEnv(s env) Binding {
-	b := make(Binding, len(s))
-	for k, id := range s {
-		b[k] = ev.dict.Term(id)
+// hasAggregates reports whether any projection item is an aggregate.
+func hasAggregates(q *Query) bool {
+	for _, it := range q.Select {
+		if it.Agg != nil {
+			return true
+		}
 	}
-	return b
+	return false
 }
 
-// bgp evaluates a basic graph pattern with greedy join ordering: patterns
-// with more constant positions run first, and complex property paths run
-// last so their endpoints are as bound as possible.
-func (ev *evaluator) bgp(block []*TriplePattern, sols []env) ([]env, error) {
-	ordered := make([]*TriplePattern, len(block))
-	copy(ordered, block)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		return patternScore(ordered[i]) > patternScore(ordered[j])
-	})
-	var err error
-	for _, tp := range ordered {
-		sols, err = ev.triple(tp, sols)
-		if err != nil {
-			return nil, err
-		}
-		if len(sols) == 0 {
-			return nil, nil
-		}
+// selectRows handles every plain SELECT with an explicit projection by
+// building result rows directly from the streamed solutions — no
+// intermediate env clone per solution. When the query has a LIMIT and no
+// ORDER BY it also stops the pipeline as soon as enough rows exist.
+func (ev *evaluator) selectRows(q *Query, root *planGroup) (*Result, error) {
+	vars := make([]string, len(q.Select))
+	for i, it := range q.Select {
+		vars[i] = it.Var
 	}
-	return sols, nil
-}
-
-func patternScore(tp *TriplePattern) int {
-	score := 0
-	if !tp.S.IsVar() {
-		score += 4
+	needed := -1 // unlimited
+	if len(q.OrderBy) == 0 && q.Limit >= 0 {
+		needed = q.Limit + q.Offset
 	}
-	if !tp.O.IsVar() {
-		score += 3
+	var rows []Binding
+	var seen map[string]bool
+	if q.Distinct {
+		seen = make(map[string]bool)
 	}
-	switch tp.P.(type) {
-	case PathIRI:
-		score += 2
-	case PathVar:
-		// neutral: cheaper than a closure, less selective than a constant
-	default:
-		score -= 4 // paths are expensive; defer them
-	}
-	return score
-}
-
-func (ev *evaluator) triple(tp *TriplePattern, sols []env) ([]env, error) {
-	if iri, ok := IsSimple(tp.P); ok {
-		return ev.simpleTriple(tp, iri, sols)
-	}
-	if pv, ok := tp.P.(PathVar); ok {
-		return ev.varPredTriple(tp, pv.Name, sols)
-	}
-	return ev.pathTriple(tp, sols)
-}
-
-// varPredTriple matches a pattern whose predicate is a variable.
-func (ev *evaluator) varPredTriple(tp *TriplePattern, pvar string, sols []env) ([]env, error) {
-	var out []env
-	for _, s := range sols {
-		sid, svar, ok := ev.resolveNode(tp.S, s)
-		if !ok {
-			continue
-		}
-		oid, ovar, ok := ev.resolveNode(tp.O, s)
-		if !ok {
-			continue
-		}
-		pid := store.Wildcard
-		if bound, isBound := s[pvar]; isBound {
-			pid = bound
-		}
-		ev.src.ForEach(sid, pid, oid, func(t store.ETriple) bool {
-			ns := s.clone()
-			if svar != "" {
-				ns[svar] = t.S
+	if needed != 0 {
+		ev.runGroup(root, env{}, func(s env) bool {
+			b := make(Binding, len(vars))
+			for _, v := range vars {
+				if id, ok := s[v]; ok {
+					b[v] = ev.dict.Term(id)
+				}
 			}
-			ns[pvar] = t.P
-			if ovar != "" {
-				if prev, exists := ns[ovar]; exists && prev != t.O {
+			if q.Distinct {
+				key := rowKey(vars, b)
+				if seen[key] {
 					return true
 				}
-				ns[ovar] = t.O
+				seen[key] = true
 			}
-			// Shared variables across positions must agree.
-			if svar != "" && svar == pvar && t.S != t.P {
-				return true
-			}
-			if ovar != "" && ovar == pvar && t.O != t.P {
-				return true
-			}
-			out = append(out, ns)
-			return true
+			rows = append(rows, b)
+			return needed < 0 || len(rows) < needed
 		})
+		if ev.err != nil {
+			return nil, ev.err
+		}
 	}
-	return out, nil
+	if len(q.OrderBy) > 0 {
+		sortRows(q.OrderBy, rows)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: rows}, nil
+}
+
+// aggregateRows streams solutions straight into per-group aggregate
+// state — group key, COUNT counters, and the handful of IDs the
+// projection needs — instead of materializing a cloned env per solution.
+func (ev *evaluator) aggregateRows(q *Query, root *planGroup) (*Result, error) {
+	items := q.Select
+	vars := make([]string, len(items))
+	for i, it := range items {
+		if it.Agg != nil {
+			vars[i] = it.Agg.As
+		} else {
+			vars[i] = it.Var
+		}
+	}
+	type aggState struct {
+		rep   []store.ID // captured value per plain projection item
+		repOK []bool
+		n     []int               // per-item COUNT
+		seen  []map[store.ID]bool // per-item COUNT(DISTINCT ...) dedup
+	}
+	newState := func() *aggState {
+		return &aggState{
+			rep:   make([]store.ID, len(items)),
+			repOK: make([]bool, len(items)),
+			n:     make([]int, len(items)),
+			seen:  make([]map[store.ID]bool, len(items)),
+		}
+	}
+	groups := map[string]*aggState{}
+	var order []string
+	var keyBuf []byte
+	ev.runGroup(root, env{}, func(s env) bool {
+		keyBuf = keyBuf[:0]
+		for _, gv := range q.GroupBy {
+			keyBuf = strconv.AppendUint(keyBuf, uint64(s[gv]), 10)
+			keyBuf = append(keyBuf, '|')
+		}
+		k := string(keyBuf)
+		g := groups[k]
+		if g == nil {
+			g = newState()
+			for i, it := range items {
+				if it.Agg == nil {
+					if id, ok := s[it.Var]; ok {
+						g.rep[i], g.repOK[i] = id, true
+					}
+				}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, it := range items {
+			if it.Agg == nil {
+				continue
+			}
+			switch {
+			case it.Agg.Var == "":
+				g.n[i]++
+			case it.Agg.Distinct:
+				if id, ok := s[it.Agg.Var]; ok {
+					if g.seen[i] == nil {
+						g.seen[i] = make(map[store.ID]bool)
+					}
+					if !g.seen[i][id] {
+						g.seen[i][id] = true
+						g.n[i]++
+					}
+				}
+			default:
+				if _, ok := s[it.Agg.Var]; ok {
+					g.n[i]++
+				}
+			}
+		}
+		return true
+	})
+	if ev.err != nil {
+		return nil, ev.err
+	}
+	// With no solutions and no GROUP BY, aggregates still yield one row.
+	if len(order) == 0 && len(q.GroupBy) == 0 {
+		groups[""] = newState()
+		order = append(order, "")
+	}
+	rows := make([]Binding, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		b := Binding{}
+		for i, it := range items {
+			if it.Agg == nil {
+				if g.repOK[i] {
+					b[it.Var] = ev.dict.Term(g.rep[i])
+				}
+				continue
+			}
+			b[it.Agg.As] = rdf.Integer(int64(g.n[i]))
+		}
+		rows = append(rows, b)
+	}
+	if q.Distinct {
+		rows = distinctRows(vars, rows)
+	}
+	if len(q.OrderBy) > 0 {
+		sortRows(q.OrderBy, rows)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: rows}, nil
+}
+
+// derefNode turns a plan-time node reference into (boundID, varName)
+// under the current solution. boundID is Wildcard when the node is an
+// unbound variable; ok is false when the node is a constant unknown to
+// the dictionary (no match possible).
+func derefNode(r nodeRef, s env) (id store.ID, varName string, ok bool) {
+	if r.name != "" {
+		if v, bound := s[r.name]; bound {
+			return v, "", true
+		}
+		return store.Wildcard, r.name, true
+	}
+	if !r.known {
+		return 0, "", false
+	}
+	return r.id, "", true
 }
 
 // resolveNode turns a node pattern into (boundID, varName). boundID is
@@ -283,76 +622,6 @@ func (ev *evaluator) resolveNode(n NodePattern, s env) (id store.ID, varName str
 		return 0, "", false
 	}
 	return id, "", true
-}
-
-func (ev *evaluator) simpleTriple(tp *TriplePattern, predIRI string, sols []env) ([]env, error) {
-	pid, found := ev.dict.Lookup(rdf.IRI(predIRI))
-	if !found {
-		return nil, nil
-	}
-	var out []env
-	for _, s := range sols {
-		sid, svar, ok := ev.resolveNode(tp.S, s)
-		if !ok {
-			continue
-		}
-		oid, ovar, ok := ev.resolveNode(tp.O, s)
-		if !ok {
-			continue
-		}
-		ev.src.ForEach(sid, pid, oid, func(t store.ETriple) bool {
-			ns := s
-			if svar != "" || ovar != "" {
-				ns = s.clone()
-				if svar != "" {
-					ns[svar] = t.S
-				}
-				if ovar != "" {
-					// Same variable in subject and object positions must
-					// agree.
-					if svar == ovar && ns[svar] != t.O {
-						return true
-					}
-					ns[ovar] = t.O
-				}
-			}
-			out = append(out, ns)
-			return true
-		})
-	}
-	return out, nil
-}
-
-func (ev *evaluator) pathTriple(tp *TriplePattern, sols []env) ([]env, error) {
-	var out []env
-	for _, s := range sols {
-		sid, svar, ok := ev.resolveNode(tp.S, s)
-		if !ok {
-			continue
-		}
-		oid, ovar, ok := ev.resolveNode(tp.O, s)
-		if !ok {
-			continue
-		}
-		pairs := ev.evalPath(tp.P, sid, oid)
-		for _, pr := range pairs {
-			ns := s
-			if svar != "" || ovar != "" {
-				ns = s.clone()
-				if svar != "" {
-					ns[svar] = pr[0]
-				}
-				if ovar != "" {
-					if svar == ovar && pr[0] != pr[1] {
-						continue
-					}
-					ns[ovar] = pr[1]
-				}
-			}
-			out = append(out, ns)
-		}
-	}
-	return out, nil
 }
 
 // construct instantiates the CONSTRUCT template once per solution.
@@ -541,18 +810,23 @@ func (ev *evaluator) aggregate(q *Query, items []SelectItem, sols []env) []Bindi
 	return rows
 }
 
+// rowKey serializes a row's projected values into a dedup key.
+func rowKey(vars []string, r Binding) string {
+	var key strings.Builder
+	for _, v := range vars {
+		if t, ok := r[v]; ok {
+			key.WriteString(t.String())
+		}
+		key.WriteByte('\x00')
+	}
+	return key.String()
+}
+
 func distinctRows(vars []string, rows []Binding) []Binding {
 	seen := map[string]bool{}
 	var out []Binding
 	for _, r := range rows {
-		var key strings.Builder
-		for _, v := range vars {
-			if t, ok := r[v]; ok {
-				key.WriteString(t.String())
-			}
-			key.WriteByte('\x00')
-		}
-		k := key.String()
+		k := rowKey(vars, r)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, r)

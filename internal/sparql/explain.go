@@ -2,111 +2,27 @@ package sparql
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"mdw/internal/rdf"
+	"mdw/internal/store"
 )
 
-// Explain renders the evaluation plan of the query as indented text: the
-// group structure, the greedy join order chosen for each basic graph
-// pattern, and the filters applied at each group boundary. It mirrors
-// exactly what the evaluator does, so it is the first tool to reach for
-// when a query is slow or returns nothing.
+// Explain renders the evaluation plan of the query as indented text.
+// Without a data source it plans from static selectivity heuristics;
+// pass the actual source via ExplainOn to see the statistics-driven
+// order with estimated cardinalities. Either way the rendering comes
+// from the same Plan structure Exec runs, so it can never drift from
+// the evaluator.
 func (q *Query) Explain() string {
-	var b strings.Builder
-	switch q.Kind {
-	case AskQuery:
-		b.WriteString("ASK\n")
-	case ConstructQuery:
-		fmt.Fprintf(&b, "CONSTRUCT (%d template triples)\n", len(q.Template))
-	default:
-		b.WriteString("SELECT")
-		if q.Distinct {
-			b.WriteString(" DISTINCT")
-		}
-		if len(q.Select) == 0 {
-			b.WriteString(" *")
-		}
-		for _, it := range q.Select {
-			if it.Agg != nil {
-				fmt.Fprintf(&b, " (%s(...) AS ?%s)", it.Agg.Func, it.Agg.As)
-			} else {
-				fmt.Fprintf(&b, " ?%s", it.Var)
-			}
-		}
-		b.WriteByte('\n')
-	}
-	explainGroup(&b, q.Where, 1)
-	if len(q.GroupBy) > 0 {
-		fmt.Fprintf(&b, "GROUP BY ?%s\n", strings.Join(q.GroupBy, " ?"))
-	}
-	for _, oc := range q.OrderBy {
-		dir := "ASC"
-		if oc.Desc {
-			dir = "DESC"
-		}
-		fmt.Fprintf(&b, "ORDER BY %s(?%s)\n", dir, oc.Var)
-	}
-	if q.Limit >= 0 {
-		fmt.Fprintf(&b, "LIMIT %d\n", q.Limit)
-	}
-	if q.Offset > 0 {
-		fmt.Fprintf(&b, "OFFSET %d\n", q.Offset)
-	}
-	return b.String()
+	return q.Plan(nil, nil).String()
 }
 
-func explainGroup(b *strings.Builder, g *GroupPattern, depth int) {
-	pad := strings.Repeat("  ", depth)
-	i := 0
-	for i < len(g.Elements) {
-		switch el := g.Elements[i].(type) {
-		case *TriplePattern:
-			// Reproduce the evaluator's BGP blocking and join order.
-			var block []*TriplePattern
-			for i < len(g.Elements) {
-				tp, ok := g.Elements[i].(*TriplePattern)
-				if !ok {
-					break
-				}
-				block = append(block, tp)
-				i++
-			}
-			ordered := make([]*TriplePattern, len(block))
-			copy(ordered, block)
-			sort.SliceStable(ordered, func(x, y int) bool {
-				return patternScore(ordered[x]) > patternScore(ordered[y])
-			})
-			fmt.Fprintf(b, "%sBGP (%d patterns, join order):\n", pad, len(ordered))
-			for n, tp := range ordered {
-				fmt.Fprintf(b, "%s  %d. %s %s %s  [score %d]\n", pad, n+1,
-					explainNode(tp.S), explainPath(tp.P), explainNode(tp.O), patternScore(tp))
-			}
-			continue
-		case *Filter:
-			fmt.Fprintf(b, "%sFILTER (applied at group end)\n", pad)
-		case *ExistsFilter:
-			neg := ""
-			if el.Negated {
-				neg = "NOT "
-			}
-			fmt.Fprintf(b, "%sFILTER %sEXISTS (per-solution subquery):\n", pad, neg)
-			explainGroup(b, el.Pattern, depth+1)
-		case *Optional:
-			fmt.Fprintf(b, "%sOPTIONAL (left join):\n", pad)
-			explainGroup(b, el.Pattern, depth+1)
-		case *Union:
-			fmt.Fprintf(b, "%sUNION left:\n", pad)
-			explainGroup(b, el.Left, depth+1)
-			fmt.Fprintf(b, "%sUNION right:\n", pad)
-			explainGroup(b, el.Right, depth+1)
-		case *GroupPattern:
-			fmt.Fprintf(b, "%sGROUP:\n", pad)
-			explainGroup(b, el, depth+1)
-		}
-		i++
-	}
+// ExplainOn renders the plan the query would execute against src: the
+// statistics-driven join order annotated with the cardinality estimate
+// that selected each pattern.
+func (q *Query) ExplainOn(src store.Source, dict *store.Dict) string {
+	return q.Plan(src, dict).String()
 }
 
 func explainNode(n NodePattern) string {
@@ -152,5 +68,36 @@ func explainPath(p Path) string {
 		}
 	default:
 		return "?"
+	}
+}
+
+// exprString renders a filter expression for plan output.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case varExpr:
+		return "?" + x.name
+	case constExpr:
+		if x.term.IsIRI() {
+			return rdf.QName(x.term.Value)
+		}
+		return x.term.String()
+	case notExpr:
+		return "!" + exprString(x.e)
+	case andExpr:
+		return "(" + exprString(x.l) + " && " + exprString(x.r) + ")"
+	case orExpr:
+		return "(" + exprString(x.l) + " || " + exprString(x.r) + ")"
+	case cmpExpr:
+		return exprString(x.l) + " " + x.op + " " + exprString(x.r)
+	case regexExpr:
+		return fmt.Sprintf("REGEX(%s, %q)", exprString(x.text), x.re.String())
+	case boundExpr:
+		return "BOUND(?" + x.name + ")"
+	case strFuncExpr:
+		return x.fn + "(" + exprString(x.arg) + ")"
+	case binStrFuncExpr:
+		return x.fn + "(" + exprString(x.a) + ", " + exprString(x.b) + ")"
+	default:
+		return "<expr>"
 	}
 }

@@ -43,8 +43,10 @@ func TestExplainStructures(t *testing.T) {
 		"SELECT DISTINCT ?x (COUNT(...) AS ?n)",
 		"UNION left:", "UNION right:",
 		"OPTIONAL (left join):",
-		"FILTER (applied at group end)",
-		"FILTER NOT EXISTS (per-solution subquery):",
+		// ?x and ?y are certain once the UNION closes (both branches
+		// bind them), so both constraints are pushed ahead of OPTIONAL.
+		"FILTER ?x != ?y (pushed down)",
+		"FILTER NOT EXISTS (pushed down, per-solution subquery):",
 		"GROUP BY ?x",
 		"ORDER BY DESC(?n)",
 		"LIMIT 5",

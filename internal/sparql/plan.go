@@ -1,0 +1,811 @@
+package sparql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mdw/internal/rdf"
+	"mdw/internal/store"
+)
+
+// Plan is the executable, explainable evaluation plan of a query: the
+// single source of truth for join order, filter placement, and early
+// termination. Exec executes it; String renders it. Both views therefore
+// can never drift apart.
+//
+// A Plan is bound to the (source, dict) pair it was built against: the
+// join order is chosen from that source's statistics and constant terms
+// are resolved against that dictionary. Build with Query.Plan; a nil
+// source falls back to static selectivity heuristics (used by Explain
+// without data and by static checkers), in which case the plan can be
+// rendered but not executed.
+type Plan struct {
+	query    *Query
+	root     *planGroup
+	src      store.Source
+	dict     *store.Dict
+	warnings []string
+
+	// Cache-revalidation state. A plan resolves constant terms against
+	// the dictionary once at build time; the dictionary is append-only,
+	// so a plan whose constants all resolved stays valid forever. A plan
+	// with an unresolved constant (treated as zero matches) is only valid
+	// while the dictionary has not grown, because the term may have been
+	// interned since.
+	unresolved bool
+	dictLen    int
+}
+
+// planGroup is the planned form of a GroupPattern: an ordered step
+// pipeline with filters assigned to the earliest step where their
+// variables are certainly bound.
+type planGroup struct {
+	steps []planStep
+}
+
+type planStep interface{ planStep() }
+
+// bgpStep is one basic graph pattern in chosen join order.
+type bgpStep struct {
+	patterns []*patternPlan
+}
+
+// patternPlan is one triple pattern plus the constraints pushed to run
+// immediately after it binds its variables.
+type patternPlan struct {
+	tp *TriplePattern
+	// est is the cardinality estimated when the pattern was chosen,
+	// under the variables bound by the preceding steps.
+	est float64
+	// pushed constraints run on every solution this pattern emits.
+	pushed []*plannedConstraint
+	// Terms resolved against the plan's dictionary once at plan time, so
+	// the executor never repeats a dictionary lookup per solution. Only
+	// filled when the plan was built with a dictionary (executable plans
+	// always are).
+	s, o nodeRef
+	pk   pathKind
+	pid  store.ID // pk == pkSimple: the predicate's ID
+	pvar string   // pk == pkVar: the predicate variable's name
+}
+
+// nodeRef is a subject/object position resolved at plan time: either a
+// variable (name != "") or a constant with its dictionary ID.
+type nodeRef struct {
+	name  string   // variable name; "" for constants
+	id    store.ID // constant's ID (meaningless for variables)
+	known bool     // constant exists in the dictionary
+}
+
+type pathKind int
+
+const (
+	pkSimple pathKind = iota // single forward predicate IRI
+	pkVar                    // variable predicate
+	pkPath                   // composite property path
+)
+
+// filterStep applies a constraint between pipeline steps (either pushed
+// to an early position or residual at group end).
+type filterStep struct {
+	c *plannedConstraint
+}
+
+type optionalStep struct {
+	group *planGroup
+}
+
+type unionStep struct {
+	left, right *planGroup
+}
+
+type groupStep struct {
+	group *planGroup
+}
+
+func (*bgpStep) planStep()      {}
+func (*filterStep) planStep()   {}
+func (*optionalStep) planStep() {}
+func (*unionStep) planStep()    {}
+func (*groupStep) planStep()    {}
+
+// plannedConstraint is a FILTER or FILTER (NOT) EXISTS with its
+// placement metadata resolved at plan time.
+type plannedConstraint struct {
+	filter *Filter       // plain filter (nil when exists is set)
+	exists *ExistsFilter // (NOT) EXISTS constraint
+	group  *planGroup    // planned body of the exists pattern
+	// vars lists every variable the filter expression references; the
+	// executor decodes exactly these (through its term cache) instead of
+	// rebuilding a full Binding per solution.
+	vars []string
+	// need lists the variables that must be bound before the constraint
+	// may run (variables the enclosing group can still bind later).
+	need []string
+	// pushed records whether the constraint runs before group end.
+	pushed bool
+	// ID-level equality fast path for ?x = <iri> / ?x != <iri>: when
+	// fastVar is non-empty the constraint compares dictionary IDs and
+	// skips term decoding entirely.
+	fastVar   string
+	fastID    store.ID
+	fastKnown bool // constant IRI exists in the dictionary
+	fastNeg   bool // != instead of =
+}
+
+// varset tracks variables certainly bound at a point in the pipeline.
+type varset map[string]bool
+
+func (vs varset) clone() varset {
+	c := make(varset, len(vs))
+	for v := range vs {
+		c[v] = true
+	}
+	return c
+}
+
+func (vs varset) hasAll(names []string) bool {
+	for _, n := range names {
+		if !vs[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan builds the evaluation plan for the query against src. Pass the
+// source and dictionary the query will execute against so the planner
+// can use real cardinalities; a nil src yields a statistics-free plan
+// (static heuristics) good only for rendering and analysis.
+func (q *Query) Plan(src store.Source, dict *store.Dict) *Plan {
+	p := &Plan{query: q, src: src, dict: dict}
+	if dict != nil {
+		p.dictLen = dict.Len()
+	}
+	pl := &planner{src: src, dict: dict, plan: p}
+	p.root, _ = pl.group(q.Where, varset{})
+	return p
+}
+
+// Warnings returns structural problems the planner noticed — currently
+// disconnected basic graph patterns (cartesian products). Static
+// checkers surface these at lint time.
+func (p *Plan) Warnings() []string { return p.warnings }
+
+type planner struct {
+	src  store.Source
+	dict *store.Dict
+	plan *Plan
+}
+
+// group plans one GroupPattern under the given certainly-bound variable
+// set and returns the planned group plus the certain set at its end.
+//
+// Filter placement rule: a FILTER (or (NOT) EXISTS) constrains the whole
+// group regardless of position, so it may be evaluated early only once
+// every variable it mentions that the group can still bind is certainly
+// bound. Variables bound outside the group (or only optionally) cannot
+// change during the group, so they never delay placement.
+func (pl *planner) group(g *GroupPattern, certainIn varset) (*planGroup, varset) {
+	pg := &planGroup{}
+	certain := certainIn.clone()
+
+	// Gather the group's constraints with their placement requirements.
+	// The bindable set is only materialized when the group actually has
+	// constraints: filter-free queries (the common case) plan without it.
+	var pending []*plannedConstraint
+	var bindable varset
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case *Filter:
+			if bindable == nil {
+				bindable = varset{}
+				collectBindableVars(g, bindable)
+			}
+			c := &plannedConstraint{filter: e, vars: exprVars(e.Expr)}
+			for _, v := range c.vars {
+				if bindable[v] {
+					c.need = append(c.need, v)
+				}
+			}
+			pl.detectFastPath(c)
+			pending = append(pending, c)
+		case *ExistsFilter:
+			if bindable == nil {
+				bindable = varset{}
+				collectBindableVars(g, bindable)
+			}
+			c := &plannedConstraint{exists: e}
+			mentioned := varset{}
+			collectGroupVars(e.Pattern, mentioned)
+			for v := range mentioned {
+				if bindable[v] {
+					c.need = append(c.need, v)
+				}
+			}
+			sort.Strings(c.need)
+			pending = append(pending, c)
+		}
+	}
+	// Constraints already satisfiable on the input solutions (constant
+	// expressions, or variables bound entirely by the enclosing scope)
+	// run before anything else.
+	pending = pl.attachReady(pending, certain, pg, nil)
+
+	i := 0
+	for i < len(g.Elements) {
+		switch el := g.Elements[i].(type) {
+		case *TriplePattern:
+			// Collect the run of triple patterns into one BGP. Filters
+			// and EXISTS constraints are group-scoped and do not bind
+			// variables, so they do not break the run.
+			var block []*TriplePattern
+			for i < len(g.Elements) {
+				switch e := g.Elements[i].(type) {
+				case *TriplePattern:
+					block = append(block, e)
+				case *Filter, *ExistsFilter:
+					// transparent
+				default:
+					goto blockDone
+				}
+				i++
+			}
+		blockDone:
+			pl.checkConnected(block)
+			bgp := &bgpStep{}
+			remaining := block // freshly built above; safe to consume
+			for len(remaining) > 0 {
+				best, bestEst := 0, math.Inf(1)
+				for j, tp := range remaining {
+					if est := pl.estimate(tp, certain); est < bestEst {
+						best, bestEst = j, est
+					}
+				}
+				tp := remaining[best]
+				remaining = append(remaining[:best], remaining[best+1:]...)
+				pp := &patternPlan{tp: tp, est: bestEst}
+				pl.resolvePattern(pp)
+				bgp.patterns = append(bgp.patterns, pp)
+				if tp.S.IsVar() {
+					certain[tp.S.Var] = true
+				}
+				if pv, ok := tp.P.(PathVar); ok {
+					certain[pv.Name] = true
+				}
+				if tp.O.IsVar() {
+					certain[tp.O.Var] = true
+				}
+				pending = pl.attachReady(pending, certain, pg, pp)
+			}
+			pg.steps = append(pg.steps, bgp)
+			continue
+		case *Filter, *ExistsFilter:
+			// already collected
+		case *Optional:
+			sub, _ := pl.group(el.Pattern, certain)
+			pg.steps = append(pg.steps, &optionalStep{group: sub})
+		case *Union:
+			left, lOut := pl.group(el.Left, certain)
+			right, rOut := pl.group(el.Right, certain)
+			pg.steps = append(pg.steps, &unionStep{left: left, right: right})
+			// A variable certain in both branches is certain after.
+			for v := range lOut {
+				if rOut[v] {
+					certain[v] = true
+				}
+			}
+		case *GroupPattern:
+			sub, out := pl.group(el, certain)
+			pg.steps = append(pg.steps, &groupStep{group: sub})
+			certain = out
+		default:
+			// Unknown elements surface at execution time.
+		}
+		pending = pl.attachReady(pending, certain, pg, nil)
+		i++
+	}
+	// Residual constraints: variables only optionally bound (or never
+	// bound) keep them at group end, exactly like the naive evaluator.
+	for _, c := range pending {
+		c.pushed = false
+		if c.exists != nil && c.group == nil {
+			c.group, _ = pl.group(c.exists.Pattern, certain)
+		}
+		pg.steps = append(pg.steps, &filterStep{c})
+	}
+	return pg, certain
+}
+
+// attachReady moves every pending constraint whose needed variables are
+// now certain into the plan — onto pp's pushed list when a pattern was
+// just chosen, otherwise as a filter step of pg — and returns the
+// constraints still waiting.
+func (pl *planner) attachReady(pending []*plannedConstraint, certain varset, pg *planGroup, pp *patternPlan) []*plannedConstraint {
+	if len(pending) == 0 {
+		return pending
+	}
+	kept := pending[:0]
+	for _, c := range pending {
+		if !certain.hasAll(c.need) {
+			kept = append(kept, c)
+			continue
+		}
+		c.pushed = true
+		if c.exists != nil && c.group == nil {
+			c.group, _ = pl.group(c.exists.Pattern, certain)
+		}
+		if pp != nil {
+			pp.pushed = append(pp.pushed, c)
+		} else {
+			pg.steps = append(pg.steps, &filterStep{c})
+		}
+	}
+	return kept
+}
+
+// resolvePattern resolves the pattern's constant terms and predicate
+// against the dictionary once, at plan time.
+func (pl *planner) resolvePattern(pp *patternPlan) {
+	tp := pp.tp
+	resolve := func(n NodePattern) nodeRef {
+		if n.IsVar() {
+			return nodeRef{name: n.Var}
+		}
+		if pl.dict == nil {
+			return nodeRef{}
+		}
+		id, ok := pl.dict.Lookup(n.Term)
+		if !ok {
+			pl.plan.unresolved = true
+		}
+		return nodeRef{id: id, known: ok}
+	}
+	pp.s = resolve(tp.S)
+	pp.o = resolve(tp.O)
+	switch p := tp.P.(type) {
+	case PathIRI:
+		pp.pk = pkSimple
+		if pl.dict != nil {
+			if id, ok := pl.dict.Lookup(rdf.IRI(p.IRI)); ok {
+				pp.pid = id
+			} else {
+				pl.plan.unresolved = true
+			}
+		}
+	case PathVar:
+		pp.pk = pkVar
+		pp.pvar = p.Name
+	default:
+		pp.pk = pkPath
+	}
+}
+
+// detectFastPath recognizes ?x = <iri> and ?x != <iri> (either operand
+// order) and resolves the constant to a dictionary ID. Only IRI
+// constants qualify: IRI equality is term identity, so ID comparison is
+// exact; numeric literals compare by value and must take the slow path.
+func (pl *planner) detectFastPath(c *plannedConstraint) {
+	if pl.dict == nil {
+		return
+	}
+	cmp, ok := c.filter.Expr.(cmpExpr)
+	if !ok || (cmp.op != "=" && cmp.op != "!=") {
+		return
+	}
+	v, vok := cmp.l.(varExpr)
+	k, kok := cmp.r.(constExpr)
+	if !vok || !kok {
+		v, vok = cmp.r.(varExpr)
+		k, kok = cmp.l.(constExpr)
+	}
+	if !vok || !kok || !k.term.IsIRI() {
+		return
+	}
+	c.fastVar = v.name
+	c.fastNeg = cmp.op == "!="
+	c.fastID, c.fastKnown = pl.dict.Lookup(k.term)
+	if !c.fastKnown {
+		pl.plan.unresolved = true
+	}
+}
+
+// checkConnected records a warning when a BGP of two or more patterns
+// falls apart into independent variable components — a cartesian product
+// no join order can save.
+func (pl *planner) checkConnected(block []*TriplePattern) {
+	if len(block) < 2 {
+		return
+	}
+	// Union-find over patterns linked by shared variables.
+	parent := make([]int, len(block))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byVar := map[string]int{}
+	for i, tp := range block {
+		eachPatternVar(tp, func(v string) {
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		})
+	}
+	withVars := map[int]bool{}
+	for i, tp := range block {
+		hasVar := false
+		eachPatternVar(tp, func(string) { hasVar = true })
+		if hasVar {
+			withVars[find(i)] = true
+		}
+	}
+	if len(withVars) > 1 {
+		pl.plan.warnings = append(pl.plan.warnings, fmt.Sprintf(
+			"basic graph pattern of %d triples splits into %d components sharing no variables (cartesian product)",
+			len(block), len(withVars)))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Cardinality estimation.
+
+// estimate predicts the number of solutions one application of tp will
+// produce given the certainly-bound variables. With statistics (src !=
+// nil) it starts from Source counts with constants in place and divides
+// by per-predicate distinct counts for positions held by bound
+// variables; without a source it falls back to fixed selectivity
+// weights that reproduce the old static heuristic's ordering.
+func (pl *planner) estimate(tp *TriplePattern, certain varset) float64 {
+	if pl.src == nil || pl.dict == nil {
+		return pl.heuristicEstimate(tp, certain)
+	}
+	sID, sConst, sBound, sKnown := pl.resolvePlanNode(tp.S, certain)
+	oID, oConst, oBound, oKnown := pl.resolvePlanNode(tp.O, certain)
+	if !sKnown || !oKnown {
+		return 0 // constant unknown to the dictionary: no match possible
+	}
+
+	switch p := tp.P.(type) {
+	case PathIRI:
+		pid, ok := pl.dict.Lookup(rdf.IRI(p.IRI))
+		if !ok {
+			return 0
+		}
+		raw := float64(pl.estCount(sID, pid, oID))
+		if raw == 0 {
+			return 0
+		}
+		if stats, ok := pl.src.(store.StatsSource); ok && (sBound || oBound) {
+			ps := stats.PredStats(pid)
+			if sBound && !sConst {
+				raw /= math.Max(1, float64(ps.DistinctSubjects))
+			}
+			if oBound && !oConst {
+				raw /= math.Max(1, float64(ps.DistinctObjects))
+			}
+			return raw
+		}
+		// No statistics: a bound position still shrinks the result.
+		if sBound && !sConst {
+			raw = math.Sqrt(raw)
+		}
+		if oBound && !oConst {
+			raw = math.Sqrt(raw)
+		}
+		return raw
+	case PathVar:
+		pid := store.Wildcard
+		if certain[p.Name] {
+			// The predicate value is unknown at plan time; treat the
+			// bound position like any other and damp the raw count.
+			return math.Sqrt(float64(pl.estCount(sID, store.Wildcard, oID)))
+		}
+		raw := float64(pl.estCount(sID, pid, oID))
+		if sBound && !sConst {
+			raw = math.Sqrt(raw)
+		}
+		if oBound && !oConst {
+			raw = math.Sqrt(raw)
+		}
+		return raw
+	default:
+		// Composite property paths (sequences, closures, inverses):
+		// their cost is graph traversal, not an index probe. Run them
+		// once an endpoint is fixed; defer them as long as both ends
+		// are open.
+		total := float64(pl.estCount(store.Wildcard, store.Wildcard, store.Wildcard))
+		sFixed := sConst || sBound
+		oFixed := oConst || oBound
+		switch {
+		case sFixed && oFixed:
+			return 1
+		case sFixed || oFixed:
+			return math.Max(4, math.Sqrt(total))
+		default:
+			return total * total
+		}
+	}
+}
+
+// resolvePlanNode classifies a node pattern at plan time: its constant
+// ID (Wildcard for any variable), whether it is a constant, whether it
+// is a bound variable, and whether a constant term is known to the
+// dictionary.
+func (pl *planner) resolvePlanNode(n NodePattern, certain varset) (id store.ID, isConst, isBound, known bool) {
+	if n.IsVar() {
+		return store.Wildcard, false, certain[n.Var], true
+	}
+	id, ok := pl.dict.Lookup(n.Term)
+	if !ok {
+		return store.Wildcard, true, false, false
+	}
+	return id, true, false, true
+}
+
+func (pl *planner) estCount(s, p, o store.ID) int {
+	if ce, ok := pl.src.(store.CardEstimator); ok {
+		return ce.EstCount(s, p, o)
+	}
+	return pl.src.Count(s, p, o)
+}
+
+// heuristicEstimate mirrors the retired patternScore ordering with fixed
+// pseudo-cardinalities: constants shrink the estimate, subjects more
+// than objects, and composite paths sort last until an endpoint is
+// bound.
+func (pl *planner) heuristicEstimate(tp *TriplePattern, certain varset) float64 {
+	fixed := func(n NodePattern) bool { return !n.IsVar() || certain[n.Var] }
+	switch tp.P.(type) {
+	case PathIRI, PathVar:
+		est := 1e6
+		if !tp.S.IsVar() {
+			est /= 1000
+		} else if certain[tp.S.Var] {
+			est /= 100
+		}
+		if !tp.O.IsVar() {
+			est /= 300
+		} else if certain[tp.O.Var] {
+			est /= 30
+		}
+		if _, ok := tp.P.(PathIRI); ok {
+			est /= 10
+		}
+		return est
+	default:
+		switch {
+		case fixed(tp.S) && fixed(tp.O):
+			return 1
+		case fixed(tp.S) || fixed(tp.O):
+			return 1e4
+		default:
+			return 1e9
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Variable walkers.
+
+// eachPatternVar calls fn for every variable a triple pattern binds.
+// A callback (rather than a returned slice) keeps the planner's hot
+// loops allocation-free; planning runs on every Exec, so its constant
+// cost is visible on small queries.
+func eachPatternVar(tp *TriplePattern, fn func(string)) {
+	if tp.S.IsVar() {
+		fn(tp.S.Var)
+	}
+	if pv, ok := tp.P.(PathVar); ok {
+		fn(pv.Name)
+	}
+	if tp.O.IsVar() {
+		fn(tp.O.Var)
+	}
+}
+
+// collectBindableVars adds every variable the group can bind — triple
+// pattern variables at any nesting depth, including OPTIONAL and UNION
+// branches but excluding EXISTS bodies (whose bindings never escape).
+func collectBindableVars(g *GroupPattern, into varset) {
+	if g == nil {
+		return
+	}
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case *TriplePattern:
+			eachPatternVar(e, func(v string) { into[v] = true })
+		case *Optional:
+			collectBindableVars(e.Pattern, into)
+		case *Union:
+			collectBindableVars(e.Left, into)
+			collectBindableVars(e.Right, into)
+		case *GroupPattern:
+			collectBindableVars(e, into)
+		}
+	}
+}
+
+// collectGroupVars adds every variable a group mentions: triple pattern
+// variables plus filter expression variables, at any depth.
+func collectGroupVars(g *GroupPattern, into varset) {
+	if g == nil {
+		return
+	}
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case *TriplePattern:
+			eachPatternVar(e, func(v string) { into[v] = true })
+		case *Filter:
+			for _, v := range exprVars(e.Expr) {
+				into[v] = true
+			}
+		case *ExistsFilter:
+			collectGroupVars(e.Pattern, into)
+		case *Optional:
+			collectGroupVars(e.Pattern, into)
+		case *Union:
+			collectGroupVars(e.Left, into)
+			collectGroupVars(e.Right, into)
+		case *GroupPattern:
+			collectGroupVars(e, into)
+		}
+	}
+}
+
+// exprVars returns the distinct variables an expression references, in
+// first-use order.
+func exprVars(e Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	WalkExprVars(e, func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Rendering. Plan.String is what Explain prints: the same structures
+// Exec runs, annotated with the estimates that chose the order.
+
+// String renders the plan as indented text: the group structure, the
+// join order chosen for each basic graph pattern with the cardinality
+// estimates that drove it, and where each filter was placed.
+func (p *Plan) String() string {
+	var b strings.Builder
+	q := p.query
+	switch q.Kind {
+	case AskQuery:
+		b.WriteString("ASK (stops at first solution)\n")
+	case ConstructQuery:
+		fmt.Fprintf(&b, "CONSTRUCT (%d template triples)\n", len(q.Template))
+	default:
+		b.WriteString("SELECT")
+		if q.Distinct {
+			b.WriteString(" DISTINCT")
+		}
+		if len(q.Select) == 0 {
+			b.WriteString(" *")
+		}
+		for _, it := range q.Select {
+			if it.Agg != nil {
+				fmt.Fprintf(&b, " (%s(...) AS ?%s)", it.Agg.Func, it.Agg.As)
+			} else {
+				fmt.Fprintf(&b, " ?%s", it.Var)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	p.renderGroup(&b, p.root, 1)
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, "GROUP BY ?%s\n", strings.Join(q.GroupBy, " ?"))
+	}
+	for _, oc := range q.OrderBy {
+		dir := "ASC"
+		if oc.Desc {
+			dir = "DESC"
+		}
+		fmt.Fprintf(&b, "ORDER BY %s(?%s)\n", dir, oc.Var)
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, "LIMIT %d", q.Limit)
+		if q.streamable() {
+			b.WriteString(" (streamed: stops early)")
+		}
+		b.WriteByte('\n')
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, "OFFSET %d\n", q.Offset)
+	}
+	return b.String()
+}
+
+func (p *Plan) renderGroup(b *strings.Builder, g *planGroup, depth int) {
+	pad := strings.Repeat("  ", depth)
+	for _, st := range g.steps {
+		switch s := st.(type) {
+		case *bgpStep:
+			fmt.Fprintf(b, "%sBGP (%d patterns, join order):\n", pad, len(s.patterns))
+			for n, pp := range s.patterns {
+				fmt.Fprintf(b, "%s  %d. %s %s %s%s\n", pad, n+1,
+					explainNode(pp.tp.S), explainPath(pp.tp.P), explainNode(pp.tp.O), p.estLabel(pp.est))
+				for _, c := range pp.pushed {
+					p.renderConstraint(b, c, depth+2)
+				}
+			}
+		case *filterStep:
+			p.renderConstraint(b, s.c, depth)
+		case *optionalStep:
+			fmt.Fprintf(b, "%sOPTIONAL (left join):\n", pad)
+			p.renderGroup(b, s.group, depth+1)
+		case *unionStep:
+			fmt.Fprintf(b, "%sUNION left:\n", pad)
+			p.renderGroup(b, s.left, depth+1)
+			fmt.Fprintf(b, "%sUNION right:\n", pad)
+			p.renderGroup(b, s.right, depth+1)
+		case *groupStep:
+			fmt.Fprintf(b, "%sGROUP:\n", pad)
+			p.renderGroup(b, s.group, depth+1)
+		}
+	}
+}
+
+func (p *Plan) renderConstraint(b *strings.Builder, c *plannedConstraint, depth int) {
+	pad := strings.Repeat("  ", depth)
+	where := "applied at group end"
+	if c.pushed {
+		where = "pushed down"
+	}
+	if c.exists != nil {
+		neg := ""
+		if c.exists.Negated {
+			neg = "NOT "
+		}
+		fmt.Fprintf(b, "%sFILTER %sEXISTS (%s, per-solution subquery):\n", pad, neg, where)
+		p.renderGroup(b, c.group, depth+1)
+		return
+	}
+	note := ""
+	if c.fastVar != "" {
+		note = ", ID fast path"
+	}
+	fmt.Fprintf(b, "%sFILTER %s (%s%s)\n", pad, exprString(c.filter.Expr), where, note)
+}
+
+func (p *Plan) estLabel(est float64) string {
+	if p.src == nil {
+		return ""
+	}
+	if est == math.Trunc(est) && est < 1e15 {
+		return fmt.Sprintf("  [est %d]", int64(est))
+	}
+	return fmt.Sprintf("  [est %.2g]", est)
+}
+
+// streamable reports whether the query can stop as soon as enough rows
+// are produced: a plain SELECT with explicit projection and no ordering
+// or aggregation.
+func (q *Query) streamable() bool {
+	if q.Kind != SelectQuery || len(q.Select) == 0 || len(q.GroupBy) > 0 || len(q.OrderBy) > 0 || q.Limit < 0 {
+		return false
+	}
+	for _, it := range q.Select {
+		if it.Agg != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,269 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"mdw/internal/rdf"
+	"mdw/internal/store"
+)
+
+// planFixture builds a model with a skewed predicate distribution:
+// t:common has 50 triples, t:rare has 3. Statistics-driven ordering must
+// start from the rare predicate.
+func planFixture() (*store.Store, store.Source, *store.Dict) {
+	st := store.New()
+	var ts []rdf.Triple
+	for i := 0; i < 50; i++ {
+		ts = append(ts, rdf.T(
+			rdf.IRI("http://t/s"+string(rune('A'+i%26))+string(rune('a'+i/26))),
+			rdf.IRI("http://t/common"),
+			rdf.IRI("http://t/o"+string(rune('A'+i%26))+string(rune('a'+i/26)))))
+	}
+	for _, s := range []string{"sA", "sB", "sC"} {
+		ts = append(ts, rdf.T(
+			rdf.IRI("http://t/"+s), rdf.IRI("http://t/rare"), rdf.IRI("http://t/r")))
+	}
+	st.AddAll("m", ts)
+	return st, st.ViewOf("m"), st.Dict()
+}
+
+func TestPlanStatsJoinOrder(t *testing.T) {
+	_, src, dict := planFixture()
+	q := MustParse(`SELECT ?y ?z WHERE {
+		?x <http://t/common> ?y .
+		?x <http://t/rare> ?z .
+	}`)
+	out := q.Plan(src, dict).String()
+	rare := strings.Index(out, "<http://t/rare>")
+	common := strings.Index(out, "<http://t/common>")
+	if rare < 0 || common < 0 || rare > common {
+		t.Errorf("statistics should order the rare predicate first:\n%s", out)
+	}
+	if !strings.Contains(out, "[est ") {
+		t.Errorf("plan against a source must show estimates:\n%s", out)
+	}
+}
+
+func TestPlanHeuristicFallbackWithoutSource(t *testing.T) {
+	q := MustParse(`SELECT ?y WHERE {
+		?x <http://t/common> ?y .
+		<http://t/sA> <http://t/rare> ?x .
+	}`)
+	out := q.Plan(nil, nil).String()
+	// Without statistics the constant-subject pattern is the selective one.
+	first := strings.Index(out, "<http://t/sA>")
+	second := strings.Index(out, "<http://t/common>")
+	if first < 0 || second < 0 || first > second {
+		t.Errorf("heuristic order wrong:\n%s", out)
+	}
+	if strings.Contains(out, "[est ") {
+		t.Errorf("plan without a source must not print estimates:\n%s", out)
+	}
+}
+
+func TestPlanFilterResidualForOptionalVar(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE {
+		?x <http://t/rare> ?y .
+		OPTIONAL { ?x <http://t/common> ?z }
+		FILTER (?z != <http://t/o>)
+	}`)
+	out := q.Explain()
+	if !strings.Contains(out, "FILTER ?z != <http://t/o> (applied at group end") {
+		t.Errorf("filter on an optionally-bound variable must stay residual:\n%s", out)
+	}
+}
+
+func TestPlanFastPathEquality(t *testing.T) {
+	_, src, dict := planFixture()
+	q := MustParse(`SELECT ?x WHERE {
+		?x <http://t/rare> ?y .
+		FILTER (?x = <http://t/sA>)
+	}`)
+	if out := q.Plan(src, dict).String(); !strings.Contains(out, "ID fast path") {
+		t.Errorf("IRI equality should use the ID fast path:\n%s", out)
+	}
+	res, err := q.Exec(src, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("want exactly sA, got %d rows", len(res.Rows))
+	}
+
+	// != keeps everything except sA.
+	qn := MustParse(`SELECT ?x WHERE {
+		?x <http://t/rare> ?y .
+		FILTER (?x != <http://t/sA>)
+	}`)
+	res, err = qn.Exec(src, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want sB and sC, got %d rows", len(res.Rows))
+	}
+
+	// Equality against an IRI the dictionary has never seen matches nothing;
+	// inequality matches everything.
+	qu := MustParse(`SELECT ?x WHERE {
+		?x <http://t/rare> ?y .
+		FILTER (?x = <http://t/never-seen>)
+	}`)
+	res, err = qu.Exec(src, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("unknown IRI equality must match nothing, got %d rows", len(res.Rows))
+	}
+	qun := MustParse(`SELECT ?x WHERE {
+		?x <http://t/rare> ?y .
+		FILTER (?x != <http://t/never-seen>)
+	}`)
+	res, err = qun.Exec(src, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("unknown IRI inequality must keep all rows, got %d", len(res.Rows))
+	}
+}
+
+func TestPlanWarningsCartesian(t *testing.T) {
+	q := MustParse(`SELECT ?a WHERE {
+		?a <http://t/p> ?b .
+		?c <http://t/q> ?d .
+	}`)
+	w := q.Plan(nil, nil).Warnings()
+	if len(w) != 1 || !strings.Contains(w[0], "cartesian product") {
+		t.Errorf("disconnected BGP must warn, got %v", w)
+	}
+	connected := MustParse(`SELECT ?a WHERE {
+		?a <http://t/p> ?b .
+		?b <http://t/q> ?d .
+	}`)
+	if w := connected.Plan(nil, nil).Warnings(); len(w) != 0 {
+		t.Errorf("connected BGP must not warn, got %v", w)
+	}
+	// Constant-only patterns do not form a product.
+	constOnly := MustParse(`ASK {
+		<http://t/a> <http://t/p> <http://t/b> .
+		?x <http://t/q> ?y .
+	}`)
+	if w := constOnly.Plan(nil, nil).Warnings(); len(w) != 0 {
+		t.Errorf("single variable component must not warn, got %v", w)
+	}
+}
+
+func TestPlanExecWithoutSource(t *testing.T) {
+	q := MustParse(`ASK { ?s ?p ?o }`)
+	if _, err := q.Plan(nil, nil).Exec(); err == nil {
+		t.Fatal("executing a source-free plan must error")
+	}
+}
+
+// countingSource counts index callbacks to observe early termination.
+type countingSource struct {
+	store.Source
+	calls int
+}
+
+func (c *countingSource) ForEach(s, p, o store.ID, fn func(store.ETriple) bool) {
+	c.Source.ForEach(s, p, o, func(t store.ETriple) bool {
+		c.calls++
+		return fn(t)
+	})
+}
+
+func TestAskStopsAtFirstSolution(t *testing.T) {
+	_, src, dict := planFixture()
+	cs := &countingSource{Source: src}
+	q := MustParse(`ASK { ?x <http://t/common> ?y }`)
+	res, err := q.Exec(cs, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ask {
+		t.Fatal("expected true")
+	}
+	if cs.calls != 1 {
+		t.Errorf("ASK scanned %d triples; must stop at the first", cs.calls)
+	}
+}
+
+func TestLimitStreamsEarly(t *testing.T) {
+	_, src, dict := planFixture()
+	cs := &countingSource{Source: src}
+	q := MustParse(`SELECT ?x WHERE { ?x <http://t/common> ?y } LIMIT 3`)
+	res, err := q.Exec(cs, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(res.Rows))
+	}
+	if cs.calls > 4 {
+		t.Errorf("LIMIT 3 scanned %d of 50 triples; must stop early", cs.calls)
+	}
+	// ORDER BY disables streaming: every solution must be seen.
+	cs.calls = 0
+	qo := MustParse(`SELECT ?x WHERE { ?x <http://t/common> ?y } ORDER BY ASC(?x) LIMIT 3`)
+	if _, err := qo.Exec(cs, dict); err != nil {
+		t.Fatal(err)
+	}
+	if cs.calls != 50 {
+		t.Errorf("ORDER BY query scanned %d triples, want all 50", cs.calls)
+	}
+}
+
+// TestPlanCacheRevalidation exercises the memoized-plan staleness rule:
+// a plan holding a constant the dictionary did not know must be rebuilt
+// once the dictionary grows.
+func TestPlanCacheRevalidation(t *testing.T) {
+	st := store.New()
+	st.AddAll("m", []rdf.Triple{
+		rdf.T(rdf.IRI("http://t/a"), rdf.IRI("http://t/p"), rdf.IRI("http://t/b")),
+	})
+	src, dict := st.ViewOf("m"), st.Dict()
+	q := MustParse(`SELECT ?x WHERE { ?x <http://t/p> <http://t/late> }`)
+	res, err := q.Exec(src, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("object not in data yet, got %d rows", len(res.Rows))
+	}
+	// The object IRI appears later; the same parsed query must see it.
+	st.AddAll("m", []rdf.Triple{
+		rdf.T(rdf.IRI("http://t/c"), rdf.IRI("http://t/p"), rdf.IRI("http://t/late")),
+	})
+	res, err = q.Exec(src, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("stale plan: new triple invisible, got %d rows", len(res.Rows))
+	}
+
+	// A fully resolved cached plan keeps seeing live data without replan.
+	q2 := MustParse(`SELECT ?x WHERE { ?x <http://t/p> ?y }`)
+	if res, _ := q2.Exec(src, dict); len(res.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(res.Rows))
+	}
+	st.AddAll("m", []rdf.Triple{
+		rdf.T(rdf.IRI("http://t/d"), rdf.IRI("http://t/p"), rdf.IRI("http://t/b")),
+	})
+	if res, _ := q2.Exec(src, dict); len(res.Rows) != 3 {
+		t.Fatalf("cached plan must read live indexes, got %d rows", len(res.Rows))
+	}
+}
+
+func TestExplainOnShowsEstimates(t *testing.T) {
+	_, src, dict := planFixture()
+	q := MustParse(`SELECT ?x WHERE { ?x <http://t/rare> ?y }`)
+	out := q.ExplainOn(src, dict)
+	if !strings.Contains(out, "[est 3]") {
+		t.Errorf("ExplainOn must render real cardinalities:\n%s", out)
+	}
+}

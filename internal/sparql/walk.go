@@ -16,6 +16,40 @@ func WalkIRIs(q *Query, fn func(iri string)) {
 	walkGroupIRIs(q.Where, fn)
 }
 
+// WalkExprVars calls fn for every variable reference in a filter
+// expression, including the arguments of BOUND and the string builtins.
+// A variable mentioned several times is reported each time; callers
+// needing a set should deduplicate. The planner uses this to decide the
+// earliest point a FILTER can run.
+func WalkExprVars(e Expr, fn func(name string)) {
+	switch x := e.(type) {
+	case varExpr:
+		fn(x.name)
+	case constExpr:
+		// no variables
+	case notExpr:
+		WalkExprVars(x.e, fn)
+	case andExpr:
+		WalkExprVars(x.l, fn)
+		WalkExprVars(x.r, fn)
+	case orExpr:
+		WalkExprVars(x.l, fn)
+		WalkExprVars(x.r, fn)
+	case cmpExpr:
+		WalkExprVars(x.l, fn)
+		WalkExprVars(x.r, fn)
+	case regexExpr:
+		WalkExprVars(x.text, fn)
+	case boundExpr:
+		fn(x.name)
+	case strFuncExpr:
+		WalkExprVars(x.arg, fn)
+	case binStrFuncExpr:
+		WalkExprVars(x.a, fn)
+		WalkExprVars(x.b, fn)
+	}
+}
+
 func walkGroupIRIs(g *GroupPattern, fn func(string)) {
 	if g == nil {
 		return

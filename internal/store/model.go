@@ -1,8 +1,34 @@
 package store
 
+import "sync"
+
 // ETriple is a dictionary-encoded triple.
 type ETriple struct {
 	S, P, O ID
+}
+
+// PredStats holds per-predicate statistics: how many triples carry the
+// predicate and how many distinct subjects/objects they touch. The SPARQL
+// planner divides pattern counts by the distinct counts to estimate join
+// selectivity when a variable position is already bound.
+type PredStats struct {
+	Triples          int
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// StatsSource is optionally implemented by Sources that can provide
+// per-predicate statistics for query planning.
+type StatsSource interface {
+	PredStats(p ID) PredStats
+}
+
+// CardEstimator is optionally implemented by Sources that can answer
+// pattern-cardinality questions cheaply at the price of precision (an
+// upper bound is fine). The SPARQL planner prefers it over Count, whose
+// exact de-duplicated answer can cost an enumeration on union views.
+type CardEstimator interface {
+	EstCount(s, p, o ID) int
 }
 
 // Model is one named RDF model: a set of encoded triples maintained under
@@ -16,6 +42,15 @@ type Model struct {
 	pos  map[ID]map[ID][]ID // predicate -> object -> subjects
 	osp  map[ID]map[ID][]ID // object -> subject -> predicates
 	size int
+	// predSize counts triples per predicate so Count(W, p, W) — the
+	// planner's most common statistics probe — is O(1).
+	predSize map[ID]int
+	// statsMu guards the lazily built per-generation PredStats cache.
+	// Reads of a quiescent model stay safe to share: concurrent PredStats
+	// callers serialize only on this cache, never on the indexes.
+	statsMu   sync.Mutex
+	statsGen  uint64
+	predStats map[ID]PredStats
 	// gen counts successful mutations (Add/Remove). Derived artifacts —
 	// the OWLPRIME index models and the full-text indexes — record the
 	// base model's gen they were computed from, so stale derivations are
@@ -30,11 +65,12 @@ type Model struct {
 // NewModel returns an empty model with the given name.
 func NewModel(name string) *Model {
 	return &Model{
-		name: name,
-		spo:  make(map[ID]map[ID][]ID),
-		pos:  make(map[ID]map[ID][]ID),
-		osp:  make(map[ID]map[ID][]ID),
-		gen:  1,
+		name:     name,
+		spo:      make(map[ID]map[ID][]ID),
+		pos:      make(map[ID]map[ID][]ID),
+		osp:      make(map[ID]map[ID][]ID),
+		predSize: make(map[ID]int),
+		gen:      1,
 	}
 }
 
@@ -65,6 +101,7 @@ func (m *Model) Add(t ETriple) bool {
 	addIdx(m.spo, t.S, t.P, t.O)
 	addIdx(m.pos, t.P, t.O, t.S)
 	addIdx(m.osp, t.O, t.S, t.P)
+	m.predSize[t.P]++
 	m.size++
 	m.gen++
 	return true
@@ -78,6 +115,9 @@ func (m *Model) Remove(t ETriple) bool {
 	removeIdx(m.spo, t.S, t.P, t.O)
 	removeIdx(m.pos, t.P, t.O, t.S)
 	removeIdx(m.osp, t.O, t.S, t.P)
+	if m.predSize[t.P]--; m.predSize[t.P] == 0 {
+		delete(m.predSize, t.P)
+	}
 	m.size--
 	m.gen++
 	return true
@@ -194,20 +234,65 @@ func (m *Model) ForEach(s, p, o ID, fn func(ETriple) bool) {
 }
 
 // Count returns the number of triples matching the pattern without
-// materializing them.
+// materializing them. Every access path is answered from an index (plus
+// the predSize counter for predicate-only patterns), so the planner can
+// probe cardinalities freely.
 func (m *Model) Count(s, p, o ID) int {
 	n := 0
 	switch {
-	case s != Wildcard && p != Wildcard && o == Wildcard:
+	case s != Wildcard && p != Wildcard && o != Wildcard:
+		if m.Contains(ETriple{s, p, o}) {
+			n = 1
+		}
+	case s != Wildcard && p != Wildcard:
 		n = len(m.spo[s][p])
-	case p != Wildcard && o != Wildcard && s == Wildcard:
+	case p != Wildcard && o != Wildcard:
 		n = len(m.pos[p][o])
-	case s == Wildcard && p == Wildcard && o == Wildcard:
-		n = m.size
+	case s != Wildcard && o != Wildcard:
+		n = len(m.osp[o][s])
+	case p != Wildcard:
+		n = m.predSize[p]
+	case s != Wildcard:
+		for _, objs := range m.spo[s] {
+			n += len(objs)
+		}
+	case o != Wildcard:
+		for _, preds := range m.osp[o] {
+			n += len(preds)
+		}
 	default:
-		m.ForEach(s, p, o, func(ETriple) bool { n++; return true })
+		n = m.size
 	}
 	return n
+}
+
+// EstCount implements CardEstimator; a single model's counts are exact
+// and cheap, so the estimate is Count itself.
+func (m *Model) EstCount(s, p, o ID) int { return m.Count(s, p, o) }
+
+// PredStats returns the per-predicate statistics for p, computed lazily
+// and cached per mutation generation. Safe for concurrent readers of a
+// quiescent model.
+func (m *Model) PredStats(p ID) PredStats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	if m.statsGen != m.gen {
+		m.predStats = make(map[ID]PredStats)
+		m.statsGen = m.gen
+	}
+	if ps, ok := m.predStats[p]; ok {
+		return ps
+	}
+	ps := PredStats{Triples: m.predSize[p], DistinctObjects: len(m.pos[p])}
+	subjects := make(map[ID]struct{})
+	for _, subs := range m.pos[p] {
+		for _, s := range subs {
+			subjects[s] = struct{}{}
+		}
+	}
+	ps.DistinctSubjects = len(subjects)
+	m.predStats[p] = ps
+	return ps
 }
 
 // Subjects returns the distinct subjects of triples matching (p, o).
@@ -284,6 +369,10 @@ func (m *Model) Clone(name string) *Model {
 	c.spo = cloneIdx(m.spo)
 	c.pos = cloneIdx(m.pos)
 	c.osp = cloneIdx(m.osp)
+	c.predSize = make(map[ID]int, len(m.predSize))
+	for p, n := range m.predSize {
+		c.predSize[p] = n
+	}
 	return c
 }
 

@@ -1,5 +1,7 @@
 package store
 
+import "sort"
+
 // Source is a read-only triple source addressed by encoded IDs. Model and
 // View both implement it; the SPARQL engine executes against a Source.
 type Source interface {
@@ -80,13 +82,64 @@ func (v *View) ForEach(s, p, o ID, fn func(ETriple) bool) {
 }
 
 // Count returns the number of distinct triples matching the pattern.
+// Rather than enumerating every member with per-triple Contains probes
+// against every earlier model, it takes the largest member's count for
+// free from its index and corrects for overlap by enumerating only the
+// smaller members: each distinct triple is attributed to the first model
+// (in descending-count order) that holds it, so the sum stays exact
+// while the dominant member is never walked.
 func (v *View) Count(s, p, o ID) int {
 	if len(v.models) == 1 {
 		return v.models[0].Count(s, p, o)
 	}
+	order := make([]int, len(v.models))
+	counts := make([]int, len(v.models))
+	for i, m := range v.models {
+		order[i] = i
+		counts[i] = m.Count(s, p, o)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	total := counts[order[0]]
+	for k := 1; k < len(order); k++ {
+		if counts[order[k]] == 0 {
+			continue
+		}
+		v.models[order[k]].ForEach(s, p, o, func(t ETriple) bool {
+			for j := 0; j < k; j++ {
+				if v.models[order[j]].Contains(t) {
+					return true // overlap: already attributed
+				}
+			}
+			total++
+			return true
+		})
+	}
+	return total
+}
+
+// EstCount implements CardEstimator: member counts summed without
+// overlap deduplication. The result is an upper bound, which is what the
+// query planner wants — cheap and monotone, never an enumeration.
+func (v *View) EstCount(s, p, o ID) int {
 	n := 0
-	v.ForEach(s, p, o, func(ETriple) bool { n++; return true })
+	for _, m := range v.models {
+		n += m.Count(s, p, o)
+	}
 	return n
+}
+
+// PredStats implements StatsSource by summing member statistics.
+// Overlapping triples are counted once per member, so the figures are
+// upper bounds — fine for planning estimates.
+func (v *View) PredStats(p ID) PredStats {
+	var ps PredStats
+	for _, m := range v.models {
+		mp := m.PredStats(p)
+		ps.Triples += mp.Triples
+		ps.DistinctSubjects += mp.DistinctSubjects
+		ps.DistinctObjects += mp.DistinctObjects
+	}
+	return ps
 }
 
 // Objects returns the distinct objects of triples matching (s, p).
