@@ -17,6 +17,7 @@
 //	mdw impact       [-wh DUMP] -from N -to M      release change impact
 //	mdw stats        [-data DIR] [-validate]       census + validation
 //	mdw learn-schema [-data DIR] [-migrate]        §VII schema learning
+//	mdw metrics      [-data DIR] [-slow-query D]   workload + Prometheus metrics dump
 //	mdw report       table1|subjects|scale|figure6|figure7|growth
 //
 // Without -data, commands operate on the built-in Figure 3 example
@@ -38,6 +39,7 @@ import (
 	"mdw/internal/landscape"
 	"mdw/internal/lineage"
 	"mdw/internal/ntriples"
+	"mdw/internal/obs"
 	"mdw/internal/ontology"
 	"mdw/internal/rdf"
 	"mdw/internal/relstore"
@@ -84,6 +86,8 @@ func run(args []string) error {
 		return cmdStats(rest)
 	case "learn-schema":
 		return cmdLearnSchema(rest)
+	case "metrics":
+		return cmdMetrics(rest)
 	case "report":
 		return cmdReport(rest)
 	case "help", "-h", "--help":
@@ -110,6 +114,7 @@ commands:
   impact     analyze the downstream impact of changes between two releases
   stats        print graph statistics, the Table I census, and validation issues
   learn-schema derive a relational schema from the evolved graph (Section VII)
+  metrics      run a sample workload and dump the collected metrics (Prometheus text)
   report       reproduce a paper artifact: table1, subjects, scale, figure6, figure7`)
 }
 
@@ -577,6 +582,58 @@ func cmdLearnSchema(args []string) error {
 			return err
 		}
 		fmt.Printf("-- migrated %d rows; %d fact triples did not fit the schema\n", rows, uncovered)
+	}
+	return nil
+}
+
+// cmdMetrics exercises the warehouse with a small representative
+// workload — a search, a SPARQL query, a lineage trace — and dumps the
+// metrics the instrumented subsystems collected, in the Prometheus text
+// exposition format. With -workload=false it only loads the data and
+// dumps whatever the load alone produced (store and staging counters).
+// With -slow-query the slow-query log is printed too (0s logs every
+// query; useful to see rendered plans).
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	workload := fs.Bool("workload", true, "run the sample search/query/lineage workload first")
+	slow := fs.Duration("slow-query", -1, "slow-query log threshold (0s = log everything, <0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sl := obs.DefaultSlowLog()
+	sl.SetThreshold(*slow)
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	if *workload {
+		if _, err := w.Search("customer", search.Options{}); err != nil {
+			return err
+		}
+		q := `PREFIX dm: <` + rdf.DMNS + `>
+SELECT ?n WHERE { ?x a dm:Attribute . ?x dm:hasName ?n }`
+		if _, err := w.Query(q); err != nil {
+			return err
+		}
+		item := staging.InstanceIRI("application1", "dwhdb", "mart", "v_customer", "customer_id")
+		if _, err := w.Lineage(item, lineage.Backward, lineage.Options{}); err != nil {
+			return err
+		}
+	}
+	if err := obs.Default().WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	if entries := sl.Entries(); len(entries) > 0 {
+		fmt.Printf("\n# slow-query log (%d entries, threshold %s)\n", len(entries), *slow)
+		for _, e := range entries {
+			fmt.Printf("\n-- %s  rows=%d  total=%s\n", e.When.Format(time.RFC3339), e.Rows, e.Total)
+			for _, st := range e.Stages {
+				fmt.Printf("   stage %-8s %s\n", st.Name, st.D)
+			}
+			fmt.Println(e.Query)
+			fmt.Print(e.Plan)
+		}
 	}
 	return nil
 }

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	mdwd [-addr :8080] [-data DIR | -wh DUMP]
+//	mdwd [-addr :8080] [-data DIR | -wh DUMP] [-slow-query 250ms]
 //
 // Without -data/-wh the server hosts the built-in Figure 3 example.
+// Metrics are served at /api/metrics (Prometheus text exposition) and
+// recent traces plus the slow-query log at /api/traces.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"mdw/internal/dbpedia"
 	"mdw/internal/httpapi"
 	"mdw/internal/landscape"
+	"mdw/internal/obs"
 	"mdw/internal/ontology"
 	"mdw/internal/staging"
 )
@@ -29,7 +32,10 @@ func main() {
 	data := flag.String("data", "", "data directory written by `mdw generate`")
 	dump := flag.String("wh", "", "warehouse dump written by core.Warehouse.Save")
 	scale := flag.String("scale", "", "serve a freshly generated landscape: small or paper")
+	slow := flag.Duration("slow-query", obs.DefaultSlowQueryThreshold,
+		"log queries slower than this to /api/traces (0s = every query, <0 = off)")
 	flag.Parse()
+	obs.DefaultSlowLog().SetThreshold(*slow)
 
 	w, err := buildWarehouse(*data, *dump, *scale)
 	if err != nil {

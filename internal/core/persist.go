@@ -50,6 +50,9 @@ func (w *Warehouse) syncMeta() {
 		w.st.Add(metaModel, rdf.T(subj, rdf.IRI(rdf.MDWVersionAt), rdf.TypedLiteral(v.At.UTC().Format(time.RFC3339), rdf.XSDDate)))
 		w.st.Add(metaModel, rdf.T(subj, rdf.IRI(rdf.MDWVersionModel), rdf.Literal(v.Model)))
 		w.st.Add(metaModel, rdf.T(subj, rdf.IRI(rdf.MDWVersionTriples), rdf.Integer(int64(v.Triples))))
+		if v.Pruned {
+			w.st.Add(metaModel, rdf.T(subj, rdf.IRI(rdf.MDWVersionPruned), rdf.Literal("true")))
+		}
 	}
 }
 
@@ -125,6 +128,9 @@ func (w *Warehouse) restoreMeta() error {
 			v.At = at
 		}
 		v.Model, _ = get(rdf.MDWVersionModel)
+		if s, ok := get(rdf.MDWVersionPruned); ok && s == "true" {
+			v.Pruned = true
+		}
 		if s, ok := get(rdf.MDWVersionTriples); ok {
 			n, err := strconv.Atoi(s)
 			if err != nil {

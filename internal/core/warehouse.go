@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"mdw/internal/audit"
@@ -16,6 +17,7 @@ import (
 	"mdw/internal/impact"
 	"mdw/internal/lineage"
 	"mdw/internal/metamodel"
+	"mdw/internal/obs"
 	"mdw/internal/ontology"
 	"mdw/internal/rdf"
 	"mdw/internal/reason"
@@ -181,8 +183,13 @@ func (w *Warehouse) ImpactOfRelease(from, to int) (*impact.Analysis, error) {
 // Query parses and executes a SPARQL query against the base model plus
 // its OWLPRIME index (materializing it if needed).
 func (w *Warehouse) Query(query string) (*sparql.Result, error) {
+	root := obs.StartSpan("warehouse.query")
+	defer root.Finish()
+	sp := root.Child("parse")
 	q, err := sparql.Parse(query)
+	sp.Finish()
 	if err != nil {
+		root.SetLabel("error", "parse")
 		return nil, err
 	}
 	idx := reason.IndexModelName(w.model, reason.RulebaseOWLPrime)
@@ -190,11 +197,21 @@ func (w *Warehouse) Query(query string) (*sparql.Result, error) {
 	// derived (the generation check catches both a missing and a stale
 	// index).
 	if !w.st.Current(w.model, idx) {
-		if _, err := w.Reindex(); err != nil {
+		sp = root.Child("reindex")
+		_, err := w.Reindex()
+		sp.Finish()
+		if err != nil {
+			root.SetLabel("error", "reindex")
 			return nil, err
 		}
 	}
-	return q.Exec(w.st.ViewOf(w.model, idx), w.st.Dict())
+	sp = root.Child("exec")
+	res, err := q.Exec(w.st.ViewOf(w.model, idx), w.st.Dict())
+	sp.Finish()
+	if err == nil {
+		root.SetLabel("rows", strconv.Itoa(len(res.Rows)))
+	}
+	return res, err
 }
 
 // QueryFacts executes a SPARQL query against the base facts only — the

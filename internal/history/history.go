@@ -30,6 +30,10 @@ type Version struct {
 	Triples int
 	// Model is the historization model holding the snapshot.
 	Model string
+	// Pruned records that the version's historization model was dropped
+	// by Prune: the metadata survives for stable numbering, but the
+	// triples are gone and as-of views/diffs must refuse it.
+	Pruned bool
 }
 
 // Historian manages the versions of one base model.
@@ -53,8 +57,16 @@ func (h *Historian) histModel(n int) string {
 }
 
 // Snapshot historizes the current contents of the base model as a new
-// version with the given tag and timestamp.
+// version with the given tag and timestamp. Timestamps must be
+// monotonic: AsOf binary-searches over them, so a snapshot dated before
+// the latest version would silently corrupt every as-of answer — it is
+// rejected instead. Equal timestamps are allowed (the newer version
+// wins in AsOf).
 func (h *Historian) Snapshot(tag string, at time.Time) (Version, error) {
+	if last := len(h.versions); last > 0 && at.Before(h.versions[last-1].At) {
+		return Version{}, fmt.Errorf("history: snapshot %q at %s predates version %d (%s); timestamps must not go backwards",
+			tag, at.Format(time.RFC3339), h.versions[last-1].Number, h.versions[last-1].At.Format(time.RFC3339))
+	}
 	n := len(h.versions) + 1
 	model := h.histModel(n)
 	if err := h.st.CloneModel(h.base, model); err != nil {
@@ -73,13 +85,18 @@ func (h *Historian) Snapshot(tag string, at time.Time) (Version, error) {
 
 // Restore replaces the historian's version records, e.g. after loading a
 // store dump whose historization models are already present. Versions
-// must be ordered oldest first with contiguous numbers starting at 1.
+// must be ordered oldest first with contiguous numbers starting at 1 and
+// non-decreasing timestamps (the invariant AsOf depends on).
 func (h *Historian) Restore(versions []Version) error {
 	for i, v := range versions {
 		if v.Number != i+1 {
 			return fmt.Errorf("history: restore: version %d out of order (number %d)", i+1, v.Number)
 		}
-		if !h.st.HasModel(v.Model) {
+		if i > 0 && v.At.Before(versions[i-1].At) {
+			return fmt.Errorf("history: restore: version %d timestamp %s predates version %d",
+				v.Number, v.At.Format(time.RFC3339), versions[i-1].Number)
+		}
+		if !v.Pruned && !h.st.HasModel(v.Model) {
 			return fmt.Errorf("history: restore: historization model %q missing", v.Model)
 		}
 	}
@@ -114,10 +131,15 @@ func (h *Historian) AsOf(t time.Time) (Version, error) {
 }
 
 // ViewOf returns a read view over the historized graph of version n.
+// A pruned version has no triples left to view, so it is an error — not
+// an empty view.
 func (h *Historian) ViewOf(n int) (*store.View, error) {
 	v, err := h.Version(n)
 	if err != nil {
 		return nil, err
+	}
+	if v.Pruned {
+		return nil, fmt.Errorf("history: version %d (%s) pruned; its historized graph is gone", v.Number, v.Tag)
 	}
 	return h.st.ViewOf(v.Model), nil
 }
@@ -130,7 +152,9 @@ type Diff struct {
 }
 
 // DiffVersions computes the triples added and removed between versions a
-// and b (a < b is conventional but not required).
+// and b (a < b is conventional but not required). Diffing against a
+// pruned version is an error: its model is empty, so the "diff" would
+// claim every triple of the other side was added or removed.
 func (h *Historian) DiffVersions(a, b int) (*Diff, error) {
 	va, err := h.Version(a)
 	if err != nil {
@@ -139,6 +163,12 @@ func (h *Historian) DiffVersions(a, b int) (*Diff, error) {
 	vb, err := h.Version(b)
 	if err != nil {
 		return nil, err
+	}
+	if va.Pruned {
+		return nil, fmt.Errorf("history: version %d (%s) pruned; cannot diff", va.Number, va.Tag)
+	}
+	if vb.Pruned {
+		return nil, fmt.Errorf("history: version %d (%s) pruned; cannot diff", vb.Number, vb.Tag)
 	}
 	d := &Diff{From: a, To: b}
 	h.st.ForEach(vb.Model, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
@@ -184,7 +214,9 @@ func (h *Historian) Growth() GrowthReport {
 
 // Prune removes the historization models of all versions older than
 // keep (the most recent `keep` versions are retained); version records
-// stay so numbering is stable, but their models are dropped.
+// stay so numbering is stable, but their models are dropped and the
+// records are marked Pruned so ViewOf/DiffVersions refuse them instead
+// of silently answering from an empty model.
 func (h *Historian) Prune(keep int) int {
 	if keep < 0 {
 		keep = 0
@@ -194,6 +226,7 @@ func (h *Historian) Prune(keep int) int {
 		if h.st.DropModel(h.versions[i].Model) {
 			dropped++
 		}
+		h.versions[i].Pruned = true
 	}
 	return dropped
 }

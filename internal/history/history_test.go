@@ -200,3 +200,106 @@ func TestPrune(t *testing.T) {
 		t.Errorf("second Prune dropped %d, want 0", n)
 	}
 }
+
+// TestSnapshotRejectsBackwardsTimestamp is the regression test for the
+// non-monotonic-timestamp bug: AsOf binary-searches versions[i].At, so a
+// snapshot dated before its predecessor used to silently corrupt as-of
+// answers. It must be rejected instead; equal timestamps stay legal.
+func TestSnapshotRejectsBackwardsTimestamp(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("b")))
+	h := NewHistorian(st, "base")
+	if _, err := h.Snapshot("r1", day(10)); err != nil {
+		t.Fatal(err)
+	}
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("c")))
+	if _, err := h.Snapshot("r0", day(5)); err == nil {
+		t.Fatal("snapshot with timestamp before the last version must be rejected")
+	}
+	// The rejected snapshot must not have left a version record or a
+	// half-made historization model behind.
+	if len(h.Versions()) != 1 {
+		t.Fatalf("rejected snapshot left a version record: %v", h.Versions())
+	}
+	if st.HasModel(h.histModel(2)) {
+		t.Fatal("rejected snapshot left its historization model behind")
+	}
+	// Equal timestamps are fine, and AsOf prefers the newer version.
+	if _, err := h.Snapshot("r2", day(10)); err != nil {
+		t.Fatalf("equal timestamp rejected: %v", err)
+	}
+	v, err := h.AsOf(day(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number != 2 {
+		t.Errorf("AsOf(equal ts) = v%d, want the newer v2", v.Number)
+	}
+	// AsOf keeps answering correctly afterwards.
+	if v, _ := h.AsOf(day(300)); v.Number != 2 {
+		t.Errorf("AsOf(later) = v%d, want v2", v.Number)
+	}
+}
+
+// TestRestoreRejectsNonMonotonicTimestamps: Restore re-establishes the
+// invariant Snapshot enforces, so out-of-order records must fail too.
+func TestRestoreRejectsNonMonotonicTimestamps(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("b")))
+	h := NewHistorian(st, "base")
+	h.Snapshot("r1", day(0))
+	h.Snapshot("r2", day(30))
+	vs := h.Versions()
+	vs[1].At = day(-5)
+	if err := h.Restore(vs); err == nil {
+		t.Fatal("Restore must reject non-monotonic timestamps")
+	}
+}
+
+// TestPruneBlocksViewAndDiff is the regression test for the
+// silent-wrong-results-after-prune bug: ViewOf on a pruned version used
+// to return an empty view, and DiffVersions used to report every triple
+// of the live side as added/removed. Both must now error.
+func TestPruneBlocksViewAndDiff(t *testing.T) {
+	st := store.New()
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("v1")))
+	h := NewHistorian(st, "base")
+	h.Snapshot("r1", day(0))
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("v2")))
+	h.Snapshot("r2", day(30))
+	st.Add("base", rdf.T(iri("a"), iri("p"), iri("v3")))
+	h.Snapshot("r3", day(60))
+
+	if n := h.Prune(2); n != 1 {
+		t.Fatalf("Prune dropped %d, want 1", n)
+	}
+	v1, err := h.Version(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Pruned {
+		t.Fatal("version 1 not marked pruned")
+	}
+
+	if _, err := h.ViewOf(1); err == nil {
+		t.Fatal("ViewOf(pruned) must error, not return an empty view")
+	}
+	if _, err := h.DiffVersions(1, 3); err == nil {
+		t.Fatal("DiffVersions(pruned, live) must error, not claim everything added")
+	}
+	if _, err := h.DiffVersions(3, 1); err == nil {
+		t.Fatal("DiffVersions(live, pruned) must error, not claim everything removed")
+	}
+
+	// Un-pruned versions keep working.
+	if _, err := h.ViewOf(2); err != nil {
+		t.Fatalf("ViewOf(live) failed: %v", err)
+	}
+	d, err := h.DiffVersions(2, 3)
+	if err != nil {
+		t.Fatalf("DiffVersions(live, live) failed: %v", err)
+	}
+	if len(d.Added) != 1 || len(d.Removed) != 0 {
+		t.Errorf("diff = %+v, want exactly one addition", d)
+	}
+}

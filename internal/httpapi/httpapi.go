@@ -36,6 +36,8 @@ func NewServer(w *core.Warehouse) *Server {
 	s.mux.HandleFunc("POST /api/semmatch", s.handleSemMatch)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/versions", s.handleVersions)
+	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")
@@ -44,9 +46,10 @@ func NewServer(w *core.Warehouse) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request passes through the
+// observe middleware, which times it and feeds the per-route metrics.
 func (s *Server) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(rw, r)
+	s.observe(rw, r)
 }
 
 func writeJSON(rw http.ResponseWriter, status int, v any) {
@@ -171,6 +174,8 @@ func (s *Server) handleLineage(rw http.ResponseWriter, r *http.Request) {
 	} else {
 		item = staging.InstanceIRI(strings.Split(itemPath, "/")...)
 	}
+	// Validate every parameter before running the traversal: a bad
+	// ?level must cost a 400, not a full lineage trace plus a 400.
 	dir := lineage.Backward
 	switch q.Get("dir") {
 	case "", "backward":
@@ -178,6 +183,19 @@ func (s *Server) handleLineage(rw http.ResponseWriter, r *http.Request) {
 		dir = lineage.Forward
 	default:
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("bad ?dir (want backward or forward)"))
+		return
+	}
+	level := lineage.LevelAttribute
+	switch q.Get("level") {
+	case "", "attribute":
+	case "relation":
+		level = lineage.LevelRelation
+	case "schema":
+		level = lineage.LevelSchema
+	case "application":
+		level = lineage.LevelApplication
+	default:
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("bad ?level (want attribute, relation, schema, or application)"))
 		return
 	}
 	opt := lineage.Options{}
@@ -191,19 +209,6 @@ func (s *Server) handleLineage(rw http.ResponseWriter, r *http.Request) {
 	g, err := svc.Trace(item, dir, opt)
 	if err != nil {
 		writeError(rw, http.StatusNotFound, err)
-		return
-	}
-	level := lineage.LevelAttribute
-	switch q.Get("level") {
-	case "", "attribute":
-	case "relation":
-		level = lineage.LevelRelation
-	case "schema":
-		level = lineage.LevelSchema
-	case "application":
-		level = lineage.LevelApplication
-	default:
-		writeError(rw, http.StatusBadRequest, fmt.Errorf("bad ?level"))
 		return
 	}
 	if g, err = svc.Rollup(g, level); err != nil {
@@ -370,10 +375,12 @@ func (s *Server) handleVersions(rw http.ResponseWriter, _ *http.Request) {
 		Tag     string `json:"tag"`
 		At      string `json:"at"`
 		Triples int    `json:"triples"`
+		Pruned  bool   `json:"pruned,omitempty"`
 	}
-	var out []ver
+	// Initialized non-nil so an empty history marshals as [], not null.
+	out := []ver{}
 	for _, v := range s.w.History().Versions() {
-		out = append(out, ver{Number: v.Number, Tag: v.Tag, At: v.At.Format("2006-01-02"), Triples: v.Triples})
+		out = append(out, ver{Number: v.Number, Tag: v.Tag, At: v.At.Format("2006-01-02"), Triples: v.Triples, Pruned: v.Pruned})
 	}
 	writeJSON(rw, http.StatusOK, out)
 }

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -12,6 +13,7 @@ import (
 	"mdw/internal/core"
 	"mdw/internal/dbpedia"
 	"mdw/internal/landscape"
+	"mdw/internal/obs"
 	"mdw/internal/ontology"
 	"mdw/internal/staging"
 )
@@ -244,5 +246,169 @@ func TestSearchEndpointTagFilter(t *testing.T) {
 	getJSON(t, srv, "/api/search?term=customer&tag=no_such_tag", &res)
 	if res.Instances != 0 {
 		t.Errorf("tag filter ignored: %d", res.Instances)
+	}
+}
+
+// TestLineageBadLevelValidatedUpFront is the regression test for the
+// late-validation bug: handleLineage used to run the full Trace before
+// looking at ?level, so a request with an unknown item AND a bad level
+// answered 404 (from the wasted traversal) instead of 400. Parameters
+// must be validated before any work runs.
+func TestLineageBadLevelValidatedUpFront(t *testing.T) {
+	srv := testServer(t)
+	if code := getJSON(t, srv, "/api/lineage?item=no/such/thing&level=galaxy", nil); code != 400 {
+		t.Errorf("bad level on unknown item: status = %d, want 400 (level must be validated before the trace runs)", code)
+	}
+	if code := getJSON(t, srv, "/api/lineage?item=no/such/thing&dir=sideways&level=galaxy", nil); code != 400 {
+		t.Errorf("bad dir+level on unknown item: status = %d, want 400", code)
+	}
+}
+
+// TestVersionsEmptyIsArray is the regression test for the JSON-null bug:
+// /api/versions on a warehouse with no snapshots must serve [], not null.
+func TestVersionsEmptyIsArray(t *testing.T) {
+	w := core.New("")
+	if _, err := w.LoadOntology(ontology.DWH()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(w))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if trimmed != "[]" {
+		t.Fatalf("empty versions body = %q, want []", trimmed)
+	}
+}
+
+func TestVersionsMarkPruned(t *testing.T) {
+	srv := testServer(t)
+	var out []struct {
+		Number int  `json:"number"`
+		Pruned bool `json:"pruned"`
+	}
+	if code := getJSON(t, srv, "/api/versions", &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(out) != 1 || out[0].Pruned {
+		t.Fatalf("versions = %+v, want one live version", out)
+	}
+}
+
+// TestMetricsEndpoint asserts /api/metrics serves Prometheus text
+// exposition covering every instrumented subsystem, and that it reflects
+// a request made just before.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Drive each subsystem once so the counters move.
+	getJSON(t, srv, "/api/search?term=customer", nil)
+	item := url.QueryEscape("application1/dwhdb/mart/v_customer/customer_id")
+	getJSON(t, srv, "/api/lineage?item="+item, nil)
+	q := url.QueryEscape(`PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+		SELECT ?n WHERE { ?x a dm:Attribute . ?x dm:hasName ?n }`)
+	getJSON(t, srv, "/api/query?q="+q, nil)
+
+	resp, err := http.Get(srv.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"mdw_store_adds_total",
+		"mdw_store_lookups_total",
+		"mdw_sparql_exec_seconds_count",
+		"mdw_sparql_plancache_total",
+		"mdw_search_seconds_count",
+		"mdw_lineage_trace_seconds_count",
+		"mdw_http_requests_total",
+		"mdw_http_request_seconds_bucket",
+		"# TYPE mdw_store_adds_total counter",
+		"# TYPE mdw_http_request_seconds histogram",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition missing %q", family)
+		}
+	}
+	// The request made above must be reflected with route and status
+	// class labels (counters are process-global, so assert presence, not
+	// an exact count).
+	if !strings.Contains(text, `mdw_http_requests_total{class="2xx",route="GET /api/search"}`) {
+		t.Error("exposition does not reflect the /api/search request just made")
+	}
+}
+
+// TestSlowQueryLogCapturesPlan sets the slow-query threshold to zero so
+// every query is logged, runs one through the HTTP API, and asserts the
+// log entry carries the query text and its rendered plan (the
+// acceptance-criteria shape), served via /api/traces.
+func TestSlowQueryLogCapturesPlan(t *testing.T) {
+	sl := obs.DefaultSlowLog()
+	old := sl.Threshold()
+	sl.SetThreshold(0)
+	defer sl.SetThreshold(old)
+
+	srv := testServer(t)
+	q := url.QueryEscape(`PREFIX dm: <http://www.credit-suisse.com/dwh/mdm/data_modeling#>
+		SELECT ?n WHERE { ?x a dm:Attribute . ?x dm:hasName ?n }`)
+	if code := getJSON(t, srv, "/api/query?q="+q, nil); code != 200 {
+		t.Fatalf("query status = %d", code)
+	}
+
+	var tr TracesResponse
+	if code := getJSON(t, srv, "/api/traces", &tr); code != 200 {
+		t.Fatalf("traces status = %d", code)
+	}
+	var entry *obs.SlowQuery
+	for i := range tr.SlowLog {
+		if strings.Contains(tr.SlowLog[i].Query, "dm:hasName") {
+			entry = &tr.SlowLog[i]
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatalf("query not in slow log (entries: %d)", len(tr.SlowLog))
+	}
+	if !strings.Contains(entry.Plan, "SELECT") {
+		t.Errorf("slow-log entry lacks a rendered plan: %q", entry.Plan)
+	}
+	if entry.Rows == 0 {
+		t.Error("slow-log entry has zero rows")
+	}
+	hasExec := false
+	for _, st := range entry.Stages {
+		if st.Name == "exec" {
+			hasExec = true
+		}
+	}
+	if !hasExec {
+		t.Errorf("slow-log entry lacks an exec stage: %+v", entry.Stages)
+	}
+	// The HTTP middleware and warehouse spans populate the trace ring.
+	if len(tr.Traces) == 0 {
+		t.Fatal("trace ring empty after requests")
+	}
+	found := false
+	for _, trace := range tr.Traces {
+		if trace.Name == "warehouse.query" && len(trace.Spans) >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no warehouse.query trace with child spans in the ring")
 	}
 }

@@ -1,0 +1,108 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"mdw/internal/obs"
+)
+
+func init() {
+	r := obs.Default()
+	r.SetHelp("mdw_http_requests_total", "HTTP requests by route pattern and status class.")
+	r.SetHelp("mdw_http_request_seconds", "HTTP request latency by route pattern.")
+}
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can attribute the request to a status class.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// statusClass buckets a status code into "2xx"/"3xx"/"4xx"/"5xx" without
+// allocating for the common cases.
+func statusClass(code int) string {
+	switch {
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code >= 300 && code < 400:
+		return "3xx"
+	case code >= 400 && code < 500:
+		return "4xx"
+	case code >= 500:
+		return "5xx"
+	}
+	return strconv.Itoa(code)
+}
+
+// observe is the timing middleware every request passes through: it
+// resolves the registered route pattern (so metrics aggregate by route,
+// not by raw URL), times the handler, and records a per-route latency
+// histogram plus a per-route, per-status-class request counter. Metric
+// handles are looked up per request, but the registry's lookup is one
+// RLock'd map probe on the steady state — routes and status classes are
+// a small closed set.
+func (s *Server) observe(rw http.ResponseWriter, r *http.Request) {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		pattern = "(unmatched)"
+	}
+	sr := &statusRecorder{ResponseWriter: rw}
+	sp := obs.StartSpan("http " + pattern)
+	t0 := time.Now()
+	s.mux.ServeHTTP(sr, r)
+	d := time.Since(t0)
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	class := statusClass(sr.status)
+	sp.SetLabel("status", strconv.Itoa(sr.status)).Finish()
+	reg := obs.Default()
+	reg.Histogram("mdw_http_request_seconds", nil, "route", pattern).Observe(d)
+	reg.Counter("mdw_http_requests_total", "route", pattern, "class", class).Inc()
+}
+
+// handleMetrics serves the default registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (s *Server) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(rw)
+}
+
+// TracesResponse is the JSON shape of GET /api/traces.
+type TracesResponse struct {
+	Started int64           `json:"started"`
+	Traces  []obs.Trace     `json:"traces"`
+	SlowLog []obs.SlowQuery `json:"slowQueries"`
+}
+
+// handleTraces serves the recent-trace ring and the slow-query log.
+func (s *Server) handleTraces(rw http.ResponseWriter, _ *http.Request) {
+	tr := obs.DefaultTracer()
+	resp := TracesResponse{
+		Started: tr.Started(),
+		Traces:  tr.Recent(),
+		SlowLog: obs.DefaultSlowLog().Entries(),
+	}
+	if resp.Traces == nil {
+		resp.Traces = []obs.Trace{}
+	}
+	if resp.SlowLog == nil {
+		resp.SlowLog = []obs.SlowQuery{}
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mdw/internal/rdf"
 	"mdw/internal/reason"
@@ -100,6 +101,7 @@ func New(st *store.Store, model string) *Service {
 
 // Trace runs a lineage traversal from the item in the given direction.
 func (s *Service) Trace(item rdf.Term, dir Direction, opt Options) (*Graph, error) {
+	defer obsTraceHist.ObserveSince(time.Now())
 	view, err := s.indexedView()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,15 @@
+package lineage
+
+import "mdw/internal/obs"
+
+// Metric handles, resolved once at package init.
+var (
+	obsTraceHist  = obs.Default().Histogram("mdw_lineage_trace_seconds", nil)
+	obsRollupHist = obs.Default().Histogram("mdw_lineage_rollup_seconds", nil)
+)
+
+func init() {
+	r := obs.Default()
+	r.SetHelp("mdw_lineage_trace_seconds", "Lineage BFS traversal latency.")
+	r.SetHelp("mdw_lineage_rollup_seconds", "Lineage graph roll-up latency.")
+}

@@ -2,6 +2,7 @@ package lineage
 
 import (
 	"fmt"
+	"time"
 
 	"mdw/internal/rdf"
 	"mdw/internal/store"
@@ -98,6 +99,7 @@ func (s *Service) Rollup(g *Graph, level Level) (*Graph, error) {
 // granularity per node.
 func (s *Service) rollupWith(g *Graph, view *store.View, dict *store.Dict,
 	levelFor func(rdf.Term) Level) (*Graph, error) {
+	defer obsRollupHist.ObserveSince(time.Now())
 
 	typeID, _ := dict.Lookup(rdf.Type)
 	partOfID, hasPartOf := dict.Lookup(rdf.IRI(rdf.MDWPartOf))

@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric updated with single
+// atomic operations.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, cache sizes).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add applies a delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds — the usual two-five-ten ladder from 100µs to 10s, wide enough
+// for both index probes and paper-scale bulk loads.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations land in
+// the first bucket whose upper bound is >= the value; an implicit +Inf
+// bucket catches the rest. All updates are single atomic adds.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds (seconds)
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sumNs  atomic.Int64 // sum of observations in nanoseconds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// ObserveSince records the time elapsed since t0 and returns it.
+func (h *Histogram) ObserveSince(t0 time.Time) time.Duration {
+	d := time.Since(t0)
+	h.Observe(d)
+	return d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Buckets returns the bucket upper bounds and their cumulative counts
+// (the +Inf bucket is the final entry, equal to Count up to racing
+// writers).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = append(bounds, h.bounds...)
+	bounds = append(bounds, math.Inf(1))
+	cumulative = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return bounds, cumulative
+}
+
+// metricKind discriminates registry entries for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one registered time series: a family name plus an optional
+// rendered label set.
+type series struct {
+	family string
+	labels string // `k="v",k2="v2"` (sorted), "" when unlabelled
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a named collection of metrics. Lookup methods create on
+// first use and return the same handle thereafter; instrumented packages
+// resolve handles once into package variables, so steady-state updates
+// never touch the registry lock.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+	help   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series), help: make(map[string]string)}
+}
+
+// L renders label key/value pairs for the registry lookup methods.
+// Pairs are sorted by key so equivalent label sets share one series.
+func L(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	n := len(kv) / 2 * 2 // ignore a dangling key
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, n/2)
+	for i := 0; i+1 < n; i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+func (r *Registry) lookup(family, labels string, kind metricKind, bounds []float64) *series {
+	key := family + "{" + labels + "}"
+	r.mu.RLock()
+	s, ok := r.series[key]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.series[key]; ok {
+		return s
+	}
+	s = &series{family: family, labels: labels, kind: kind}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(bounds)
+	}
+	r.series[key] = s
+	return s
+}
+
+// Counter returns the counter for the family name and optional label
+// pairs, creating it on first use. A series registered under one kind
+// must not be re-requested under another (the first registration wins
+// and mismatched lookups return an inert handle).
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	s := r.lookup(name, L(kv...), kindCounter, nil)
+	if s.c == nil {
+		return &Counter{} // kind clash: inert, never exported
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for the family name and optional label pairs.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	s := r.lookup(name, L(kv...), kindGauge, nil)
+	if s.g == nil {
+		return &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for the family name and optional label
+// pairs, creating it with the given bucket bounds (nil selects
+// DefBuckets). Bounds are fixed at first registration.
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	s := r.lookup(name, L(kv...), kindHistogram, bounds)
+	if s.h == nil {
+		return newHistogram(bounds)
+	}
+	return s.h
+}
+
+// SetHelp records the HELP text emitted for a metric family.
+func (r *Registry) SetHelp(family, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[family] = text
+}
+
+// SeriesValue is a point-in-time reading of one series, as returned by
+// Snapshot — the shape the CLI pretty-printer and tests consume.
+type SeriesValue struct {
+	Family string
+	Labels string
+	Kind   string // "counter", "gauge", "histogram"
+	Value  int64  // counter/gauge value; histogram observation count
+	Sum    float64
+	Bounds []float64
+	Counts []int64 // cumulative, parallel to Bounds (+Inf last)
+}
+
+// Snapshot returns a sorted, consistent-enough reading of every series
+// (individual values are atomic; the set is whatever was registered when
+// the lock was taken).
+func (r *Registry) Snapshot() []SeriesValue {
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+	out := make([]SeriesValue, 0, len(all))
+	for _, s := range all {
+		sv := SeriesValue{Family: s.family, Labels: s.labels}
+		switch s.kind {
+		case kindCounter:
+			sv.Kind, sv.Value = "counter", s.c.Value()
+		case kindGauge:
+			sv.Kind, sv.Value = "gauge", s.g.Value()
+		case kindHistogram:
+			sv.Kind, sv.Value, sv.Sum = "histogram", s.h.Count(), s.h.Sum()
+			sv.Bounds, sv.Counts = s.h.Buckets()
+		}
+		out = append(out, sv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family followed by
+// its series; histograms expand into cumulative _bucket series plus
+// _sum and _count. The registry lock is not held while writing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, sv := range snap {
+		if sv.Family != lastFamily {
+			lastFamily = sv.Family
+			if h := help[sv.Family]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", sv.Family, h)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", sv.Family, sv.Kind)
+		}
+		switch sv.Kind {
+		case "counter", "gauge":
+			b.WriteString(sv.Family)
+			if sv.Labels != "" {
+				b.WriteString("{" + sv.Labels + "}")
+			}
+			fmt.Fprintf(&b, " %d\n", sv.Value)
+		case "histogram":
+			for i, bound := range sv.Bounds {
+				le := "+Inf"
+				if !math.IsInf(bound, 1) {
+					le = formatBound(bound)
+				}
+				labels := sv.Labels
+				if labels != "" {
+					labels += ","
+				}
+				fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", sv.Family, labels, le, sv.Counts[i])
+			}
+			suffix := ""
+			if sv.Labels != "" {
+				suffix = "{" + sv.Labels + "}"
+			}
+			fmt.Fprintf(&b, "%s_sum%s %g\n", sv.Family, suffix, sv.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", sv.Family, suffix, sv.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect:
+// shortest decimal form, no exponent for the usual latency range.
+func formatBound(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Defaults for the slow-query log. The threshold default is deliberately
+// high enough to stay silent on paper-scale workloads unless a query is
+// genuinely pathological; services lower it via SetThreshold (mdwd's
+// -slow-query flag, tests set 0 to log everything).
+const (
+	DefaultSlowLogCapacity    = 128
+	DefaultSlowQueryThreshold = 250 * time.Millisecond
+)
+
+// Stage is one named phase of a logged query (parse, plan, exec).
+type Stage struct {
+	Name string        `json:"name"`
+	D    time.Duration `json:"durationNs"`
+}
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	When   time.Time     `json:"when"`
+	Query  string        `json:"query"`          // SPARQL text as submitted
+	Plan   string        `json:"plan,omitempty"` // rendered evaluation plan
+	Rows   int           `json:"rows"`
+	Total  time.Duration `json:"totalNs"`
+	Stages []Stage       `json:"stages,omitempty"`
+}
+
+// SlowLog is a bounded ring of the most recent queries whose total
+// duration met the threshold. A threshold of zero logs every query.
+type SlowLog struct {
+	mu        sync.Mutex
+	ring      []SlowQuery
+	next      int
+	filled    bool
+	cap       int
+	threshold time.Duration
+	recorded  int64
+}
+
+// NewSlowLog returns a log retaining the last cap entries at or over
+// threshold (cap <= 0 selects DefaultSlowLogCapacity).
+func NewSlowLog(cap int, threshold time.Duration) *SlowLog {
+	if cap <= 0 {
+		cap = DefaultSlowLogCapacity
+	}
+	return &SlowLog{ring: make([]SlowQuery, cap), cap: cap, threshold: threshold}
+}
+
+// Threshold returns the current logging threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold
+}
+
+// SetThreshold replaces the logging threshold. Zero logs everything; a
+// negative value disables the log.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.threshold = d
+}
+
+// ShouldLog reports whether a query of duration d would be recorded.
+// Hot paths check this before rendering a plan string, so the rendering
+// cost is only paid for queries that will actually be kept.
+func (l *SlowLog) ShouldLog(d time.Duration) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold >= 0 && d >= l.threshold
+}
+
+// Record appends an entry if its Total meets the threshold, evicting the
+// oldest entry once the ring is full. It reports whether the entry was
+// kept.
+func (l *SlowLog) Record(e SlowQuery) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.threshold < 0 || e.Total < l.threshold {
+		return false
+	}
+	if e.When.IsZero() {
+		e.When = time.Now()
+	}
+	l.ring[l.next] = e
+	l.next++
+	if l.next == l.cap {
+		l.next = 0
+		l.filled = true
+	}
+	l.recorded++
+	return true
+}
+
+// Recorded returns the number of entries ever kept (including evicted
+// ones).
+func (l *SlowLog) Recorded() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recorded
+}
+
+// Entries returns the retained entries, newest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = l.cap
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (l.next - 1 - i + l.cap) % l.cap
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

@@ -107,6 +107,7 @@ const (
 	MDWVersionAt      = MDWNS + "versionAt"
 	MDWVersionModel   = MDWNS + "versionModel"
 	MDWVersionTriples = MDWNS + "versionTriples"
+	MDWVersionPruned  = MDWNS + "versionPruned"
 )
 
 // Convenience Term values for the hottest vocabulary IRIs.
@@ -145,7 +146,7 @@ func Vocabulary() []string {
 		MDWMapsFrom, MDWMapsTo, MDWRuleCond, MDWDataType, MDWLength,
 		MDWUsedBy, MDWTaggedWith, MDWUsesTech, MDWVersionOfTech,
 		MDWHasLogFile, MDWVersion, MDWVersionNumber, MDWVersionTag,
-		MDWVersionAt, MDWVersionModel, MDWVersionTriples,
+		MDWVersionAt, MDWVersionModel, MDWVersionTriples, MDWVersionPruned,
 	}
 }
 

@@ -29,10 +29,24 @@ package reason
 
 import (
 	"fmt"
+	"time"
 
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 	"mdw/internal/store"
 )
+
+// Metric handles, resolved once at package init.
+var (
+	obsMaterializeHist = obs.Default().Histogram("mdw_reason_materialize_seconds", nil)
+	obsDerived         = obs.Default().Counter("mdw_reason_derived_total")
+)
+
+func init() {
+	r := obs.Default()
+	r.SetHelp("mdw_reason_materialize_seconds", "Full OWLPRIME materialization latency.")
+	r.SetHelp("mdw_reason_derived_total", "Derived triples produced by materializations.")
+}
 
 // RulebaseOWLPrime names the default rulebase, matching the paper's
 // SEM_RULEBASES('OWLPRIME').
@@ -87,6 +101,7 @@ func NewEngine(st *store.Store) *Engine {
 // half-built index, and store.Current(model, idxName) reports whether
 // the index still reflects the base model.
 func (e *Engine) Materialize(model string) (string, int, error) {
+	t0 := time.Now()
 	idxName := IndexModelName(model, RulebaseOWLPrime)
 	// Working closure starts as a detached snapshot of the base model;
 	// everything the rules add beyond the base goes to the index model.
@@ -117,6 +132,8 @@ func (e *Engine) Materialize(model string) (string, int, error) {
 	}
 	derived.SetBasis(basis)
 	e.st.InstallModel(derived)
+	obsMaterializeHist.ObserveSince(t0)
+	obsDerived.Add(int64(derived.Len()))
 	return idxName, derived.Len(), nil
 }
 

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mdw/internal/dbpedia"
 	"mdw/internal/rdf"
@@ -161,6 +162,7 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 	if strings.TrimSpace(term) == "" {
 		return nil, fmt.Errorf("search: empty term")
 	}
+	defer obsSearchHist.ObserveSince(time.Now())
 
 	// Term expansion (semantic search) and homonym hints.
 	expanded := []string{strings.ToLower(term)}
@@ -212,6 +214,14 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 			var ix *textindex.Index
 			if !opt.ForceScan && fresh {
 				ix, _ = s.tix.Get(s.model, infos[0].Gen)
+			}
+			if ix != nil {
+				obsSearchIdx.Inc()
+			} else {
+				obsSearchScan.Inc()
+				if !opt.ForceScan {
+					obsScanFallback.Inc()
+				}
 			}
 			res, err = s.searchView(v, ix, term, expanded, homonyms, opt)
 			done = true

@@ -34,6 +34,9 @@ const (
 type Query struct {
 	Kind     QueryKind
 	Prefixes map[string]string
+	// Text is the source text the query was parsed from (empty for
+	// hand-constructed queries); the slow-query log captures it.
+	Text     string
 	Distinct bool
 	// Select holds the projection; empty means '*' (all visible variables).
 	Select []SelectItem

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 	"mdw/internal/store"
 )
@@ -38,8 +40,10 @@ type Result struct {
 func (q *Query) Exec(src store.Source, dict *store.Dict) (*Result, error) {
 	if p := q.cachedPlan.Load(); p != nil && p.dict == dict && sameSource(p.src, src) &&
 		(!p.unresolved || p.dictLen == dict.Len()) {
+		obsPlanCacheHit.Inc()
 		return p.Exec()
 	}
+	obsPlanCacheMiss.Inc()
 	p := q.Plan(src, dict)
 	if cacheableSource(src) {
 		q.cachedPlan.Store(p)
@@ -71,8 +75,42 @@ func sameSource(cached, src store.Source) bool {
 // Exec executes the plan with a streaming, depth-first pipeline: one
 // solution flows through join steps, pushed filters, and the projection
 // before the next is produced, so ASK stops at the first solution and a
-// streamable LIMIT stops at row N.
+// streamable LIMIT stops at row N. It also feeds the observability
+// layer: execution latency and streamed-row counts go to the default
+// metrics registry, and any execution at or over the slow-query
+// threshold is captured — with the query text and the rendered plan —
+// in the default slow-query log. The plan string is only rendered on
+// that slow path.
 func (p *Plan) Exec() (*Result, error) {
+	t0 := time.Now()
+	res, err := p.exec()
+	d := obsExecHist.ObserveSince(t0)
+	if err != nil || res == nil {
+		return res, err
+	}
+	rows := len(res.Rows)
+	if p.query.Kind == ConstructQuery {
+		rows = len(res.Triples)
+	} else if p.query.Kind == AskQuery {
+		rows = 1
+	}
+	obsRows.Add(int64(rows))
+	if sl := obs.DefaultSlowLog(); sl.ShouldLog(d) {
+		sl.Record(obs.SlowQuery{
+			Query: p.query.Text,
+			Plan:  p.String(),
+			Rows:  rows,
+			Total: d,
+			Stages: []obs.Stage{
+				{Name: "plan", D: p.planDur},
+				{Name: "exec", D: d},
+			},
+		})
+	}
+	return res, err
+}
+
+func (p *Plan) exec() (*Result, error) {
 	if p.src == nil || p.dict == nil {
 		return nil, errors.New("sparql: plan was built without a source; use Query.Plan(src, dict)")
 	}
@@ -86,6 +124,9 @@ func (p *Plan) Exec() (*Result, error) {
 		})
 		if ev.err != nil {
 			return nil, ev.err
+		}
+		if found {
+			obsEarlyAsk.Inc()
 		}
 		return &Result{Ask: found}, nil
 	}
@@ -455,6 +496,9 @@ func (ev *evaluator) selectRows(q *Query, root *planGroup) (*Result, error) {
 		})
 		if ev.err != nil {
 			return nil, ev.err
+		}
+		if needed >= 0 && len(rows) >= needed {
+			obsEarlyLimit.Inc()
 		}
 	}
 	if len(q.OrderBy) > 0 {

@@ -3,21 +3,27 @@ package sparql
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"mdw/internal/rdf"
 )
 
 // Parse parses a SPARQL query in the supported subset.
 func Parse(query string) (*Query, error) {
+	t0 := time.Now()
 	toks, err := lex(query)
 	if err != nil {
+		obsParseErrors.Inc()
 		return nil, err
 	}
 	p := &qparser{toks: toks, prefixes: map[string]string{}}
 	q, err := p.query()
 	if err != nil {
+		obsParseErrors.Inc()
 		return nil, err
 	}
+	q.Text = query
+	obsParseHist.ObserveSince(t0)
 	return q, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"mdw/internal/rdf"
 	"mdw/internal/store"
@@ -36,6 +37,10 @@ type Plan struct {
 	// interned since.
 	unresolved bool
 	dictLen    int
+
+	// planDur is how long planning took; cached plans keep reporting the
+	// original cost in the slow-query log's stage breakdown.
+	planDur time.Duration
 }
 
 // planGroup is the planned form of a GroupPattern: an ordered step
@@ -160,12 +165,14 @@ func (vs varset) hasAll(names []string) bool {
 // can use real cardinalities; a nil src yields a statistics-free plan
 // (static heuristics) good only for rendering and analysis.
 func (q *Query) Plan(src store.Source, dict *store.Dict) *Plan {
+	t0 := time.Now()
 	p := &Plan{query: q, src: src, dict: dict}
 	if dict != nil {
 		p.dictLen = dict.Len()
 	}
 	pl := &planner{src: src, dict: dict, plan: p}
 	p.root, _ = pl.group(q.Where, varset{})
+	p.planDur = obsPlanHist.ObserveSince(t0)
 	return p
 }
 

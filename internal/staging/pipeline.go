@@ -3,11 +3,25 @@ package staging
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 	"mdw/internal/reason"
 	"mdw/internal/store"
 )
+
+// Metric handles, resolved once at package init.
+var (
+	obsLoadHist = obs.Default().Histogram("mdw_staging_bulkload_seconds", nil)
+	obsLoaded   = obs.Default().Counter("mdw_staging_loaded_total")
+)
+
+func init() {
+	r := obs.Default()
+	r.SetHelp("mdw_staging_bulkload_seconds", "Bulk-load latency (staging table into the model, incl. materialization when requested).")
+	r.SetHelp("mdw_staging_loaded_total", "Distinct triples moved from staging tables into models.")
+}
 
 // Table is a staging table: the intermediate triple buffer between the
 // XML→RDF transform and the bulk load into the RDF model tables
@@ -82,25 +96,36 @@ type LoadStats struct {
 
 // BulkLoad moves the staged triples into the named model of st and, when
 // materialize is true, rebuilds the model's OWLPRIME index — the
-// "indexes for semantic web reasoning" of Figure 4. The staging table is
-// cleared on success.
+// "indexes for semantic web reasoning" of Figure 4. On success only the
+// snapshot that was actually loaded is removed from the staging table:
+// triples inserted concurrently while the load ran stay staged for the
+// next load instead of being silently discarded.
 func (t *Table) BulkLoad(st *store.Store, model string, materialize bool) (LoadStats, error) {
+	t0 := time.Now()
 	t.mu.Lock()
-	staged := make([]rdf.Triple, len(t.triples))
+	n := len(t.triples)
+	staged := make([]rdf.Triple, n)
 	copy(staged, t.triples)
 	t.mu.Unlock()
 
-	stats := LoadStats{Staged: len(staged), Model: model}
+	stats := LoadStats{Staged: n, Model: model}
 	stats.Loaded = st.AddAll(model, staged)
 	if materialize {
-		idx, n, err := reason.NewEngine(st).Materialize(model)
+		idx, nDerived, err := reason.NewEngine(st).Materialize(model)
 		if err != nil {
 			return stats, err
 		}
 		stats.IndexMod = idx
-		stats.Derived = n
+		stats.Derived = nDerived
 	}
-	t.Clear()
+	// Trim exactly the loaded prefix under the same mutex the insert
+	// paths use; anything appended since the snapshot shifts down.
+	t.mu.Lock()
+	k := copy(t.triples, t.triples[n:])
+	t.triples = t.triples[:k]
+	t.mu.Unlock()
+	obsLoadHist.ObserveSince(t0)
+	obsLoaded.Add(int64(stats.Loaded))
 	return stats, nil
 }
 

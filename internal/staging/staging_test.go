@@ -1,6 +1,7 @@
 package staging
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -224,5 +225,52 @@ func TestPipelineRun(t *testing.T) {
 	got[0] = rdf.Triple{}
 	if tbl.Triples()[0] == (rdf.Triple{}) {
 		t.Error("Triples() exposes internal slice")
+	}
+}
+
+// TestBulkLoadConcurrentInsertNoLoss is the regression test for the
+// snapshot-then-Clear data-loss bug: BulkLoad used to clear the whole
+// staging table after loading only the snapshot it took up front, so
+// triples inserted while the load ran were silently discarded. Run with
+// -race. A final BulkLoad drains leftovers; every inserted triple must
+// end up in the model.
+func TestBulkLoadConcurrentInsertNoLoss(t *testing.T) {
+	const total = 2000
+	tbl := NewTable()
+	st := store.New()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			tbl.InsertTriples([]rdf.Triple{rdf.T(
+				rdf.IRI(rdf.DMNS+"item_"+strconv.Itoa(i)),
+				rdf.Type,
+				rdf.IRI(rdf.DMNS+"Attribute"),
+			)})
+		}
+	}()
+
+	for {
+		if _, err := tbl.BulkLoad(st, "m", false); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	// Drain anything staged after the last in-loop load.
+	if _, err := tbl.BulkLoad(st, "m", false); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := st.Len("m"); got != total {
+		t.Fatalf("model has %d triples, want %d: concurrent inserts were dropped", got, total)
+	}
+	if n := tbl.Len(); n != 0 {
+		t.Fatalf("staging table still holds %d triples after draining", n)
 	}
 }

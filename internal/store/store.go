@@ -104,6 +104,7 @@ func (s *Store) InstallModel(m *Model) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.models[m.name] = m
+	obsInstalls.Inc()
 }
 
 // ModelInfo is a point-in-time summary of one model, as observed inside
@@ -170,7 +171,11 @@ func (s *Store) Add(model string, t rdf.Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.modelLocked(model)
-	return m.Add(s.encode(t))
+	added := m.Add(s.encode(t))
+	if added {
+		obsAdds.Inc()
+	}
+	return added
 }
 
 // AddAll bulk-inserts triples into the named model and returns the number
@@ -185,6 +190,7 @@ func (s *Store) AddAll(model string, ts []rdf.Triple) int {
 			n++
 		}
 	}
+	obsAdds.Add(int64(n))
 	return n
 }
 
@@ -201,11 +207,16 @@ func (s *Store) Remove(model string, t rdf.Triple) bool {
 	if !ok {
 		return false
 	}
-	return m.Remove(et)
+	removed := m.Remove(et)
+	if removed {
+		obsRemoves.Inc()
+	}
+	return removed
 }
 
 // Contains reports whether the triple exists in the named model.
 func (s *Store) Contains(model string, t rdf.Triple) bool {
+	obsLookups.Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	m, ok := s.models[model]
@@ -283,6 +294,7 @@ func (s *Store) Match(model string, sub, pred, obj rdf.Term) []rdf.Triple {
 // The store's read lock is held for the whole iteration, so fn must not
 // call mutating Store methods (doing so would deadlock).
 func (s *Store) ForEach(model string, sub, pred, obj rdf.Term, fn func(rdf.Triple) bool) {
+	obsLookups.Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	m, ok := s.models[model]
@@ -308,6 +320,7 @@ func (s *Store) ForEach(model string, sub, pred, obj rdf.Term, fn func(rdf.Tripl
 
 // CountPattern returns the number of triples matching the pattern.
 func (s *Store) CountPattern(model string, sub, pred, obj rdf.Term) int {
+	obsLookups.Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	m, ok := s.models[model]

@@ -33,6 +33,7 @@ package textindex
 import (
 	"sort"
 	"strings"
+	"time"
 	"unicode"
 	"unicode/utf8"
 
@@ -224,6 +225,7 @@ func Collect(v *store.View, field map[store.ID]Field) []Posting {
 // It reads only dict (which has its own lock) and its arguments, so it
 // is safe to run outside any store lock.
 func BuildPostings(model string, gen uint64, dict *store.Dict, field map[store.ID]Field, posts []Posting) *Index {
+	defer obsBuildHist.ObserveSince(time.Now())
 	ix := &Index{
 		model: model,
 		gen:   gen,
@@ -319,6 +321,7 @@ func (ix *Index) Update(v *store.View, gen uint64) (*Index, int, int) {
 // superset of the receiver's — predicates configured but unseen when the
 // receiver was built).
 func (ix *Index) UpdateWith(gen uint64, field map[store.ID]Field, posts []Posting) (*Index, int, int) {
+	defer obsDeltaHist.ObserveSince(time.Now())
 	cur := make(map[Posting]struct{}, len(posts))
 	for _, p := range posts {
 		cur[p] = struct{}{}
@@ -417,6 +420,7 @@ func (ix *Index) TokensContaining(sub string) []string {
 // matches of the paper's regexp_like(text, term, 'i') scan. Results are
 // sorted by (Subject, Pred, Object).
 func (ix *Index) Search(term string, field Field) []Posting {
+	obsSearches.Inc()
 	folded := Fold(term)
 	if toks := uniqueTokens(Tokenize(folded)); len(toks) == 1 && toks[0] == folded {
 		// Fast path: the term is one pure letter/digit run. Text tokens
