@@ -18,6 +18,7 @@
 //	mdw stats        [-data DIR] [-validate]       census + validation
 //	mdw learn-schema [-data DIR] [-migrate]        §VII schema learning
 //	mdw metrics      [-data DIR] [-slow-query D]   workload + Prometheus metrics dump
+//	mdw top          [-data DIR | -url URL] [-n N] per-statement query statistics
 //	mdw report       table1|subjects|scale|figure6|figure7|growth
 //
 // Without -data, commands operate on the built-in Figure 3 example
@@ -25,8 +26,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,6 +49,7 @@ import (
 	"mdw/internal/relstore"
 	"mdw/internal/schemalearn"
 	"mdw/internal/search"
+	"mdw/internal/semmatch"
 	"mdw/internal/sparql"
 	"mdw/internal/staging"
 	"mdw/internal/textindex"
@@ -88,6 +93,8 @@ func run(args []string) error {
 		return cmdLearnSchema(rest)
 	case "metrics":
 		return cmdMetrics(rest)
+	case "top":
+		return cmdTop(rest)
 	case "report":
 		return cmdReport(rest)
 	case "help", "-h", "--help":
@@ -115,6 +122,7 @@ commands:
   stats        print graph statistics, the Table I census, and validation issues
   learn-schema derive a relational schema from the evolved graph (Section VII)
   metrics      run a sample workload and dump the collected metrics (Prometheus text)
+  top          show per-statement query statistics, heaviest total time first
   report       reproduce a paper artifact: table1, subjects, scale, figure6, figure7`)
 }
 
@@ -621,9 +629,11 @@ SELECT ?n WHERE { ?x a dm:Attribute . ?x dm:hasName ?n }`
 			return err
 		}
 	}
+	obs.SampleRuntime(obs.Default())
 	if err := obs.Default().WritePrometheus(os.Stdout); err != nil {
 		return err
 	}
+	printQuantiles(obs.Default().Snapshot())
 	if entries := sl.Entries(); len(entries) > 0 {
 		fmt.Printf("\n# slow-query log (%d entries, threshold %s)\n", len(entries), *slow)
 		for _, e := range entries {
@@ -636,6 +646,160 @@ SELECT ?n WHERE { ?x a dm:Attribute . ?x dm:hasName ?n }`
 		}
 	}
 	return nil
+}
+
+// printQuantiles summarizes every populated latency histogram in the
+// snapshot as p50/p95/p99 estimates, interpolated from the cumulative
+// bucket counts exactly the way Prometheus's histogram_quantile does.
+func printQuantiles(snap []obs.SeriesValue) {
+	header := false
+	for _, sv := range snap {
+		if sv.Kind != "histogram" || sv.Value == 0 || !strings.HasSuffix(sv.Family, "_seconds") {
+			continue
+		}
+		if !header {
+			fmt.Println("\n# latency quantiles (interpolated from histogram buckets)")
+			header = true
+		}
+		name := sv.Family
+		if sv.Labels != "" {
+			name += "{" + sv.Labels + "}"
+		}
+		fmt.Printf("%-64s p50=%-10s p95=%-10s p99=%s\n", name,
+			quantileDur(sv, 0.50), quantileDur(sv, 0.95), quantileDur(sv, 0.99))
+	}
+}
+
+func quantileDur(sv obs.SeriesValue, q float64) string {
+	v := obs.Quantile(sv.Bounds, sv.Counts, q)
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// cmdTop prints the statement table — per-fingerprint call counts, row
+// counts and latency aggregates, heaviest total time first (the
+// pg_stat_statements view of the warehouse). With -url it reads GET
+// /api/statements from a running mdwd; without, it replays the paper's
+// Listing 1 and Listing 2 SEM_MATCH workload in-process so the
+// aggregation is visible out of the box: Listing 1 runs with several
+// different search terms, and because fingerprints normalize literals
+// away, all of them fold into one row.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	data := fs.String("data", "", "data directory written by `mdw generate`")
+	url := fs.String("url", "", "base URL of a running mdwd; fetch its /api/statements instead of replaying locally")
+	n := fs.Int("n", 10, "list at most this many statements")
+	runs := fs.Int("runs", 3, "repetitions of each workload query (local mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url != "" {
+		resp, err := http.Get(strings.TrimSuffix(*url, "/") + "/api/statements")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("top: %s returned %s", *url, resp.Status)
+		}
+		var remote struct {
+			Evicted    int64               `json:"evicted"`
+			Statements []obs.StatementStat `json:"statements"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&remote); err != nil {
+			return fmt.Errorf("top: decoding /api/statements: %w", err)
+		}
+		printStatements(remote.Statements, remote.Evicted, *n)
+		return nil
+	}
+	w, err := buildWarehouse(*data)
+	if err != nil {
+		return err
+	}
+	if err := topWorkload(w, *runs); err != nil {
+		return err
+	}
+	tbl := obs.DefaultStatements()
+	printStatements(tbl.Snapshot(), tbl.Evicted(), *n)
+	return nil
+}
+
+// topWorkload replays the paper's two listings against the warehouse:
+// Listing 1 (classify search hits by ontology class) once per term in a
+// small term set, and Listing 2 (column-level lineage) — each repeated
+// runs times so the statement table has latency distributions to show.
+func topWorkload(w *core.Warehouse, runs int) error {
+	l1, err := semmatch.ParseCall(`SEM_MATCH(
+		{?object rdf:type ?c .
+		 ?c rdfs:label ?class .
+		 ?object dm:hasName ?term},
+		SEM_MODELS('DWH_CURR'),
+		SEM_RULEBASES('OWLPRIME'),
+		SEM_ALIASES(SEM_ALIAS('dm', '` + rdf.DMNS + `'),
+		            SEM_ALIAS('owl', 'http://www.w3.org/2002/07/owl#')),
+		null)`)
+	if err != nil {
+		return err
+	}
+	l1.Select = []string{"class", "object"}
+	l1.GroupBy = []string{"class", "object"}
+	l2, err := semmatch.ParseCall(`SEM_MATCH(
+		{?source_id dt:isMappedTo ?target_id .
+		 ?target_id rdf:type dm:Application1_View_Column .
+		 ?target_id dm:hasName ?target_name},
+		SEM_MODELS('DWH_CURR'),
+		SEM_RULEBASES('OWLPRIME'),
+		SEM_ALIASES(SEM_ALIAS('dm', '` + rdf.DMNS + `'),
+		            SEM_ALIAS('dt', '` + rdf.DTNS + `')),
+		null)`)
+	if err != nil {
+		return err
+	}
+	l2.Select = []string{"source_id", "target_id", "target_name"}
+	for i := 0; i < runs; i++ {
+		for _, term := range []string{"customer", "account", "branch"} {
+			req := *l1
+			req.Filter = fmt.Sprintf("regex(?term, %q, \"i\")", term)
+			if _, err := req.Exec(w.Store()); err != nil {
+				return err
+			}
+		}
+		if _, err := l2.Exec(w.Store()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printStatements renders statement rows as an aligned table, truncating
+// the normalized statement text so rows stay on one terminal line.
+func printStatements(stmts []obs.StatementStat, evicted int64, n int) {
+	if n >= 0 && len(stmts) > n {
+		stmts = stmts[:n]
+	}
+	rows := make([][]string, 0, len(stmts))
+	for i, st := range stmts {
+		stmt := st.Fingerprint
+		if len(stmt) > 96 {
+			stmt = stmt[:93] + "..."
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", st.Calls),
+			fmt.Sprintf("%d", st.Rows),
+			st.Total.Round(time.Microsecond).String(),
+			st.Mean.Round(time.Microsecond).String(),
+			st.Min.Round(time.Microsecond).String(),
+			st.Max.Round(time.Microsecond).String(),
+			stmt,
+		})
+	}
+	printResultTable([]string{"#", "calls", "rows", "total", "mean", "min", "max", "statement"}, rows)
+	if evicted > 0 {
+		fmt.Printf("(%d least-expensive fingerprints evicted from the table)\n", evicted)
+	}
 }
 
 func splitList(s string) []string {

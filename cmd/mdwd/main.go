@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	mdwd [-addr :8080] [-data DIR | -wh DUMP] [-slow-query 250ms]
+//	mdwd [-addr :8080] [-data DIR | -wh DUMP] [-slow-query 250ms] [-pprof]
 //
 // Without -data/-wh the server hosts the built-in Figure 3 example.
-// Metrics are served at /api/metrics (Prometheus text exposition) and
-// recent traces plus the slow-query log at /api/traces.
+// Metrics are served at /api/metrics (Prometheus text exposition,
+// including runtime gauges refreshed by a background sampler), recent
+// traces plus the slow-query log at /api/traces (every response carries
+// its trace ID in X-Mdw-Trace), and per-fingerprint query statistics at
+// /api/statements. -pprof additionally mounts the net/http/pprof
+// profiling handlers under /debug/pprof/.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	scale := flag.String("scale", "", "serve a freshly generated landscape: small or paper")
 	slow := flag.Duration("slow-query", obs.DefaultSlowQueryThreshold,
 		"log queries slower than this to /api/traces (0s = every query, <0 = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 	obs.DefaultSlowLog().SetThreshold(*slow)
 
@@ -46,10 +51,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdwd:", err)
 		os.Exit(1)
 	}
+	stop := obs.StartRuntimeSampler(0)
+	defer stop()
+	srv := httpapi.NewServer(w)
+	if *pprofOn {
+		srv.MountPprof()
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	s := w.Stats()
 	log.Printf("serving model %s (%d base + %d derived triples) on %s",
 		s.Model, s.Triples, s.Derived, *addr)
-	if err := http.ListenAndServe(*addr, httpapi.NewServer(w)); err != nil {
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "mdwd:", err)
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -144,12 +145,24 @@ func (w *Warehouse) TextIndexStats() []textindex.Stats {
 // Search runs the Section IV.A search service over the warehouse's
 // shared full-text index.
 func (w *Warehouse) Search(term string, opt search.Options) (*search.Result, error) {
-	return search.New(w.st, w.model, w.thesaurus).WithIndexManager(w.tix).Search(term, opt)
+	return w.SearchCtx(context.Background(), term, opt)
+}
+
+// SearchCtx is Search carrying a request context: under a traced request
+// (obs.ContextWithSpan) the search — and, with opt.ViaSPARQL, the SPARQL
+// work inside it — nests in the request's trace.
+func (w *Warehouse) SearchCtx(ctx context.Context, term string, opt search.Options) (*search.Result, error) {
+	return search.New(w.st, w.model, w.thesaurus).WithIndexManager(w.tix).SearchCtx(ctx, term, opt)
 }
 
 // Lineage runs the Section IV.B provenance service.
 func (w *Warehouse) Lineage(item rdf.Term, dir lineage.Direction, opt lineage.Options) (*lineage.Graph, error) {
-	return lineage.New(w.st, w.model).Trace(item, dir, opt)
+	return w.LineageCtx(context.Background(), item, dir, opt)
+}
+
+// LineageCtx is Lineage carrying a request context.
+func (w *Warehouse) LineageCtx(ctx context.Context, item rdf.Term, dir lineage.Direction, opt lineage.Options) (*lineage.Graph, error) {
+	return lineage.New(w.st, w.model).TraceCtx(ctx, item, dir, opt)
 }
 
 // LineageService exposes the full lineage API (roll-ups, path counting).
@@ -183,11 +196,18 @@ func (w *Warehouse) ImpactOfRelease(from, to int) (*impact.Analysis, error) {
 // Query parses and executes a SPARQL query against the base model plus
 // its OWLPRIME index (materializing it if needed).
 func (w *Warehouse) Query(query string) (*sparql.Result, error) {
-	root := obs.StartSpan("warehouse.query")
+	return w.QueryCtx(context.Background(), query)
+}
+
+// QueryCtx is Query carrying a request context: the call runs under a
+// "warehouse.query" span — nested in the request's trace when ctx
+// carries one, the root of a new trace otherwise — with the "sparql
+// parse"/"sparql plan"/"sparql exec" spans of the engine (and a
+// "reindex" span when the entailment was stale) below it.
+func (w *Warehouse) QueryCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	root, ctx := obs.StartChildCtx(ctx, "warehouse.query")
 	defer root.Finish()
-	sp := root.Child("parse")
-	q, err := sparql.Parse(query)
-	sp.Finish()
+	q, err := sparql.ParseCtx(ctx, query)
 	if err != nil {
 		root.SetLabel("error", "parse")
 		return nil, err
@@ -197,7 +217,7 @@ func (w *Warehouse) Query(query string) (*sparql.Result, error) {
 	// derived (the generation check catches both a missing and a stale
 	// index).
 	if !w.st.Current(w.model, idx) {
-		sp = root.Child("reindex")
+		sp := root.Child("reindex")
 		_, err := w.Reindex()
 		sp.Finish()
 		if err != nil {
@@ -205,9 +225,7 @@ func (w *Warehouse) Query(query string) (*sparql.Result, error) {
 			return nil, err
 		}
 	}
-	sp = root.Child("exec")
-	res, err := q.Exec(w.st.ViewOf(w.model, idx), w.st.Dict())
-	sp.Finish()
+	res, err := q.ExecCtx(ctx, w.st.ViewOf(w.model, idx), w.st.Dict())
 	if err == nil {
 		root.SetLabel("rows", strconv.Itoa(len(res.Rows)))
 	}
@@ -217,11 +235,16 @@ func (w *Warehouse) Query(query string) (*sparql.Result, error) {
 // QueryFacts executes a SPARQL query against the base facts only — the
 // paper's default when no rulebase is named.
 func (w *Warehouse) QueryFacts(query string) (*sparql.Result, error) {
-	q, err := sparql.Parse(query)
+	return w.QueryFactsCtx(context.Background(), query)
+}
+
+// QueryFactsCtx is QueryFacts carrying a request context.
+func (w *Warehouse) QueryFactsCtx(ctx context.Context, query string) (*sparql.Result, error) {
+	q, err := sparql.ParseCtx(ctx, query)
 	if err != nil {
 		return nil, err
 	}
-	return q.Exec(w.st.ViewOf(w.model), w.st.Dict())
+	return q.ExecCtx(ctx, w.st.ViewOf(w.model), w.st.Dict())
 }
 
 // SemMatch executes an Oracle-style SEM_MATCH call (Listings 1 and 2).
@@ -229,12 +252,22 @@ func (w *Warehouse) SemMatch(call string) (*sparql.Result, error) {
 	return semmatch.Exec(w.st, call)
 }
 
+// SemMatchCtx is SemMatch carrying a request context.
+func (w *Warehouse) SemMatchCtx(ctx context.Context, call string) (*sparql.Result, error) {
+	return semmatch.ExecCtx(ctx, w.st, call)
+}
+
 // Explain renders the evaluation plan Query would execute: the
 // statistics-driven join order with estimated cardinalities against the
 // base-plus-index view. The index is (re)materialized first so the plan
 // sees the same statistics execution would.
 func (w *Warehouse) Explain(query string) (string, error) {
-	q, err := sparql.Parse(query)
+	return w.ExplainCtx(context.Background(), query)
+}
+
+// ExplainCtx is Explain carrying a request context.
+func (w *Warehouse) ExplainCtx(ctx context.Context, query string) (string, error) {
+	q, err := sparql.ParseCtx(ctx, query)
 	if err != nil {
 		return "", err
 	}

@@ -17,6 +17,7 @@ import (
 	"mdw/internal/lineage"
 	"mdw/internal/rdf"
 	"mdw/internal/search"
+	"mdw/internal/sparql"
 	"mdw/internal/staging"
 )
 
@@ -38,6 +39,7 @@ func NewServer(w *core.Warehouse) *Server {
 	s.mux.HandleFunc("GET /api/versions", s.handleVersions)
 	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/statements", s.handleStatements)
 	s.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")
@@ -107,6 +109,19 @@ func (s *Server) handleSearch(rw http.ResponseWriter, r *http.Request) {
 	if n, err := strconv.Atoi(q.Get("hits")); err == nil && n >= 0 {
 		opt.MaxHitsPerGroup = n
 	}
+	// ?via=sparql routes candidate matching through the SPARQL engine —
+	// same results, but the request's trace shows the full http → search
+	// → sparql nesting and the queries land in /api/statements.
+	switch q.Get("via") {
+	case "", "index":
+	case "sparql":
+		opt.ViaSPARQL = true
+	case "scan":
+		opt.ForceScan = true
+	default:
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("bad ?via (want index, sparql, or scan)"))
+		return
+	}
 	for _, c := range strings.Split(q.Get("class"), ",") {
 		if c = strings.TrimSpace(c); c != "" {
 			if !strings.Contains(c, "://") {
@@ -115,7 +130,7 @@ func (s *Server) handleSearch(rw http.ResponseWriter, r *http.Request) {
 			opt.FilterClasses = append(opt.FilterClasses, c)
 		}
 	}
-	res, err := s.w.Search(term, opt)
+	res, err := s.w.SearchCtx(r.Context(), term, opt)
 	if err != nil {
 		writeError(rw, http.StatusInternalServerError, err)
 		return
@@ -206,12 +221,12 @@ func (s *Server) handleLineage(rw http.ResponseWriter, r *http.Request) {
 		opt.RuleFilter = func(r string) bool { return strings.Contains(r, rule) }
 	}
 	svc := s.w.LineageService()
-	g, err := svc.Trace(item, dir, opt)
+	g, err := svc.TraceCtx(r.Context(), item, dir, opt)
 	if err != nil {
 		writeError(rw, http.StatusNotFound, err)
 		return
 	}
-	if g, err = svc.Rollup(g, level); err != nil {
+	if g, err = svc.RollupCtx(r.Context(), g, level); err != nil {
 		writeError(rw, http.StatusInternalServerError, err)
 		return
 	}
@@ -301,9 +316,12 @@ func (s *Server) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("missing ?q"))
 		return
 	}
-	var res, err = s.w.Query(q)
+	var res *sparql.Result
+	var err error
 	if r.URL.Query().Get("facts") == "only" {
-		res, err = s.w.QueryFacts(q)
+		res, err = s.w.QueryFactsCtx(r.Context(), q)
+	} else {
+		res, err = s.w.QueryCtx(r.Context(), q)
 	}
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, err)
@@ -336,7 +354,7 @@ func (s *Server) handleSemMatch(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.w.SemMatch(string(body))
+	res, err := s.w.SemMatchCtx(r.Context(), string(body))
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, err)
 		return

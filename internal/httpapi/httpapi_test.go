@@ -398,17 +398,23 @@ func TestSlowQueryLogCapturesPlan(t *testing.T) {
 	if !hasExec {
 		t.Errorf("slow-log entry lacks an exec stage: %+v", entry.Stages)
 	}
-	// The HTTP middleware and warehouse spans populate the trace ring.
+	// The HTTP middleware roots the trace; the warehouse query nests
+	// inside it as a child span rather than starting its own trace.
 	if len(tr.Traces) == 0 {
 		t.Fatal("trace ring empty after requests")
 	}
 	found := false
 	for _, trace := range tr.Traces {
-		if trace.Name == "warehouse.query" && len(trace.Spans) >= 2 {
-			found = true
+		if trace.Name != "http GET /api/query" {
+			continue
+		}
+		for _, sp := range trace.Spans {
+			if sp.Name == "warehouse.query" && sp.Parent != 0 {
+				found = true
+			}
 		}
 	}
 	if !found {
-		t.Error("no warehouse.query trace with child spans in the ring")
+		t.Error("no http GET /api/query trace with a nested warehouse.query span in the ring")
 	}
 }

@@ -1,7 +1,9 @@
 package httpapi
 
 import (
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -56,6 +58,11 @@ func statusClass(code int) string {
 // handles are looked up per request, but the registry's lookup is one
 // RLock'd map probe on the steady state — routes and status classes are
 // a small closed set.
+//
+// It also roots the request's trace: the "http <route>" span travels
+// down through r.Context(), so every service and engine span of the
+// request nests under one trace, and the trace's ID is returned in the
+// X-Mdw-Trace response header — curl it back via GET /api/traces?id=.
 func (s *Server) observe(rw http.ResponseWriter, r *http.Request) {
 	_, pattern := s.mux.Handler(r)
 	if pattern == "" {
@@ -63,6 +70,8 @@ func (s *Server) observe(rw http.ResponseWriter, r *http.Request) {
 	}
 	sr := &statusRecorder{ResponseWriter: rw}
 	sp := obs.StartSpan("http " + pattern)
+	rw.Header().Set("X-Mdw-Trace", strconv.FormatUint(sp.TraceID(), 10))
+	r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 	t0 := time.Now()
 	s.mux.ServeHTTP(sr, r)
 	d := time.Since(t0)
@@ -74,6 +83,18 @@ func (s *Server) observe(rw http.ResponseWriter, r *http.Request) {
 	reg := obs.Default()
 	reg.Histogram("mdw_http_request_seconds", nil, "route", pattern).Observe(d)
 	reg.Counter("mdw_http_requests_total", "route", pattern, "class", class).Inc()
+}
+
+// MountPprof registers the net/http/pprof profiling handlers under
+// /debug/pprof/ on the server's mux. Off by default — mdwd enables it
+// behind the -pprof flag, since profile endpoints expose internals and
+// can be expensive to serve.
+func (s *Server) MountPprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // handleMetrics serves the default registry in the Prometheus text
@@ -91,18 +112,62 @@ type TracesResponse struct {
 }
 
 // handleTraces serves the recent-trace ring and the slow-query log.
-func (s *Server) handleTraces(rw http.ResponseWriter, _ *http.Request) {
+// ?id=<trace id> (the X-Mdw-Trace value) returns that single trace, 404
+// when it never existed or has aged out of the ring; ?n= limits the
+// number of traces listed, newest first.
+func (s *Server) handleTraces(rw http.ResponseWriter, r *http.Request) {
 	tr := obs.DefaultTracer()
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("bad ?id %q", idStr))
+			return
+		}
+		t, ok := tr.Get(id)
+		if !ok {
+			writeError(rw, http.StatusNotFound, fmt.Errorf("trace %d not found (unfinished, or evicted from the %d-trace ring)", id, obs.DefaultTraceCapacity))
+			return
+		}
+		writeJSON(rw, http.StatusOK, t)
+		return
+	}
 	resp := TracesResponse{
 		Started: tr.Started(),
 		Traces:  tr.Recent(),
 		SlowLog: obs.DefaultSlowLog().Entries(),
+	}
+	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(resp.Traces) {
+		resp.Traces = resp.Traces[:n]
 	}
 	if resp.Traces == nil {
 		resp.Traces = []obs.Trace{}
 	}
 	if resp.SlowLog == nil {
 		resp.SlowLog = []obs.SlowQuery{}
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// StatementsResponse is the JSON shape of GET /api/statements.
+type StatementsResponse struct {
+	Evicted    int64               `json:"evicted"`
+	Statements []obs.StatementStat `json:"statements"`
+}
+
+// handleStatements serves the per-fingerprint query statistics, sorted
+// by total time descending (pg_stat_statements over HTTP). ?n= limits
+// the number of rows.
+func (s *Server) handleStatements(rw http.ResponseWriter, r *http.Request) {
+	tbl := obs.DefaultStatements()
+	resp := StatementsResponse{
+		Evicted:    tbl.Evicted(),
+		Statements: tbl.Snapshot(),
+	}
+	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(resp.Statements) {
+		resp.Statements = resp.Statements[:n]
+	}
+	if resp.Statements == nil {
+		resp.Statements = []obs.StatementStat{}
 	}
 	writeJSON(rw, http.StatusOK, resp)
 }

@@ -1,0 +1,219 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+
+	"mdw/internal/obs"
+)
+
+// get issues a plain GET and returns the response (caller closes Body).
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestTraceHeaderAndSingleTrace is the end-to-end propagation test of
+// the acceptance criterion: one HTTP search request (candidates via the
+// SPARQL engine) yields ONE trace — http → search → sparql parse/exec —
+// retrievable through GET /api/traces?id= with the X-Mdw-Trace value.
+func TestTraceHeaderAndSingleTrace(t *testing.T) {
+	srv := testServer(t)
+	startedBefore := obs.DefaultTracer().Started()
+
+	resp := get(t, srv.URL+"/api/search?term=customer&via=sparql")
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("search status = %d", resp.StatusCode)
+	}
+	hdr := resp.Header.Get("X-Mdw-Trace")
+	if hdr == "" {
+		t.Fatal("no X-Mdw-Trace response header")
+	}
+	id, err := strconv.ParseUint(hdr, 10, 64)
+	if err != nil || id == 0 {
+		t.Fatalf("X-Mdw-Trace = %q, want a positive decimal trace ID", hdr)
+	}
+
+	// Exactly one trace started for the whole request: the services and
+	// the query engine joined the HTTP root instead of starting their own.
+	if started := obs.DefaultTracer().Started() - startedBefore; started != 1 {
+		t.Errorf("request started %d traces, want 1", started)
+	}
+
+	var trace obs.Trace
+	if code := getJSON(t, srv, "/api/traces?id="+hdr, &trace); code != 200 {
+		t.Fatalf("traces?id status = %d", code)
+	}
+	if trace.ID != id || trace.Name != "http GET /api/search" {
+		t.Fatalf("trace = id %d name %q", trace.ID, trace.Name)
+	}
+
+	// Verify the nesting chain http → search → … → sparql exec by
+	// walking Parent links up from the exec span to the root.
+	byID := map[uint64]obs.SpanData{}
+	var root obs.SpanData
+	for _, sp := range trace.Spans {
+		byID[sp.ID] = sp
+		if sp.Parent == 0 {
+			root = sp
+		}
+	}
+	if root.Name != "http GET /api/search" {
+		t.Fatalf("root span = %q", root.Name)
+	}
+	names := map[string]bool{}
+	for _, sp := range trace.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"search", "sparql parse", "sparql exec"} {
+		if !names[want] {
+			t.Errorf("trace lacks a %q span; spans: %v", want, names)
+		}
+	}
+	for _, sp := range trace.Spans {
+		if sp.Name != "sparql exec" {
+			continue
+		}
+		sawSearch := false
+		cur := sp
+		for cur.Parent != 0 {
+			cur = byID[cur.Parent]
+			if cur.Name == "search" {
+				sawSearch = true
+			}
+		}
+		if !sawSearch {
+			t.Errorf("sparql exec span not nested under the search span")
+		}
+		if cur.ID != root.ID {
+			t.Errorf("sparql exec span does not chain up to the http root")
+		}
+	}
+
+	// Unknown and malformed IDs.
+	if code := getJSON(t, srv, "/api/traces?id=999999999", nil); code != 404 {
+		t.Errorf("unknown trace id status = %d, want 404", code)
+	}
+	if code := getJSON(t, srv, "/api/traces?id=bogus", nil); code != 400 {
+		t.Errorf("malformed trace id status = %d, want 400", code)
+	}
+}
+
+func TestTracesLimitParam(t *testing.T) {
+	srv := testServer(t)
+	for i := 0; i < 3; i++ {
+		get(t, srv.URL+"/healthz").Body.Close()
+	}
+	var all TracesResponse
+	if code := getJSON(t, srv, "/api/traces", &all); code != 200 {
+		t.Fatalf("traces status = %d", code)
+	}
+	if len(all.Traces) < 3 {
+		t.Fatalf("ring has %d traces, want >= 3", len(all.Traces))
+	}
+	var limited TracesResponse
+	if code := getJSON(t, srv, "/api/traces?n=2", &limited); code != 200 {
+		t.Fatalf("traces?n status = %d", code)
+	}
+	if len(limited.Traces) != 2 {
+		t.Fatalf("traces?n=2 returned %d traces", len(limited.Traces))
+	}
+	// Newest first: the limited list is the head of the full list shifted
+	// by the /api/traces request in between; just check ordering.
+	if len(limited.Traces) == 2 && limited.Traces[0].Start.Before(limited.Traces[1].Start) {
+		t.Error("traces not newest-first")
+	}
+	if code := getJSON(t, srv, "/api/traces?n=0", &limited); code != 200 || len(limited.Traces) != 0 {
+		t.Errorf("traces?n=0: code %d, %d traces", code, len(limited.Traces))
+	}
+}
+
+func TestStatementsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Two executions of the same query shape with different literals must
+	// aggregate under one fingerprint.
+	for _, term := range []string{"customer", "branch"} {
+		resp := get(t, srv.URL+"/api/search?term="+term+"&via=sparql")
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("search %q status = %d", term, resp.StatusCode)
+		}
+	}
+	var stmts StatementsResponse
+	if code := getJSON(t, srv, "/api/statements", &stmts); code != 200 {
+		t.Fatalf("statements status = %d", code)
+	}
+	if stmts.Statements == nil {
+		t.Fatal("statements is null, want at least []")
+	}
+	var hit *obs.StatementStat
+	for i := range stmts.Statements {
+		st := &stmts.Statements[i]
+		if st.Calls >= 2 && st.Fingerprint != "" && st.Query != "" &&
+			st.Total > 0 && st.Mean > 0 && st.Max >= st.Min {
+			hit = st
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no aggregated statement row with >= 2 calls; rows: %d", len(stmts.Statements))
+	}
+	if hit.LastPlan == "" {
+		t.Error("aggregated row lacks a rendered plan")
+	}
+
+	var limited StatementsResponse
+	if code := getJSON(t, srv, "/api/statements?n=1", &limited); code != 200 || len(limited.Statements) != 1 {
+		t.Errorf("statements?n=1: code %d, %d rows", code, len(limited.Statements))
+	}
+}
+
+// TestObserveMiddlewareMetrics exercises the timing middleware directly:
+// requests aggregate by route pattern (including the "(unmatched)"
+// fallback) and by status class. The registry is process-global, so the
+// test asserts deltas, not absolute values.
+func TestObserveMiddlewareMetrics(t *testing.T) {
+	srv := testServer(t)
+	reg := obs.Default()
+
+	searchOK := reg.Counter("mdw_http_requests_total", "route", "GET /api/search", "class", "2xx")
+	searchBad := reg.Counter("mdw_http_requests_total", "route", "GET /api/search", "class", "4xx")
+	unmatched := reg.Counter("mdw_http_requests_total", "route", "(unmatched)", "class", "4xx")
+	okBefore, badBefore, unmatchedBefore := searchOK.Value(), searchBad.Value(), unmatched.Value()
+	_, histBefore := reg.Histogram("mdw_http_request_seconds", nil, "route", "GET /api/search").Buckets()
+	countBefore := histBefore[len(histBefore)-1]
+
+	for i := 0; i < 2; i++ {
+		get(t, srv.URL+"/api/search?term=customer").Body.Close()
+	}
+	resp := get(t, srv.URL+"/api/search") // missing ?term → 400
+	if resp.StatusCode != 400 {
+		t.Fatalf("missing-term status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = get(t, srv.URL+"/no/such/route")
+	if resp.StatusCode != 404 {
+		t.Fatalf("unmatched route status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	if d := searchOK.Value() - okBefore; d != 2 {
+		t.Errorf("2xx search counter delta = %d, want 2", d)
+	}
+	if d := searchBad.Value() - badBefore; d != 1 {
+		t.Errorf("4xx search counter delta = %d, want 1", d)
+	}
+	if d := unmatched.Value() - unmatchedBefore; d != 1 {
+		t.Errorf("(unmatched) 4xx counter delta = %d, want 1", d)
+	}
+	_, histAfter := reg.Histogram("mdw_http_request_seconds", nil, "route", "GET /api/search").Buckets()
+	if d := histAfter[len(histAfter)-1] - countBefore; d != 3 {
+		t.Errorf("search route histogram observation delta = %d, want 3 (2xx and 4xx alike)", d)
+	}
+}

@@ -18,11 +18,13 @@
 package lineage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 	"mdw/internal/reason"
 	"mdw/internal/store"
@@ -101,6 +103,16 @@ func New(st *store.Store, model string) *Service {
 
 // Trace runs a lineage traversal from the item in the given direction.
 func (s *Service) Trace(item rdf.Term, dir Direction, opt Options) (*Graph, error) {
+	return s.TraceCtx(context.Background(), item, dir, opt)
+}
+
+// TraceCtx is Trace carrying a request context: the traversal runs under
+// a "lineage.trace" span, nested in the request's trace when ctx carries
+// one, the root of a new trace otherwise.
+func (s *Service) TraceCtx(ctx context.Context, item rdf.Term, dir Direction, opt Options) (*Graph, error) {
+	sp, _ := obs.StartChildCtx(ctx, "lineage.trace")
+	sp.SetLabel("item", item.Value).SetLabel("direction", dir.String())
+	defer sp.Finish()
 	defer obsTraceHist.ObserveSince(time.Now())
 	view, err := s.indexedView()
 	if err != nil {

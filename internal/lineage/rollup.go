@@ -1,9 +1,11 @@
 package lineage
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 	"mdw/internal/store"
 )
@@ -84,9 +86,19 @@ func (s *Service) RollupSides(g *Graph, sourceLevel, targetLevel Level) (*Graph,
 // created by intra-container mappings disappear. Nodes with no container
 // at the level keep their identity.
 func (s *Service) Rollup(g *Graph, level Level) (*Graph, error) {
+	return s.RollupCtx(context.Background(), g, level)
+}
+
+// RollupCtx is Rollup carrying a request context: a traced context gets
+// a "lineage.rollup" child span (a standalone call starts its own
+// trace).
+func (s *Service) RollupCtx(ctx context.Context, g *Graph, level Level) (*Graph, error) {
 	if level == LevelAttribute {
 		return g, nil
 	}
+	sp, _ := obs.StartChildCtx(ctx, "lineage.rollup")
+	sp.SetLabel("level", level.String())
+	defer sp.Finish()
 	view, err := s.indexedView()
 	if err != nil {
 		return nil, err

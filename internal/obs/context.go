@@ -1,0 +1,68 @@
+package obs
+
+import "context"
+
+// Request-scoped span propagation. One HTTP request (or CLI invocation)
+// carries its active span through context.Context, so every layer it
+// crosses — httpapi handler, warehouse method, service, query engine —
+// attaches its spans to the same trace instead of starting disjoint
+// roots. The pattern is the usual one:
+//
+//	sp, ctx := obs.StartChildCtx(ctx, "search")   // child, or new root
+//	defer sp.Finish()
+//	... pass ctx down ...
+//
+// and on hot paths that should only pay for tracing when the request is
+// actually traced:
+//
+//	sp, ctx := obs.ChildCtx(ctx, "sparql exec")   // nil span when untraced
+//	defer sp.Finish()                             // nil-safe
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil when there is
+// none (or ctx is nil).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartChildCtx starts a span named name as a child of the span carried
+// by ctx, or as the root of a new trace on the default tracer when ctx
+// carries none. It returns the span and a context carrying it; service
+// entry points use this so a standalone call still yields a trace while
+// a call inside a traced request nests under it.
+func StartChildCtx(ctx context.Context, name string) (*Span, context.Context) {
+	var sp *Span
+	if parent := SpanFromContext(ctx); parent != nil {
+		sp = parent.Child(name)
+	} else {
+		sp = defaultTracer.Start(name)
+	}
+	return sp, ContextWithSpan(ctx, sp)
+}
+
+// ChildCtx starts a child span of the span carried by ctx. When ctx
+// carries no span it returns (nil, ctx): the caller's SetLabel/Finish
+// calls are nil-safe no-ops, so untraced executions pay only this
+// context lookup. Hot paths (per-query engine internals) use this so
+// benchmarks and untraced service calls do not allocate spans.
+func ChildCtx(ctx context.Context, name string) (*Span, context.Context) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	sp := parent.Child(name)
+	return sp, ContextWithSpan(ctx, sp)
+}

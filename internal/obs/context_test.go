@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestStartSharesOneTimestamp(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("root")
+	if !sp.start.Equal(sp.rec.start) {
+		t.Fatalf("root span start %v != trace record start %v", sp.start, sp.rec.start)
+	}
+	sp.Finish()
+	got, ok := tr.Get(sp.TraceID())
+	if !ok {
+		t.Fatal("published trace not found")
+	}
+	if !got.Start.Equal(got.Spans[0].Start) {
+		t.Fatalf("published trace start %v != root span start %v", got.Start, got.Spans[0].Start)
+	}
+}
+
+func TestLateChildFinishIsDroppedAndCounted(t *testing.T) {
+	tr := NewTracer(4)
+	var c Counter
+	tr.dropCounter = &c
+	root := tr.Start("root")
+	late := root.Child("late")
+	early := root.Child("early")
+	early.Finish()
+	root.Finish()
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("Dropped = %d before any late finish", d)
+	}
+	late.Finish()
+	if d := tr.Dropped(); d != 1 {
+		t.Fatalf("Dropped = %d, want 1", d)
+	}
+	if v := c.Value(); v != 1 {
+		t.Fatalf("drop counter = %d, want 1", v)
+	}
+	got, ok := tr.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not published")
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("published trace has %d spans, want 2 (late child dropped)", len(got.Spans))
+	}
+	for _, s := range got.Spans {
+		if s.Name == "late" {
+			t.Fatal("late child leaked into published trace")
+		}
+	}
+}
+
+func TestTracerGet(t *testing.T) {
+	tr := NewTracer(2)
+	first := tr.Start("first")
+	first.Finish()
+	if _, ok := tr.Get(0); ok {
+		t.Fatal("Get(0) reported a trace")
+	}
+	if _, ok := tr.Get(999); ok {
+		t.Fatal("Get of unknown ID reported a trace")
+	}
+	got, ok := tr.Get(first.TraceID())
+	if !ok || got.Name != "first" {
+		t.Fatalf("Get(first) = %+v, %v", got, ok)
+	}
+	// Overflow the 2-slot ring; the first trace must be evicted.
+	for i := 0; i < 2; i++ {
+		tr.Start("later").Finish()
+	}
+	if _, ok := tr.Get(first.TraceID()); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer(4)
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Fatalf("SpanFromContext(empty) = %v", got)
+	}
+	if got := SpanFromContext(nil); got != nil { //nolint:staticcheck // nil-safety is the contract under test
+		t.Fatalf("SpanFromContext(nil) = %v", got)
+	}
+
+	// ChildCtx without a parent must not start a trace.
+	sp, ctx := ChildCtx(context.Background(), "hot")
+	if sp != nil {
+		t.Fatalf("ChildCtx without parent returned span %v", sp)
+	}
+	sp.SetLabel("k", "v") // nil-safe
+	sp.Finish()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("ChildCtx without parent attached a span to ctx")
+	}
+
+	// A root attached to ctx makes both StartChildCtx and ChildCtx nest.
+	root := tr.Start("root")
+	ctx = ContextWithSpan(context.Background(), root)
+	if SpanFromContext(ctx) != root {
+		t.Fatal("ContextWithSpan/SpanFromContext round trip failed")
+	}
+	child, ctx2 := StartChildCtx(ctx, "mid")
+	if child == nil || child.parent != root.id {
+		t.Fatalf("StartChildCtx did not nest under root: %+v", child)
+	}
+	leaf, _ := ChildCtx(ctx2, "leaf")
+	if leaf == nil || leaf.parent != child.id {
+		t.Fatalf("ChildCtx did not nest under mid: %+v", leaf)
+	}
+	if leaf.TraceID() != root.TraceID() {
+		t.Fatalf("leaf trace ID %d != root trace ID %d", leaf.TraceID(), root.TraceID())
+	}
+	leaf.Finish()
+	child.Finish()
+	root.Finish()
+	got, ok := tr.Get(root.TraceID())
+	if !ok || len(got.Spans) != 3 {
+		t.Fatalf("trace = %+v, %v; want 3 spans", got, ok)
+	}
+}
+
+func TestStartChildCtxRootFallback(t *testing.T) {
+	sp, ctx := StartChildCtx(context.Background(), "standalone")
+	if sp == nil || sp.parent != 0 {
+		t.Fatalf("StartChildCtx without parent did not start a root: %+v", sp)
+	}
+	if SpanFromContext(ctx) != sp {
+		t.Fatal("returned ctx does not carry the new root")
+	}
+	sp.Finish()
+	if _, ok := DefaultTracer().Get(sp.TraceID()); !ok {
+		t.Fatal("root fallback trace not published to default tracer")
+	}
+}
+
+func TestStatementsRecordAndSnapshot(t *testing.T) {
+	s := NewStatements(8)
+	s.Record("", "ignored", 1, time.Second, nil) // empty fingerprint: dropped
+	if s.Len() != 0 {
+		t.Fatalf("empty fingerprint recorded; len = %d", s.Len())
+	}
+	s.Record("fpA", "SELECT a", 3, 30*time.Millisecond, stringerFunc("plan-a1"))
+	s.Record("fpA", "SELECT a variant", 5, 10*time.Millisecond, stringerFunc("plan-a2"))
+	s.Record("fpB", "SELECT b", 1, 25*time.Millisecond, nil)
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	a := snap[0]
+	if a.Fingerprint != "fpA" {
+		t.Fatalf("snapshot not sorted by total time: first = %q", a.Fingerprint)
+	}
+	if a.Query != "SELECT a" {
+		t.Fatalf("example query = %q, want first-seen text", a.Query)
+	}
+	if a.Calls != 2 || a.Rows != 8 {
+		t.Fatalf("calls/rows = %d/%d, want 2/8", a.Calls, a.Rows)
+	}
+	if a.Total != 40*time.Millisecond || a.Min != 10*time.Millisecond ||
+		a.Max != 30*time.Millisecond || a.Mean != 20*time.Millisecond {
+		t.Fatalf("latency summary = total %v min %v max %v mean %v", a.Total, a.Min, a.Max, a.Mean)
+	}
+	if a.LastPlan != "plan-a2" {
+		t.Fatalf("last plan = %q, want plan-a2", a.LastPlan)
+	}
+	if snap[1].LastPlan != "" {
+		t.Fatalf("fpB plan = %q, want empty (never set)", snap[1].LastPlan)
+	}
+}
+
+func TestStatementsEviction(t *testing.T) {
+	s := NewStatements(2)
+	s.Record("cheap", "q1", 0, 1*time.Millisecond, nil)
+	s.Record("costly", "q2", 0, 100*time.Millisecond, nil)
+	s.Record("new", "q3", 0, 50*time.Millisecond, nil)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if s.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", s.Evicted())
+	}
+	for _, st := range s.Snapshot() {
+		if st.Fingerprint == "cheap" {
+			t.Fatal("least-total entry survived eviction")
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after Reset = %d", s.Len())
+	}
+}
+
+type stringerFunc string
+
+func (s stringerFunc) String() string { return string(s) }
+
+func TestQuantile(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1, math.Inf(1)}
+	// 100 observations: 50 in (0,10ms], 40 in (10ms,100ms], 10 in (100ms,1s].
+	cum := []int64{50, 90, 100, 100}
+	if got := Quantile(bounds, cum, 0.5); math.Abs(got-0.01) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	// p95: rank 95 falls in the third bucket (90..100 over 0.1..1):
+	// 0.1 + 0.9*(95-90)/10 = 0.55.
+	if got := Quantile(bounds, cum, 0.95); math.Abs(got-0.55) > 1e-9 {
+		t.Fatalf("p95 = %v, want 0.55", got)
+	}
+	// A quantile landing in the +Inf bucket clamps to the last finite bound.
+	cumInf := []int64{0, 0, 0, 10}
+	if got := Quantile(bounds, cumInf, 0.5); got != 1 {
+		t.Fatalf("+Inf bucket quantile = %v, want 1", got)
+	}
+	if got := Quantile(bounds, []int64{0, 0, 0, 0}, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", got)
+	}
+	if got := Quantile(nil, nil, 0.5); !math.IsNaN(got) {
+		t.Fatalf("nil histogram quantile = %v, want NaN", got)
+	}
+
+	h := NewRegistry().Histogram("h", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	if math.IsNaN(p50) || p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("histogram p50 = %v, want within (0, 0.01]", p50)
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	if v := r.Gauge("mdw_runtime_goroutines").Value(); v < 1 {
+		t.Fatalf("goroutines gauge = %d", v)
+	}
+	if v := r.Gauge("mdw_runtime_heap_alloc_bytes").Value(); v <= 0 {
+		t.Fatalf("heap alloc gauge = %d", v)
+	}
+	stop := StartRuntimeSampler(time.Hour)
+	stop()
+	stop() // idempotent
+	if v := Default().Gauge("mdw_runtime_goroutines").Value(); v < 1 {
+		t.Fatalf("default registry goroutines gauge = %d after sampler start", v)
+	}
+}

@@ -105,6 +105,60 @@ func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
 	return bounds, cumulative
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observations
+// summarized by cumulative histogram buckets, in the bounds' unit
+// (seconds for latency histograms). The estimate interpolates linearly
+// inside the bucket the quantile falls in — the same model Prometheus's
+// histogram_quantile uses — with the first bucket anchored at 0. A
+// quantile landing in the +Inf bucket clamps to the highest finite
+// bound; an empty histogram yields NaN.
+func Quantile(bounds []float64, cumulative []int64, q float64) float64 {
+	n := len(cumulative)
+	if n == 0 || cumulative[n-1] == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := float64(cumulative[n-1])
+	rank := q * total
+	i := sort.Search(n, func(i int) bool { return float64(cumulative[i]) >= rank })
+	if i >= n {
+		i = n - 1
+	}
+	if i == n-1 || math.IsInf(bounds[i], 1) {
+		// +Inf bucket: no width to interpolate in. Clamp to the highest
+		// finite bound (the largest value the histogram can still name).
+		for j := len(bounds) - 1; j >= 0; j-- {
+			if !math.IsInf(bounds[j], 1) {
+				return bounds[j]
+			}
+		}
+		return math.NaN()
+	}
+	lo := 0.0
+	var below int64
+	if i > 0 {
+		lo = bounds[i-1]
+		below = cumulative[i-1]
+	}
+	inBucket := float64(cumulative[i] - below)
+	if inBucket == 0 {
+		return bounds[i]
+	}
+	return lo + (bounds[i]-lo)*(rank-float64(below))/inBucket
+}
+
+// Quantile estimates the q-quantile of the histogram's observations in
+// seconds. See the package-level Quantile for the estimation model.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum := h.Buckets()
+	return Quantile(bounds, cum, q)
+}
+
 // metricKind discriminates registry entries for exposition.
 type metricKind int
 

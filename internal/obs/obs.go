@@ -27,13 +27,24 @@ import "time"
 // handles against Default() once at init time; the HTTP API and the CLI
 // read all three.
 var (
-	defaultRegistry = NewRegistry()
-	defaultTracer   = NewTracer(DefaultTraceCapacity)
-	defaultSlowLog  = NewSlowLog(DefaultSlowLogCapacity, DefaultSlowQueryThreshold)
+	defaultRegistry   = NewRegistry()
+	defaultTracer     = NewTracer(DefaultTraceCapacity)
+	defaultSlowLog    = NewSlowLog(DefaultSlowLogCapacity, DefaultSlowQueryThreshold)
+	defaultStatements = NewStatements(DefaultStatementCapacity)
 )
+
+func init() {
+	defaultRegistry.SetHelp("mdw_trace_spans_dropped_total",
+		"Spans discarded because they finished after their trace's root span had published the trace.")
+	defaultTracer.dropCounter = defaultRegistry.Counter("mdw_trace_spans_dropped_total")
+}
 
 // Default returns the process-wide metrics registry.
 func Default() *Registry { return defaultRegistry }
+
+// DefaultStatements returns the process-wide statement-statistics table
+// (per-fingerprint query aggregates, pg_stat_statements-style).
+func DefaultStatements() *Statements { return defaultStatements }
 
 // DefaultTracer returns the process-wide tracer.
 func DefaultTracer() *Tracer { return defaultTracer }

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultStatementCapacity bounds the default statement table: the
+// top-N-by-total-time fingerprints survive; beyond that, recording a new
+// fingerprint evicts the entry with the least accumulated time
+// (pg_stat_statements' dealloc policy).
+const DefaultStatementCapacity = 512
+
+// StatementStat is one aggregated row of the statement table: every
+// execution of queries sharing a fingerprint (the query text with
+// literals and constant subjects/objects normalized away), folded into
+// call/row counts and a latency summary.
+type StatementStat struct {
+	Fingerprint string        `json:"fingerprint"`
+	Query       string        `json:"query"` // example text: first execution seen
+	Calls       int64         `json:"calls"`
+	Rows        int64         `json:"rows"`
+	Total       time.Duration `json:"totalNs"`
+	Min         time.Duration `json:"minNs"`
+	Max         time.Duration `json:"maxNs"`
+	Mean        time.Duration `json:"meanNs"`
+	LastPlan    string        `json:"lastPlan,omitempty"`
+	LastSeen    time.Time     `json:"lastSeen"`
+}
+
+// stmtEntry is the mutable accumulator behind one StatementStat. The
+// plan is kept as a Stringer and only rendered at Snapshot time, so the
+// per-execution cost is a map probe and a few adds — never a plan
+// rendering.
+type stmtEntry struct {
+	query    string
+	calls    int64
+	rows     int64
+	total    time.Duration
+	min, max time.Duration
+	lastPlan fmt.Stringer
+	lastSeen time.Time
+}
+
+// Statements is a bounded fingerprint → statistics table, safe for
+// concurrent use.
+type Statements struct {
+	mu      sync.Mutex
+	cap     int
+	m       map[string]*stmtEntry
+	evicted int64
+}
+
+// NewStatements returns a table retaining at most cap fingerprints
+// (cap <= 0 selects DefaultStatementCapacity).
+func NewStatements(cap int) *Statements {
+	if cap <= 0 {
+		cap = DefaultStatementCapacity
+	}
+	return &Statements{cap: cap, m: make(map[string]*stmtEntry)}
+}
+
+// Record folds one execution into the fingerprint's row: query is the
+// raw statement text (kept as the example on first sight), rows the
+// solutions produced, d the execution latency, and plan the evaluation
+// plan (rendered lazily at Snapshot; nil keeps the previous one).
+func (s *Statements) Record(fp, query string, rows int, d time.Duration, plan fmt.Stringer) {
+	if fp == "" {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[fp]
+	if !ok {
+		if len(s.m) >= s.cap {
+			s.evictLocked()
+		}
+		e = &stmtEntry{query: query, min: d}
+		s.m[fp] = e
+	}
+	e.calls++
+	e.rows += int64(rows)
+	e.total += d
+	if d < e.min {
+		e.min = d
+	}
+	if d > e.max {
+		e.max = d
+	}
+	if plan != nil {
+		e.lastPlan = plan
+	}
+	e.lastSeen = now
+}
+
+// evictLocked removes the entry with the least total time. Called with
+// s.mu held, and only when a new fingerprint arrives at capacity, so the
+// O(len) scan is off the steady-state path.
+func (s *Statements) evictLocked() {
+	var victim string
+	var least time.Duration
+	first := true
+	for fp, e := range s.m {
+		if first || e.total < least {
+			victim, least, first = fp, e.total, false
+		}
+	}
+	if victim != "" {
+		delete(s.m, victim)
+		s.evicted++
+	}
+}
+
+// Evicted returns the number of fingerprints dropped at capacity.
+func (s *Statements) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Len returns the number of retained fingerprints.
+func (s *Statements) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Reset clears the table (mdw top -reset, tests).
+func (s *Statements) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string]*stmtEntry)
+}
+
+// Snapshot returns the table sorted by total time, highest first. Plans
+// are rendered here — outside the lock, from the values copied under it
+// — so readers, not query executions, pay the rendering.
+func (s *Statements) Snapshot() []StatementStat {
+	type pending struct {
+		stat StatementStat
+		plan fmt.Stringer
+	}
+	s.mu.Lock()
+	rows := make([]pending, 0, len(s.m))
+	for fp, e := range s.m {
+		st := StatementStat{
+			Fingerprint: fp,
+			Query:       e.query,
+			Calls:       e.calls,
+			Rows:        e.rows,
+			Total:       e.total,
+			Min:         e.min,
+			Max:         e.max,
+			LastSeen:    e.lastSeen,
+		}
+		if e.calls > 0 {
+			st.Mean = e.total / time.Duration(e.calls)
+		}
+		rows = append(rows, pending{stat: st, plan: e.lastPlan})
+	}
+	s.mu.Unlock()
+	out := make([]StatementStat, 0, len(rows))
+	for _, p := range rows {
+		if p.plan != nil {
+			p.stat.LastPlan = p.plan.String()
+		}
+		out = append(out, p.stat)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

@@ -86,6 +86,16 @@ func TestIndexedScanParity(t *testing.T) {
 				t.Errorf("term %q opts %+v: indexed and scan results differ\nindexed: %+v\nscan:    %+v",
 					term, opt, indexed, scanned)
 			}
+			sparqlOpt := opt
+			sparqlOpt.ViaSPARQL = true
+			viaSparql, err := svc.Search(term, sparqlOpt)
+			if err != nil {
+				t.Fatalf("via-sparql %q/%d: %v", term, i, err)
+			}
+			if !reflect.DeepEqual(canon(indexed), canon(viaSparql)) {
+				t.Errorf("term %q opts %+v: indexed and SPARQL-path results differ\nindexed: %+v\nsparql:  %+v",
+					term, opt, indexed, viaSparql)
+			}
 		}
 	}
 }

@@ -40,14 +40,17 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"mdw/internal/dbpedia"
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 	"mdw/internal/reason"
+	"mdw/internal/sparql"
 	"mdw/internal/store"
 	"mdw/internal/textindex"
 )
@@ -116,6 +119,15 @@ type Options struct {
 	// executed naively, kept as the correctness oracle for the indexed
 	// path.
 	ForceScan bool
+	// ViaSPARQL generates match candidates by issuing Listing-1-shaped
+	// SPARQL queries (CONTAINS(LCASE(?text), term)) against the same
+	// consistent view instead of probing the full-text index or scanning
+	// literals directly. Filtering and grouping are shared with the
+	// other paths, so results are identical (up to exotic-Unicode case
+	// folding); the point is observability: under a traced request the
+	// whole search nests as http → search → sparql parse/plan/exec, and
+	// the queries aggregate in the statement table.
+	ViaSPARQL bool
 }
 
 // Hit is one matching instance.
@@ -159,9 +171,20 @@ const maxFreshAttempts = 3
 
 // Search runs the three-step algorithm for term.
 func (s *Service) Search(term string, opt Options) (*Result, error) {
+	return s.SearchCtx(context.Background(), term, opt)
+}
+
+// SearchCtx is Search carrying a request context: the search runs under
+// a "search" span — nested in the request's trace when ctx carries one
+// (obs.ContextWithSpan), the root of a new trace otherwise — and any
+// SPARQL work below it (Options.ViaSPARQL) attaches to the same trace.
+func (s *Service) SearchCtx(ctx context.Context, term string, opt Options) (*Result, error) {
 	if strings.TrimSpace(term) == "" {
 		return nil, fmt.Errorf("search: empty term")
 	}
+	sp, ctx := obs.StartChildCtx(ctx, "search")
+	sp.SetLabel("term", term)
+	defer sp.Finish()
 	defer obsSearchHist.ObserveSince(time.Now())
 
 	// Term expansion (semantic search) and homonym hints.
@@ -187,7 +210,7 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 				return nil, err
 			}
 		}
-		if !opt.ForceScan {
+		if !opt.ForceScan && !opt.ViaSPARQL {
 			// Bring the full-text index up to date before taking the read
 			// lock, so its tokenization never runs under it. Best-effort:
 			// on failure (another goroutine is mid-build, or writers keep
@@ -212,18 +235,21 @@ func (s *Service) Search(term string, opt Options) (*Result, error) {
 			// build was skipped) serve this consistent snapshot via the
 			// scan path. Never build under the read lock.
 			var ix *textindex.Index
-			if !opt.ForceScan && fresh {
+			if !opt.ForceScan && !opt.ViaSPARQL && fresh {
 				ix, _ = s.tix.Get(s.model, infos[0].Gen)
 			}
-			if ix != nil {
+			switch {
+			case opt.ViaSPARQL:
+				obsSearchSPARQL.Inc()
+			case ix != nil:
 				obsSearchIdx.Inc()
-			} else {
+			default:
 				obsSearchScan.Inc()
 				if !opt.ForceScan {
 					obsScanFallback.Inc()
 				}
 			}
-			res, err = s.searchView(v, ix, term, expanded, homonyms, opt)
+			res, err = s.searchView(ctx, v, ix, term, expanded, homonyms, opt)
 			done = true
 		}, s.model, idxName)
 		if done {
@@ -306,8 +332,11 @@ func ensureFresh(st *store.Store, model, idxName string, mgr *textindex.Manager,
 
 // searchView evaluates the query against one consistent view (held under
 // the store's read lock by the caller). ix is a full-text index over
-// exactly that view's generation, or nil to take the literal-scan path.
-func (s *Service) searchView(v *store.View, ix *textindex.Index,
+// exactly that view's generation, or nil to take the literal-scan path
+// (or, with Options.ViaSPARQL, the SPARQL candidate path). The SPARQL
+// path queries v directly — a lock-free snapshot handle — so it honours
+// the ReadView contract of never calling locking Store methods.
+func (s *Service) searchView(ctx context.Context, v *store.View, ix *textindex.Index,
 	term string, expanded, homonyms []string, opt Options) (*Result, error) {
 	dict := s.st.Dict()
 
@@ -356,8 +385,55 @@ func (s *Service) searchView(v *store.View, ix *textindex.Index,
 		matched[subj] = Hit{IRI: dict.Term(subj), Name: name, Matched: expanded[termIdx]}
 	}
 
+	var sparqlErr error
 	match := func(predID store.ID, field textindex.Field, isName bool) {
-		if predID == store.Wildcard {
+		if predID == store.Wildcard || sparqlErr != nil {
+			return
+		}
+		if opt.ViaSPARQL {
+			// SPARQL path: per term, a Listing-1-shaped query — match the
+			// predicate's literals by case-insensitive substring — executed
+			// by the query engine against this same snapshot. Among a
+			// subject's several matching literals the lowest object ID
+			// wins, the shared tie-break of the other two paths.
+			predIRI := dict.Term(predID).Value
+			for i := range expanded {
+				qtext := fmt.Sprintf(
+					`SELECT ?x ?text WHERE { ?x <%s> ?text . FILTER CONTAINS(LCASE(?text), "%s") }`,
+					predIRI, rdf.EscapeLiteral(strings.ToLower(expanded[i])))
+				q, err := sparql.ParseCtx(ctx, qtext)
+				if err != nil {
+					sparqlErr = fmt.Errorf("search: via-sparql parse: %w", err)
+					return
+				}
+				res, err := q.ExecCtx(ctx, v, dict)
+				if err != nil {
+					sparqlErr = fmt.Errorf("search: via-sparql exec: %w", err)
+					return
+				}
+				best := map[store.ID]store.ID{}
+				for _, row := range res.Rows {
+					subjTerm, okS := row["x"]
+					textTerm, okT := row["text"]
+					if !okS || !okT {
+						continue
+					}
+					subj, okS := dict.Lookup(subjTerm)
+					obj, okT := dict.Lookup(textTerm)
+					if !okS || !okT {
+						continue
+					}
+					if _, done := matched[subj]; done || rejected[subj] {
+						continue
+					}
+					if prev, seen := best[subj]; !seen || obj < prev {
+						best[subj] = obj
+					}
+				}
+				for subj, obj := range best {
+					admit(subj, dict.Term(obj).Value, isName, i)
+				}
+			}
 			return
 		}
 		if ix != nil {
@@ -405,6 +481,9 @@ func (s *Service) searchView(v *store.View, ix *textindex.Index,
 	match(nameID, textindex.FieldName, true)
 	if opt.MatchDescriptions {
 		match(commentID, textindex.FieldDescription, false)
+	}
+	if sparqlErr != nil {
+		return nil, sparqlErr
 	}
 
 	// Group by every class the instance belongs to (via the index, so an

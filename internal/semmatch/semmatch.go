@@ -10,9 +10,11 @@
 package semmatch
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 	"mdw/internal/reason"
 	"mdw/internal/sparql"
@@ -45,15 +47,25 @@ type Request struct {
 // Exec runs the request against st. Index models for requested rulebases
 // are materialized on demand.
 func (r Request) Exec(st *store.Store) (*sparql.Result, error) {
+	return r.ExecCtx(context.Background(), st)
+}
+
+// ExecCtx is Exec carrying a request context: the call runs under a
+// "semmatch" span — nested in the request's trace when ctx carries one,
+// the root of a new trace otherwise — with the SPARQL parse/plan/exec
+// spans below it.
+func (r Request) ExecCtx(ctx context.Context, st *store.Store) (*sparql.Result, error) {
+	sp, ctx := obs.StartChildCtx(ctx, "semmatch")
+	defer sp.Finish()
 	src, err := r.source(st)
 	if err != nil {
 		return nil, err
 	}
-	q, err := sparql.Parse(r.QueryText())
+	q, err := sparql.ParseCtx(ctx, r.QueryText())
 	if err != nil {
 		return nil, err
 	}
-	return q.Exec(src, st.Dict())
+	return q.ExecCtx(ctx, src, st.Dict())
 }
 
 // Explain renders the evaluation plan the request would execute —
@@ -160,11 +172,16 @@ func (r Request) QueryText() string {
 //
 // with an optional leading "SEM_MATCH(" and trailing ")".
 func Exec(st *store.Store, call string) (*sparql.Result, error) {
+	return ExecCtx(context.Background(), st, call)
+}
+
+// ExecCtx is Exec carrying a request context (see Request.ExecCtx).
+func ExecCtx(ctx context.Context, st *store.Store, call string) (*sparql.Result, error) {
 	req, err := ParseCall(call)
 	if err != nil {
 		return nil, err
 	}
-	return req.Exec(st)
+	return req.ExecCtx(ctx, st)
 }
 
 // ParseCall parses the textual SEM_MATCH argument list into a Request.

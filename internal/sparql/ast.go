@@ -53,6 +53,10 @@ type Query struct {
 	// pattern every warehouse service uses) pays the planning cost once.
 	// See Query.Exec for the revalidation rule.
 	cachedPlan atomic.Pointer[Plan]
+
+	// cachedFp memoizes Fingerprint(): the AST never mutates after
+	// parsing, so the normalized rendering is computed at most once.
+	cachedFp atomic.Pointer[string]
 }
 
 // SelectItem is one projection entry: either a plain variable or an

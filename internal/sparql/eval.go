@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -38,17 +39,27 @@ type Result struct {
 // only costs speed, never correctness — and new data is always visible
 // because the plan probes the live indexes.
 func (q *Query) Exec(src store.Source, dict *store.Dict) (*Result, error) {
+	return q.ExecCtx(context.Background(), src, dict)
+}
+
+// ExecCtx is Exec carrying a request context: when ctx holds a trace
+// span (obs.ContextWithSpan), planning and execution attach "sparql
+// plan" and "sparql exec" child spans to it. Untraced contexts pay one
+// context lookup and no span allocation.
+func (q *Query) ExecCtx(ctx context.Context, src store.Source, dict *store.Dict) (*Result, error) {
 	if p := q.cachedPlan.Load(); p != nil && p.dict == dict && sameSource(p.src, src) &&
 		(!p.unresolved || p.dictLen == dict.Len()) {
 		obsPlanCacheHit.Inc()
-		return p.Exec()
+		return p.ExecCtx(ctx)
 	}
 	obsPlanCacheMiss.Inc()
+	sp, ctx := obs.ChildCtx(ctx, "sparql plan")
 	p := q.Plan(src, dict)
+	sp.Finish()
 	if cacheableSource(src) {
 		q.cachedPlan.Store(p)
 	}
-	return p.Exec()
+	return p.ExecCtx(ctx)
 }
 
 // cacheableSource limits plan memoization to pointer-shaped sources,
@@ -82,10 +93,20 @@ func sameSource(cached, src store.Source) bool {
 // in the default slow-query log. The plan string is only rendered on
 // that slow path.
 func (p *Plan) Exec() (*Result, error) {
+	return p.ExecCtx(context.Background())
+}
+
+// ExecCtx is Exec carrying a request context: a traced context gets a
+// "sparql exec" child span labelled with the row count. Every
+// successful execution — traced or not — also folds into the default
+// statement-statistics table under the query's fingerprint.
+func (p *Plan) ExecCtx(ctx context.Context) (*Result, error) {
+	sp, _ := obs.ChildCtx(ctx, "sparql exec")
 	t0 := time.Now()
 	res, err := p.exec()
 	d := obsExecHist.ObserveSince(t0)
 	if err != nil || res == nil {
+		sp.Finish()
 		return res, err
 	}
 	rows := len(res.Rows)
@@ -94,7 +115,9 @@ func (p *Plan) Exec() (*Result, error) {
 	} else if p.query.Kind == AskQuery {
 		rows = 1
 	}
+	sp.SetLabel("rows", strconv.Itoa(rows)).Finish()
 	obsRows.Add(int64(rows))
+	obs.DefaultStatements().Record(p.query.Fingerprint(), p.query.Text, rows, d, p)
 	if sl := obs.DefaultSlowLog(); sl.ShouldLog(d) {
 		sl.Record(obs.SlowQuery{
 			Query: p.query.Text,

@@ -1,0 +1,214 @@
+package sparql
+
+import "strings"
+
+// Fingerprint returns a normalized rendering of the query that
+// identifies its shape rather than its exact text — the identity the
+// statement-statistics table (obs.Statements, GET /api/statements,
+// `mdw top`) aggregates under, in the spirit of pg_stat_statements.
+//
+// Normalization keeps what determines the access pattern and erases
+// what varies per invocation:
+//
+//   - predicates and property paths are kept verbatim (QName-rendered);
+//   - constant subjects and objects collapse to the placeholder '$',
+//     so "everything about dwh:Client" and "everything about
+//     dwh:Branch" share one row;
+//   - literals in FILTER expressions — comparison operands, REGEX
+//     patterns, CONTAINS/STRSTARTS/STRENDS needles — collapse to '$',
+//     so the same search query over different terms aggregates;
+//   - LIMIT and OFFSET values collapse to '$' (their presence is kept:
+//     a bounded query plans differently from an unbounded one);
+//   - structure — group nesting, OPTIONAL, UNION, EXISTS, projection,
+//     DISTINCT, GROUP BY, ORDER BY — is kept, since structurally
+//     different queries execute differently.
+//
+// The rendering is memoized on the Query: the AST is immutable after
+// parsing, so repeated executions pay one atomic load.
+func (q *Query) Fingerprint() string {
+	if fp := q.cachedFp.Load(); fp != nil {
+		return *fp
+	}
+	fp := fingerprintQuery(q)
+	q.cachedFp.Store(&fp)
+	return fp
+}
+
+func fingerprintQuery(q *Query) string {
+	var b strings.Builder
+	switch q.Kind {
+	case AskQuery:
+		b.WriteString("ASK")
+	case ConstructQuery:
+		b.WriteString("CONSTRUCT {")
+		for i, t := range q.Template {
+			if i > 0 {
+				b.WriteString(" .")
+			}
+			b.WriteByte(' ')
+			fpTriple(&b, &t)
+		}
+		b.WriteString(" }")
+	default:
+		b.WriteString("SELECT")
+		if q.Distinct {
+			b.WriteString(" DISTINCT")
+		}
+		if len(q.Select) == 0 {
+			b.WriteString(" *")
+		}
+		for _, it := range q.Select {
+			b.WriteByte(' ')
+			if it.Agg == nil {
+				b.WriteString("?" + it.Var)
+				continue
+			}
+			b.WriteString("(" + it.Agg.Func + "(")
+			if it.Agg.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			if it.Agg.Var == "" {
+				b.WriteByte('*')
+			} else {
+				b.WriteString("?" + it.Agg.Var)
+			}
+			b.WriteString(") AS ?" + it.Agg.As + ")")
+		}
+	}
+	b.WriteString(" WHERE ")
+	fpGroup(&b, q.Where)
+	for i, v := range q.GroupBy {
+		if i == 0 {
+			b.WriteString(" GROUP BY")
+		}
+		b.WriteString(" ?" + v)
+	}
+	for i, oc := range q.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY")
+		}
+		if oc.Desc {
+			b.WriteString(" DESC(?" + oc.Var + ")")
+		} else {
+			b.WriteString(" ?" + oc.Var)
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString(" LIMIT $")
+	}
+	if q.Offset > 0 {
+		b.WriteString(" OFFSET $")
+	}
+	return b.String()
+}
+
+func fpGroup(b *strings.Builder, g *GroupPattern) {
+	b.WriteByte('{')
+	if g != nil {
+		for i, el := range g.Elements {
+			if i > 0 {
+				b.WriteString(" .")
+			}
+			b.WriteByte(' ')
+			fpElement(b, el)
+		}
+	}
+	b.WriteString(" }")
+}
+
+func fpElement(b *strings.Builder, el Element) {
+	switch e := el.(type) {
+	case *TriplePattern:
+		fpTriple(b, e)
+	case *Filter:
+		b.WriteString("FILTER ")
+		fpExpr(b, e.Expr)
+	case *ExistsFilter:
+		if e.Negated {
+			b.WriteString("FILTER NOT EXISTS ")
+		} else {
+			b.WriteString("FILTER EXISTS ")
+		}
+		fpGroup(b, e.Pattern)
+	case *Optional:
+		b.WriteString("OPTIONAL ")
+		fpGroup(b, e.Pattern)
+	case *Union:
+		fpGroup(b, e.Left)
+		b.WriteString(" UNION ")
+		fpGroup(b, e.Right)
+	case *GroupPattern:
+		fpGroup(b, e)
+	default:
+		b.WriteString("<element>")
+	}
+}
+
+func fpTriple(b *strings.Builder, t *TriplePattern) {
+	fpNode(b, t.S)
+	b.WriteByte(' ')
+	b.WriteString(explainPath(t.P))
+	b.WriteByte(' ')
+	fpNode(b, t.O)
+}
+
+// fpNode renders a triple-pattern node: variables keep their name,
+// constants — IRIs and literals alike — collapse to the placeholder.
+func fpNode(b *strings.Builder, n NodePattern) {
+	if n.IsVar() {
+		b.WriteString("?" + n.Var)
+		return
+	}
+	b.WriteByte('$')
+}
+
+// fpExpr renders a filter expression with every constant operand
+// normalized away. It mirrors the shape cases of exprString (and
+// WalkExprVars): extending the expression language without extending
+// this switch yields the "<expr>" marker, which keeps fingerprints
+// stable rather than wrong.
+func fpExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case varExpr:
+		b.WriteString("?" + x.name)
+	case constExpr:
+		b.WriteByte('$')
+	case notExpr:
+		b.WriteByte('!')
+		fpExpr(b, x.e)
+	case andExpr:
+		b.WriteByte('(')
+		fpExpr(b, x.l)
+		b.WriteString(" && ")
+		fpExpr(b, x.r)
+		b.WriteByte(')')
+	case orExpr:
+		b.WriteByte('(')
+		fpExpr(b, x.l)
+		b.WriteString(" || ")
+		fpExpr(b, x.r)
+		b.WriteByte(')')
+	case cmpExpr:
+		fpExpr(b, x.l)
+		b.WriteString(" " + x.op + " ")
+		fpExpr(b, x.r)
+	case regexExpr:
+		b.WriteString("REGEX(")
+		fpExpr(b, x.text)
+		b.WriteString(", $)")
+	case boundExpr:
+		b.WriteString("BOUND(?" + x.name + ")")
+	case strFuncExpr:
+		b.WriteString(x.fn + "(")
+		fpExpr(b, x.arg)
+		b.WriteByte(')')
+	case binStrFuncExpr:
+		b.WriteString(x.fn + "(")
+		fpExpr(b, x.a)
+		b.WriteString(", ")
+		fpExpr(b, x.b)
+		b.WriteByte(')')
+	default:
+		b.WriteString("<expr>")
+	}
+}

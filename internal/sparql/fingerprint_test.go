@@ -1,0 +1,105 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func fpOf(t *testing.T, query string) string {
+	t.Helper()
+	q, err := Parse(query)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", query, err)
+	}
+	return q.Fingerprint()
+}
+
+func TestFingerprintNormalizesConstants(t *testing.T) {
+	// Different constant subjects/objects, same shape: one fingerprint.
+	a := fpOf(t, `PREFIX dwh: <https://mdw.example/dwh#> SELECT ?p ?o WHERE { dwh:Client ?p ?o }`)
+	b := fpOf(t, `PREFIX dwh: <https://mdw.example/dwh#> SELECT ?p ?o WHERE { dwh:Branch ?p ?o }`)
+	if a != b {
+		t.Fatalf("constant subjects not normalized:\n%s\n%s", a, b)
+	}
+	if strings.Contains(a, "Client") {
+		t.Fatalf("fingerprint leaks the constant: %s", a)
+	}
+
+	// Different FILTER literals (the per-search-term case): one fingerprint.
+	c := fpOf(t, `SELECT ?x ?t WHERE { ?x <p> ?t . FILTER CONTAINS(LCASE(?t), "customer") }`)
+	d := fpOf(t, `SELECT ?x ?t WHERE { ?x <p> ?t . FILTER CONTAINS(LCASE(?t), "branch") }`)
+	if c != d {
+		t.Fatalf("filter literals not normalized:\n%s\n%s", c, d)
+	}
+
+	// Different REGEX patterns: one fingerprint.
+	e := fpOf(t, `SELECT ?x WHERE { ?x <p> ?t . FILTER REGEX(?t, "foo.*") }`)
+	f := fpOf(t, `SELECT ?x WHERE { ?x <p> ?t . FILTER REGEX(?t, "bar+") }`)
+	if e != f {
+		t.Fatalf("regex patterns not normalized:\n%s\n%s", e, f)
+	}
+
+	// Different LIMIT values: one fingerprint; LIMIT presence still splits.
+	g := fpOf(t, `SELECT ?x WHERE { ?x <p> ?o } LIMIT 5`)
+	h := fpOf(t, `SELECT ?x WHERE { ?x <p> ?o } LIMIT 50`)
+	i := fpOf(t, `SELECT ?x WHERE { ?x <p> ?o }`)
+	if g != h {
+		t.Fatalf("limit values not normalized:\n%s\n%s", g, h)
+	}
+	if g == i {
+		t.Fatal("bounded and unbounded queries share a fingerprint")
+	}
+}
+
+func TestFingerprintKeepsStructure(t *testing.T) {
+	// Predicates are identity: different predicate, different fingerprint.
+	a := fpOf(t, `SELECT ?x WHERE { ?x <https://mdw.example/dwh#feeds> ?y }`)
+	b := fpOf(t, `SELECT ?x WHERE { ?x <https://mdw.example/dwh#isMappedTo> ?y }`)
+	if a == b {
+		t.Fatal("different predicates share a fingerprint")
+	}
+
+	// Structure is identity: OPTIONAL vs plain, UNION arms, DISTINCT.
+	plain := fpOf(t, `SELECT ?x ?y WHERE { ?x <p> ?y }`)
+	opt := fpOf(t, `SELECT ?x ?y WHERE { OPTIONAL { ?x <p> ?y } }`)
+	if plain == opt {
+		t.Fatal("OPTIONAL did not change the fingerprint")
+	}
+	distinct := fpOf(t, `SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y }`)
+	if plain == distinct {
+		t.Fatal("DISTINCT did not change the fingerprint")
+	}
+
+	// Query forms render distinctly.
+	ask := fpOf(t, `ASK WHERE { ?x <p> ?y }`)
+	if !strings.HasPrefix(ask, "ASK") {
+		t.Fatalf("ASK fingerprint = %s", ask)
+	}
+	con := fpOf(t, `CONSTRUCT { ?x <q> ?y } WHERE { ?x <p> ?y }`)
+	if !strings.HasPrefix(con, "CONSTRUCT") {
+		t.Fatalf("CONSTRUCT fingerprint = %s", con)
+	}
+
+	// Aggregates and modifiers appear.
+	agg := fpOf(t, `SELECT (COUNT(?x) AS ?n) WHERE { ?x <p> ?y } GROUP BY ?y ORDER BY DESC(?n) LIMIT 3`)
+	for _, want := range []string{"COUNT(?x)", "GROUP BY ?y", "ORDER BY DESC(?n)", "LIMIT $"} {
+		if !strings.Contains(agg, want) {
+			t.Fatalf("fingerprint %q missing %q", agg, want)
+		}
+	}
+}
+
+func TestFingerprintIsMemoized(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE { ?x <p> ?o }`)
+	if q.cachedFp.Load() != nil {
+		t.Fatal("fingerprint cached before first call")
+	}
+	fp := q.Fingerprint()
+	cached := q.cachedFp.Load()
+	if cached == nil || *cached != fp {
+		t.Fatal("fingerprint not memoized")
+	}
+	if again := q.Fingerprint(); again != fp {
+		t.Fatalf("memoized fingerprint changed: %q vs %q", again, fp)
+	}
+}

@@ -1,12 +1,23 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
 
+	"mdw/internal/obs"
 	"mdw/internal/rdf"
 )
+
+// ParseCtx is Parse carrying a request context: a traced context gets a
+// "sparql parse" child span (obs.ChildCtx), an untraced one pays only
+// the context lookup.
+func ParseCtx(ctx context.Context, query string) (*Query, error) {
+	sp, _ := obs.ChildCtx(ctx, "sparql parse")
+	defer sp.Finish()
+	return Parse(query)
+}
 
 // Parse parses a SPARQL query in the supported subset.
 func Parse(query string) (*Query, error) {

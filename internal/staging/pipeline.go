@@ -1,7 +1,9 @@
 package staging
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -101,6 +103,17 @@ type LoadStats struct {
 // triples inserted concurrently while the load ran stay staged for the
 // next load instead of being silently discarded.
 func (t *Table) BulkLoad(st *store.Store, model string, materialize bool) (LoadStats, error) {
+	return t.BulkLoadCtx(context.Background(), st, model, materialize)
+}
+
+// BulkLoadCtx is BulkLoad carrying a request context: the load runs
+// under a "staging.bulkload" span — nested in the request's trace when
+// ctx carries one, the root of a new trace otherwise — labelled with the
+// staged/loaded/derived triple counts.
+func (t *Table) BulkLoadCtx(ctx context.Context, st *store.Store, model string, materialize bool) (LoadStats, error) {
+	sp, _ := obs.StartChildCtx(ctx, "staging.bulkload")
+	sp.SetLabel("model", model)
+	defer sp.Finish()
 	t0 := time.Now()
 	t.mu.Lock()
 	n := len(t.triples)
@@ -126,6 +139,9 @@ func (t *Table) BulkLoad(st *store.Store, model string, materialize bool) (LoadS
 	t.mu.Unlock()
 	obsLoadHist.ObserveSince(t0)
 	obsLoaded.Add(int64(stats.Loaded))
+	sp.SetLabel("staged", strconv.Itoa(stats.Staged)).
+		SetLabel("loaded", strconv.Itoa(stats.Loaded)).
+		SetLabel("derived", strconv.Itoa(stats.Derived))
 	return stats, nil
 }
 
@@ -139,6 +155,11 @@ type Pipeline struct {
 // Run stages every export and the ontology triples, bulk-loads them, and
 // materializes the OWLPRIME index.
 func (p Pipeline) Run(exports []*Export, ontologyTriples []rdf.Triple) (LoadStats, error) {
+	return p.RunCtx(context.Background(), exports, ontologyTriples)
+}
+
+// RunCtx is Run carrying a request context (see Table.BulkLoadCtx).
+func (p Pipeline) RunCtx(ctx context.Context, exports []*Export, ontologyTriples []rdf.Triple) (LoadStats, error) {
 	tbl := NewTable()
 	for i, e := range exports {
 		if err := tbl.InsertExport(e); err != nil {
@@ -146,5 +167,5 @@ func (p Pipeline) Run(exports []*Export, ontologyTriples []rdf.Triple) (LoadStat
 		}
 	}
 	tbl.InsertTriples(ontologyTriples)
-	return tbl.BulkLoad(p.Store, p.Model, true)
+	return tbl.BulkLoadCtx(ctx, p.Store, p.Model, true)
 }
