@@ -19,6 +19,7 @@
 //	mdw learn-schema [-data DIR] [-migrate]        §VII schema learning
 //	mdw metrics      [-data DIR] [-slow-query D]   workload + Prometheus metrics dump
 //	mdw top          [-data DIR | -url URL] [-n N] per-statement query statistics
+//	mdw checkpoint   [-url URL]                    force a durability checkpoint on a running mdwd
 //	mdw report       table1|subjects|scale|figure6|figure7|growth
 //
 // Without -data, commands operate on the built-in Figure 3 example
@@ -95,6 +96,8 @@ func run(args []string) error {
 		return cmdMetrics(rest)
 	case "top":
 		return cmdTop(rest)
+	case "checkpoint":
+		return cmdCheckpoint(rest)
 	case "report":
 		return cmdReport(rest)
 	case "help", "-h", "--help":
@@ -123,6 +126,7 @@ commands:
   learn-schema derive a relational schema from the evolved graph (Section VII)
   metrics      run a sample workload and dump the collected metrics (Prometheus text)
   top          show per-statement query statistics, heaviest total time first
+  checkpoint   force a durability checkpoint on a running mdwd (-data-dir mode)
   report       reproduce a paper artifact: table1, subjects, scale, figure6, figure7`)
 }
 
@@ -723,6 +727,49 @@ func cmdTop(args []string) error {
 	}
 	tbl := obs.DefaultStatements()
 	printStatements(tbl.Snapshot(), tbl.Evicted(), *n)
+	return nil
+}
+
+// cmdCheckpoint asks a running mdwd (started with -data-dir) to write a
+// snapshot of its current state and truncate the WAL it covers.
+func cmdCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("checkpoint", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "base URL of the running mdwd")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimSuffix(*url, "/")+"/api/checkpoint", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var remote struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&remote) == nil && remote.Error != "" {
+			return fmt.Errorf("checkpoint: %s: %s", resp.Status, remote.Error)
+		}
+		return fmt.Errorf("checkpoint: %s returned %s", *url, resp.Status)
+	}
+	var stats struct {
+		Path            string        `json:"path"`
+		LSN             uint64        `json:"lsn"`
+		Bytes           int64         `json:"bytes"`
+		Models          int           `json:"models"`
+		Triples         int           `json:"triples"`
+		SegmentsRemoved int           `json:"segmentsRemoved"`
+		Duration        time.Duration `json:"duration"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return fmt.Errorf("checkpoint: decoding response: %w", err)
+	}
+	fmt.Printf("checkpoint written: %s\n", stats.Path)
+	fmt.Printf("  lsn      %d\n", stats.LSN)
+	fmt.Printf("  size     %d bytes\n", stats.Bytes)
+	fmt.Printf("  contents %d models, %d triples\n", stats.Models, stats.Triples)
+	fmt.Printf("  wal      %d segments removed\n", stats.SegmentsRemoved)
+	fmt.Printf("  took     %s\n", stats.Duration.Round(time.Millisecond))
 	return nil
 }
 

@@ -4,9 +4,19 @@
 //
 // Usage:
 //
-//	mdwd [-addr :8080] [-data DIR | -wh DUMP] [-slow-query 250ms] [-pprof]
+//	mdwd [-addr :8080] [-data DIR | -wh DUMP] [-data-dir DIR]
+//	     [-fsync always|interval|none] [-checkpoint-every 5m]
+//	     [-slow-query 250ms] [-pprof]
 //
 // Without -data/-wh the server hosts the built-in Figure 3 example.
+// With -data-dir the warehouse is durable: every mutation is
+// write-ahead logged to the directory, checkpoints condense the log
+// into binary snapshots (periodically via -checkpoint-every, or on
+// demand via POST /api/checkpoint), and a restart recovers the exact
+// pre-crash state from the newest snapshot plus the WAL tail. On a
+// fresh (empty) data directory the usual seeding flags apply once;
+// afterwards the directory itself is the source of truth and -data and
+// -scale are ignored.
 // Metrics are served at /api/metrics (Prometheus text exposition,
 // including runtime gauges refreshed by a background sampler), recent
 // traces plus the slow-query log at /api/traces (every response carries
@@ -21,9 +31,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mdw/internal/core"
 	"mdw/internal/dbpedia"
+	"mdw/internal/durable"
 	"mdw/internal/httpapi"
 	"mdw/internal/landscape"
 	"mdw/internal/obs"
@@ -36,24 +50,47 @@ func main() {
 	data := flag.String("data", "", "data directory written by `mdw generate`")
 	dump := flag.String("wh", "", "warehouse dump written by core.Warehouse.Save")
 	scale := flag.String("scale", "", "serve a freshly generated landscape: small or paper")
+	dataDir := flag.String("data-dir", "", "durable data directory (write-ahead log + snapshots); recovered on start")
+	fsync := flag.String("fsync", string(durable.FsyncInterval), "WAL fsync policy: always, interval, or none")
+	ckptEvery := flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint period with -data-dir (0 disables)")
 	slow := flag.Duration("slow-query", obs.DefaultSlowQueryThreshold,
 		"log queries slower than this to /api/traces (0s = every query, <0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 	obs.DefaultSlowLog().SetThreshold(*slow)
 
-	w, err := buildWarehouse(*data, *dump, *scale)
+	w, mgr, err := buildWarehouse(*data, *dump, *scale, *dataDir, *fsync, *ckptEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdwd:", err)
 		os.Exit(1)
 	}
-	if _, err := w.Reindex(); err != nil {
-		fmt.Fprintln(os.Stderr, "mdwd:", err)
-		os.Exit(1)
+	// Materialize the entailment index up front so the first query is
+	// fast — unless recovery already brought back a current one, in which
+	// case rebuilding would only bloat the WAL with an identical index.
+	if !w.Stats().IndexCurrent {
+		if _, err := w.Reindex(); err != nil {
+			fmt.Fprintln(os.Stderr, "mdwd:", err)
+			os.Exit(1)
+		}
 	}
 	stop := obs.StartRuntimeSampler(0)
 	defer stop()
 	srv := httpapi.NewServer(w)
+	if mgr != nil {
+		srv.SetDurable(mgr)
+		// Flush the WAL (and stop the background loops) on SIGINT/SIGTERM
+		// so an orderly shutdown loses nothing even under -fsync interval.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			log.Printf("shutting down, closing WAL")
+			if err := mgr.Close(); err != nil {
+				log.Printf("WAL close: %v", err)
+			}
+			os.Exit(0)
+		}()
+	}
 	if *pprofOn {
 		srv.MountPprof()
 		log.Printf("pprof enabled at /debug/pprof/")
@@ -67,10 +104,64 @@ func main() {
 	}
 }
 
-func buildWarehouse(dataDir, dump, scale string) (*core.Warehouse, error) {
-	switch {
-	case dump != "":
+func buildWarehouse(dataDir, dump, scale, durableDir, fsync string, ckptEvery time.Duration) (*core.Warehouse, *durable.Manager, error) {
+	if durableDir == "" {
+		w, err := buildEphemeral(dataDir, dump, scale)
+		return w, nil, err
+	}
+	if dump != "" {
+		return nil, nil, fmt.Errorf("-wh cannot be combined with -data-dir (the data directory is the source of truth)")
+	}
+	policy, err := durable.ParseFsyncPolicy(fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, mgr, err := core.OpenDurable("", durable.Options{
+		Dir:             durableDir,
+		Fsync:           policy,
+		CheckpointEvery: ckptEvery,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := mgr.Recovery()
+	log.Printf("durable: recovered %d models / %d triples from %s (snapshot LSN %d, %d WAL records replayed) in %s",
+		rec.Models, rec.Triples, durableDir, rec.SnapshotLSN, rec.ReplayedRecords, rec.Duration.Round(time.Millisecond))
+	if rec.TornTail != "" {
+		log.Printf("durable: torn WAL tail truncated: %s", rec.TornTail)
+	}
+	if w.Stats().Triples > 0 {
+		if dataDir != "" || scale != "" {
+			log.Printf("durable: data directory already populated; ignoring -data/-scale")
+		}
+		return w, mgr, nil
+	}
+	if err := seedWarehouse(w, dataDir, scale); err != nil {
+		mgr.Close()
+		return nil, nil, err
+	}
+	return w, mgr, nil
+}
+
+// buildEphemeral constructs the in-memory warehouse of the pre-durability
+// modes: from a dump, a generated landscape, a data directory, or the
+// built-in example.
+func buildEphemeral(dataDir, dump, scale string) (*core.Warehouse, error) {
+	if dump != "" {
 		return core.Open(dump, "")
+	}
+	w := core.New("")
+	if err := seedWarehouse(w, dataDir, scale); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// seedWarehouse populates an empty warehouse from -scale, -data, or the
+// built-in Figure 3 example (in that precedence).
+func seedWarehouse(w *core.Warehouse, dataDir, scale string) error {
+	switch {
 	case scale != "":
 		var cfg landscape.Config
 		switch scale {
@@ -79,30 +170,28 @@ func buildWarehouse(dataDir, dump, scale string) (*core.Warehouse, error) {
 		case "paper":
 			cfg = landscape.PaperScale()
 		default:
-			return nil, fmt.Errorf("unknown scale %q", scale)
+			return fmt.Errorf("unknown scale %q", scale)
 		}
 		l := landscape.Generate(cfg)
-		w := core.New("")
 		if _, err := w.LoadOntology(l.Ontology); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := w.LoadExports(l.Exports); err != nil {
-			return nil, err
+			return err
 		}
 		w.LoadTriples(l.ExtraTriples())
 		w.IntegrateDBpedia(dbpedia.Banking())
-		return w, nil
+		return nil
 	case dataDir != "":
-		return core.LoadDir(dataDir)
+		return core.LoadDirInto(w, dataDir)
 	default:
-		w := core.New("")
 		if _, err := w.LoadOntology(ontology.DWH()); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := w.LoadExports([]*staging.Export{landscape.Figure3Export()}); err != nil {
-			return nil, err
+			return err
 		}
 		w.IntegrateDBpedia(dbpedia.Banking())
-		return w, nil
+		return nil
 	}
 }

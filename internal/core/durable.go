@@ -1,0 +1,45 @@
+package core
+
+import (
+	"mdw/internal/durable"
+	"mdw/internal/history"
+	"mdw/internal/textindex"
+)
+
+// OpenDurable recovers (or initializes) a warehouse backed by a durable
+// data directory: every mutation is write-ahead logged, checkpoints
+// condense the log into binary snapshots, and a restart resumes from the
+// newest snapshot plus the WAL tail. The caller owns the returned
+// manager and must Close it to flush the log on shutdown; release
+// history survives restarts because Snapshot mirrors the historian's
+// records into the store (and hence the WAL).
+func OpenDurable(model string, opts durable.Options) (*Warehouse, *durable.Manager, error) {
+	if model == "" {
+		model = DefaultModel
+	}
+	mgr, st, err := durable.Open(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Model(model) // ensure the base model exists even on a fresh directory
+	w := &Warehouse{
+		st:    st,
+		model: model,
+		hist:  history.NewHistorian(st, model),
+		tix:   textindex.NewManager(textindex.Config{}),
+	}
+	if err := w.restoreMeta(); err != nil {
+		mgr.Close()
+		return nil, nil, err
+	}
+	w.restoreThesaurus()
+	// Build-on-load, as in ReadFrom — but only when there is a graph to
+	// index; a fresh directory starts instantly.
+	if st.Len(model) > 0 {
+		if _, err := w.TextIndex(); err != nil {
+			mgr.Close()
+			return nil, nil, err
+		}
+	}
+	return w, mgr, nil
+}

@@ -17,11 +17,21 @@ import (
 // by `mdw generate`: *.xml meta-data exports, *.ttl ontology documents,
 // dbpedia.nt synonym/homonym extract, and any other *.nt raw triples.
 func LoadDir(dir string) (*Warehouse, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	w := New("")
+	if err := LoadDirInto(w, dir); err != nil {
 		return nil, err
 	}
-	w := New("")
+	return w, nil
+}
+
+// LoadDirInto loads the same directory layout into an existing warehouse
+// — typically one opened with OpenDurable whose recovered store turned
+// out to be empty and needs seeding.
+func LoadDirInto(w *Warehouse, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
 	var exports []*staging.Export
 	var ontTriples []rdf.Triple
 	var raw []rdf.Triple
@@ -33,43 +43,43 @@ func LoadDir(dir string) (*Warehouse, error) {
 		path := filepath.Join(dir, ent.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch {
 		case strings.HasSuffix(ent.Name(), ".xml"):
 			e, err := staging.Decode(string(data))
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", path, err)
+				return fmt.Errorf("%s: %w", path, err)
 			}
 			exports = append(exports, e)
 		case strings.HasSuffix(ent.Name(), ".ttl"):
 			ts, err := turtle.Unmarshal(string(data))
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", path, err)
+				return fmt.Errorf("%s: %w", path, err)
 			}
 			ontTriples = append(ontTriples, ts...)
 		case ent.Name() == "dbpedia.nt":
 			ts, err := ntriples.Unmarshal(string(data))
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", path, err)
+				return fmt.Errorf("%s: %w", path, err)
 			}
 			dbp = ts
 		case strings.HasSuffix(ent.Name(), ".nt"):
 			ts, err := ntriples.Unmarshal(string(data))
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", path, err)
+				return fmt.Errorf("%s: %w", path, err)
 			}
 			raw = append(raw, ts...)
 		}
 	}
 	if len(ontTriples) > 0 {
 		if _, err := w.LoadOntology(ontology.FromTriples("loaded", ontTriples)); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if len(exports) > 0 {
 		if _, err := w.LoadExports(exports); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if len(raw) > 0 {
@@ -78,5 +88,5 @@ func LoadDir(dir string) (*Warehouse, error) {
 	if len(dbp) > 0 {
 		w.IntegrateDBpedia(dbp)
 	}
-	return w, nil
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"time"
@@ -20,17 +21,42 @@ import (
 const metaModel = "MDW$META"
 
 // Save writes the whole warehouse — every model including historization
-// snapshots, entailment indexes, and the release metadata — to path.
+// snapshots, entailment indexes, and the release metadata — to path. The
+// dump is written to a temp file in the target directory, synced, and
+// renamed into place, so a crash mid-save can never leave a truncated
+// dump where a good one (or nothing) used to be.
 func (w *Warehouse) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".mdw-save-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	if err := w.WriteDump(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	tmp = "" // renamed away; nothing to clean up
+	if d, err := os.Open(dir); err == nil {
+		err = d.Sync()
+		d.Close()
+		return err
+	}
+	return nil
 }
 
 // WriteDump streams the warehouse dump to wr.

@@ -290,9 +290,16 @@ func (w *Warehouse) ExplainSemMatch(call string) (string, error) {
 	return req.Explain(w.st)
 }
 
-// Snapshot historizes the current graph as a new release version.
+// Snapshot historizes the current graph as a new release version. The
+// historian's record is mirrored into the meta model immediately, so it
+// reaches the write-ahead log of a durable warehouse and survives a
+// restart — not just an explicit Save.
 func (w *Warehouse) Snapshot(tag string, at time.Time) (history.Version, error) {
-	return w.hist.Snapshot(tag, at)
+	v, err := w.hist.Snapshot(tag, at)
+	if err == nil {
+		w.syncMeta()
+	}
+	return v, err
 }
 
 // History exposes the historian for diffs, as-of access, and pruning.

@@ -1,0 +1,298 @@
+package durable_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mdw/internal/durable"
+	"mdw/internal/rdf"
+	"mdw/internal/reason"
+	"mdw/internal/store"
+)
+
+// fingerprint renders the complete observable state of a store — model
+// names, generations, bases, and every triple in canonical order — as
+// one string, so two stores can be compared for exact equality.
+func fingerprint(st *store.Store) string {
+	var b strings.Builder
+	names := st.ModelNames()
+	st.ReadView(func(_ *store.View, infos []store.ModelInfo) {
+		for _, in := range infos {
+			fmt.Fprintf(&b, "@model %s gen=%d basis=%d n=%d\n", in.Name, in.Gen, in.Basis, in.Triples)
+		}
+	}, names...)
+	for _, name := range names {
+		for _, t := range st.Triples(name) {
+			b.WriteString(name)
+			b.WriteByte('|')
+			b.WriteString(t.NTriple())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func openTest(t *testing.T, dir string, mod func(*durable.Options)) (*durable.Manager, *store.Store) {
+	t.Helper()
+	opts := durable.Options{Dir: dir, Fsync: durable.FsyncNone, Logf: t.Logf}
+	if mod != nil {
+		mod(&opts)
+	}
+	mgr, st, err := durable.Open(opts)
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	return mgr, st
+}
+
+func iri(n string) rdf.Term { return rdf.IRI("http://example.com/" + n) }
+
+// scriptedMutations drives every logged mutation kind through the store.
+func scriptedMutations(t *testing.T, st *store.Store) {
+	t.Helper()
+	if !st.Add("m1", rdf.T(iri("a"), iri("p"), iri("b"))) {
+		t.Fatal("Add returned false")
+	}
+	st.AddAll("m1", []rdf.Triple{
+		rdf.T(iri("b"), iri("p"), iri("c")),
+		rdf.T(iri("c"), iri("p"), rdf.Literal("lit with \"quotes\" and\nnewline")),
+		rdf.T(iri("c"), iri("q"), rdf.LangLiteral("grüezi", "de-CH")),
+		rdf.T(iri("c"), iri("q"), rdf.TypedLiteral("42", rdf.XSDInteger)),
+		rdf.T(iri("a"), iri("p"), iri("b")), // duplicate: must not be logged
+	})
+	st.Add("m2", rdf.T(rdf.Blank("bn1"), iri("p"), rdf.Literal("")))
+	if !st.Remove("m1", rdf.T(iri("b"), iri("p"), iri("c"))) {
+		t.Fatal("Remove returned false")
+	}
+	if err := st.CloneModel("m1", "m1_clone"); err != nil {
+		t.Fatalf("CloneModel: %v", err)
+	}
+	st.Add("m3", rdf.T(iri("x"), iri("p"), iri("y")))
+	if !st.DropModel("m3") {
+		t.Fatal("DropModel returned false")
+	}
+	// InstallModel via the real reasoner path (what reason.Materialize
+	// does after every staging load).
+	st.AddAll("m1", []rdf.Triple{
+		rdf.T(iri("Sub"), rdf.IRI(rdf.RDFSSubClassOf), iri("Super")),
+		rdf.T(iri("inst"), rdf.Type, iri("Sub")),
+	})
+	if _, _, err := reason.NewEngine(st).Materialize("m1"); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+}
+
+func TestLogAndReopenRestoresExactState(t *testing.T) {
+	dir := t.TempDir()
+	mgr, st := openTest(t, dir, nil)
+	scriptedMutations(t, st)
+	want := fingerprint(st)
+	if err := mgr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	mgr2, st2 := openTest(t, dir, nil)
+	defer mgr2.Close()
+	if got := fingerprint(st2); got != want {
+		t.Errorf("state after WAL-only recovery diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	rec := mgr2.Recovery()
+	if rec.SnapshotPath != "" {
+		t.Errorf("unexpected snapshot used: %q", rec.SnapshotPath)
+	}
+	if rec.ReplayedRecords == 0 {
+		t.Error("no records replayed")
+	}
+	// The index model must still be current w.r.t. its base after
+	// recovery — otherwise every restart would re-run entailment.
+	idx := reason.IndexModelName("m1", reason.RulebaseOWLPrime)
+	if !st2.Current("m1", idx) {
+		t.Error("entailment index not current after recovery")
+	}
+}
+
+func TestCheckpointAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	mgr, st := openTest(t, dir, nil)
+	scriptedMutations(t, st)
+	cp, err := mgr.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if cp.Bytes <= 0 || cp.Models == 0 || cp.Triples == 0 {
+		t.Errorf("implausible checkpoint stats: %+v", cp)
+	}
+	if cp.LSN != mgr.LastLSN() {
+		t.Errorf("checkpoint LSN %d != last LSN %d (no concurrent writers)", cp.LSN, mgr.LastLSN())
+	}
+	// Post-checkpoint writes land in the WAL tail.
+	st.Add("m1", rdf.T(iri("post"), iri("p"), iri("checkpoint")))
+	want := fingerprint(st)
+	if err := mgr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	mgr2, st2 := openTest(t, dir, nil)
+	defer mgr2.Close()
+	if got := fingerprint(st2); got != want {
+		t.Errorf("state after snapshot+tail recovery diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	rec := mgr2.Recovery()
+	if rec.SnapshotPath == "" {
+		t.Error("recovery did not use the snapshot")
+	}
+	if rec.SnapshotLSN != cp.LSN {
+		t.Errorf("recovered from snapshot LSN %d, want %d", rec.SnapshotLSN, cp.LSN)
+	}
+	if rec.ReplayedRecords != 1 {
+		t.Errorf("replayed %d records, want exactly the 1 post-checkpoint add", rec.ReplayedRecords)
+	}
+}
+
+func TestCheckpointTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every few records.
+	mgr, st := openTest(t, dir, func(o *durable.Options) { o.SegmentBytes = 256 })
+	for i := 0; i < 50; i++ {
+		st.Add("m", rdf.T(iri(fmt.Sprintf("s%d", i)), iri("p"), iri(fmt.Sprintf("o%d", i))))
+	}
+	before := countFiles(t, dir, "wal-")
+	if before < 3 {
+		t.Fatalf("expected several segments before checkpoint, got %d", before)
+	}
+	cp, err := mgr.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if cp.SegmentsRemoved == 0 {
+		t.Error("checkpoint removed no segments")
+	}
+	after := countFiles(t, dir, "wal-")
+	if after != 1 {
+		t.Errorf("%d segments left after checkpoint, want 1 (the fresh active one)", after)
+	}
+	want := fingerprint(st)
+	mgr.Close()
+	mgr2, st2 := openTest(t, dir, nil)
+	defer mgr2.Close()
+	if got := fingerprint(st2); got != want {
+		t.Error("state diverged after checkpoint truncation + reopen")
+	}
+}
+
+func TestSnapshotRetention(t *testing.T) {
+	dir := t.TempDir()
+	mgr, st := openTest(t, dir, func(o *durable.Options) { o.KeepSnapshots = 1 })
+	for i := 0; i < 4; i++ {
+		st.Add("m", rdf.T(iri(fmt.Sprintf("s%d", i)), iri("p"), iri("o")))
+		if _, err := mgr.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	defer mgr.Close()
+	if n := countFiles(t, dir, "snap-"); n != 2 {
+		t.Errorf("%d snapshots retained, want 2 (newest + 1 kept)", n)
+	}
+}
+
+// TestRecoveryPrefersNewestValidSnapshot corrupts the newest snapshot and
+// expects recovery to fall back to the previous one plus a longer WAL
+// replay — never to fail outright.
+func TestRecoveryPrefersNewestValidSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	mgr, st := openTest(t, dir, func(o *durable.Options) { o.KeepSnapshots = 2 })
+	st.Add("m", rdf.T(iri("a"), iri("p"), iri("b")))
+	if _, err := mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st.Add("m", rdf.T(iri("c"), iri("p"), iri("d")))
+	cp2, err := mgr.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(st)
+	mgr.Close()
+
+	// Flip a byte in the newest snapshot's body.
+	data, err := os.ReadFile(cp2.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(cp2.Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, st2 := openTest(t, dir, nil)
+	defer mgr2.Close()
+	rec := mgr2.Recovery()
+	if rec.SkippedSnapshots != 1 {
+		t.Errorf("skipped %d snapshots, want 1", rec.SkippedSnapshots)
+	}
+	if got := fingerprint(st2); got != want {
+		t.Error("state diverged after falling back to older snapshot")
+	}
+}
+
+func TestFreshDirIsEmptyStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	mgr, st := openTest(t, dir, nil)
+	defer mgr.Close()
+	if names := st.ModelNames(); len(names) != 0 {
+		t.Errorf("fresh store has models %v", names)
+	}
+	if mgr.LastLSN() != 0 {
+		t.Errorf("fresh LastLSN = %d", mgr.LastLSN())
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []durable.FsyncPolicy{durable.FsyncAlways, durable.FsyncInterval, durable.FsyncNone} {
+		t.Run(string(pol), func(t *testing.T) {
+			dir := t.TempDir()
+			mgr, st := openTest(t, dir, func(o *durable.Options) {
+				o.Fsync = pol
+				o.FsyncInterval = time.Millisecond
+			})
+			st.Add("m", rdf.T(iri("a"), iri("p"), iri("b")))
+			want := fingerprint(st)
+			if err := mgr.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			mgr.Close()
+			mgr2, st2 := openTest(t, dir, nil)
+			defer mgr2.Close()
+			if fingerprint(st2) != want {
+				t.Error("state diverged")
+			}
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	if _, err := durable.ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if p, err := durable.ParseFsyncPolicy("Always"); err != nil || p != durable.FsyncAlways {
+		t.Errorf("Always: %v %v", p, err)
+	}
+}
+
+func countFiles(t *testing.T, dir, prefix string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,443 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdw/internal/store"
+)
+
+// FsyncPolicy controls when WAL appends are forced to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every committed mutation. Strongest
+	// guarantee, slowest writes (the sync happens inside the commit path).
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a background ticker (Options.FsyncInterval).
+	// A crash loses at most one interval of committed writes; the log
+	// itself stays prefix-consistent. The default.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNone never syncs explicitly; the OS flushes at its leisure.
+	FsyncNone FsyncPolicy = "none"
+)
+
+// ParseFsyncPolicy validates a policy name from a flag.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch p := FsyncPolicy(strings.ToLower(s)); p {
+	case FsyncAlways, FsyncInterval, FsyncNone:
+		return p, nil
+	default:
+		return "", fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or none)", s)
+	}
+}
+
+// Options configures a durable Manager.
+type Options struct {
+	// Dir is the data directory holding WAL segments and snapshots.
+	Dir string
+	// Fsync selects the sync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active WAL segment past this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// CheckpointEvery starts a background checkpoint loop with this
+	// period (0 disables; checkpoints can still be forced via
+	// Checkpoint).
+	CheckpointEvery time.Duration
+	// KeepSnapshots retains this many snapshots beyond the newest
+	// (default 1, so two total).
+	KeepSnapshots int
+	// Logf receives operational messages (recovery summary, degraded
+	// mode, checkpoint failures). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Fsync == "" {
+		o.Fsync = FsyncInterval
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.KeepSnapshots < 0 {
+		o.KeepSnapshots = 0
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// CheckpointStats summarizes one completed checkpoint.
+type CheckpointStats struct {
+	Path            string        `json:"path"`
+	LSN             uint64        `json:"lsn"`
+	Bytes           int64         `json:"bytes"`
+	Models          int           `json:"models"`
+	Triples         int           `json:"triples"`
+	SegmentsRemoved int           `json:"segmentsRemoved"`
+	Duration        time.Duration `json:"duration"`
+}
+
+// Manager owns the durability state of one store: the active WAL segment
+// writer, the background fsync and checkpoint loops, and the recovery
+// statistics of the Open that produced it.
+//
+// Lock order: the store's lock is always taken before m.mu (the commit
+// hook runs under the store's write lock and acquires m.mu; nothing that
+// holds m.mu may call a locking store method).
+type Manager struct {
+	opts Options
+	st   *store.Store
+	dict *store.Dict
+
+	// lastLSN is the LSN of the most recently appended record. It is only
+	// advanced under both the store's write lock (the hook) and m.mu, so
+	// reading it inside a store read-lock critical section gives the exact
+	// WAL position of the observed state.
+	lastLSN atomic.Uint64
+
+	mu     sync.Mutex // serializes writer access: hook, fsync loop, rotation
+	w      *segmentWriter
+	walErr error  // sticky: first append/sync failure flips to degraded mode
+	buf    []byte // payload scratch
+
+	cpMu sync.Mutex // one checkpoint at a time
+
+	rec RecoveryStats
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open recovers the store persisted in opts.Dir (creating the directory
+// if needed), attaches the write-ahead log to it, and starts the
+// configured background loops. The returned store is fully recovered:
+// latest valid snapshot loaded, WAL tail replayed, per-model counts and
+// generations verified.
+func Open(opts Options) (*Manager, *store.Store, error) {
+	opts.setDefaults()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("durable: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	removeStaleTemp(opts.Dir)
+	st, rec, err := Recover(opts.Dir, opts.Logf)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := createSegment(opts.Dir, rec.LastLSN+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &Manager{opts: opts, st: st, dict: st.Dict(), w: w, rec: *rec, stop: make(chan struct{}), buf: make([]byte, 0, 4096)}
+	m.lastLSN.Store(rec.LastLSN)
+	st.SetCommitHook(m.committed)
+	if opts.Fsync == FsyncInterval {
+		m.wg.Add(1)
+		go m.fsyncLoop()
+	}
+	if opts.CheckpointEvery > 0 {
+		m.wg.Add(1)
+		go m.checkpointLoop()
+	}
+	return m, st, nil
+}
+
+// removeStaleTemp deletes snapshot temp files left behind by a crash
+// mid-checkpoint. They were never renamed into place, so they are dead
+// weight.
+func removeStaleTemp(dir string) {
+	matches, _ := filepath.Glob(filepath.Join(dir, ".snap-tmp-*"))
+	for _, p := range matches {
+		os.Remove(p)
+	}
+}
+
+// Store returns the recovered store the manager is attached to.
+func (m *Manager) Store() *store.Store { return m.st }
+
+// Recovery returns the statistics of the Open that produced the manager.
+func (m *Manager) Recovery() RecoveryStats { return m.rec }
+
+// LastLSN returns the LSN of the most recently logged mutation.
+func (m *Manager) LastLSN() uint64 { return m.lastLSN.Load() }
+
+// Err returns the sticky WAL error, if the manager has entered degraded
+// mode (appends failing; the in-memory store keeps serving).
+func (m *Manager) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.walErr
+}
+
+// committed is the store commit hook: it runs under the store's write
+// lock, so records are framed and appended in exactly the store's
+// serialization order.
+func (m *Manager) committed(mut store.Mutation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.walErr != nil {
+		return
+	}
+	lsn := m.lastLSN.Load() + 1
+	m.buf = m.appendMutation(m.buf[:0], lsn, mut)
+	if err := m.w.append(m.buf); err != nil {
+		m.degradeLocked(fmt.Errorf("append LSN %d: %w", lsn, err))
+		return
+	}
+	m.lastLSN.Store(lsn)
+	obsAppends.Inc()
+	obsWALBytes.Add(int64(frameHeaderSize + len(m.buf)))
+	if m.opts.Fsync == FsyncAlways {
+		d, err := m.w.sync()
+		if err != nil {
+			m.degradeLocked(fmt.Errorf("fsync LSN %d: %w", lsn, err))
+			return
+		}
+		obsFsyncHist.Observe(d)
+	}
+	if m.w.size >= m.opts.SegmentBytes {
+		m.rotateLocked()
+	}
+}
+
+// appendMutation encodes mut as the payload of the record with the given
+// LSN, decoding dictionary IDs to full terms (the dictionary has its own
+// lock and is append-only, so this is safe under the store's write
+// lock).
+func (m *Manager) appendMutation(b []byte, lsn uint64, mut store.Mutation) []byte {
+	b = appendU64(b, lsn)
+	b = append(b, byte(mut.Op))
+	b = appendString(b, mut.Model)
+	switch mut.Op {
+	case store.OpAdd, store.OpRemove:
+		b = appendU64(b, mut.Gen)
+		b = appendUvarint(b, uint64(len(mut.Triples)))
+		for _, et := range mut.Triples {
+			b = appendTerm(b, m.dict.Term(et.S))
+			b = appendTerm(b, m.dict.Term(et.P))
+			b = appendTerm(b, m.dict.Term(et.O))
+		}
+	case store.OpDrop:
+	case store.OpClone:
+		b = appendString(b, mut.Src)
+		b = appendU64(b, mut.Gen)
+	case store.OpInstall:
+		b = appendU64(b, mut.Gen)
+		b = appendU64(b, mut.Basis)
+		b = appendUvarint(b, uint64(mut.Installed.Len()))
+		mut.Installed.ForEach(store.Wildcard, store.Wildcard, store.Wildcard, func(et store.ETriple) bool {
+			b = appendTerm(b, m.dict.Term(et.S))
+			b = appendTerm(b, m.dict.Term(et.P))
+			b = appendTerm(b, m.dict.Term(et.O))
+			return true
+		})
+	}
+	return b
+}
+
+// degradeLocked flips the manager into degraded mode: the error sticks,
+// further appends are dropped, and the operator is told once. The
+// in-memory store keeps serving — losing durability is strictly better
+// than losing availability.
+func (m *Manager) degradeLocked(err error) {
+	m.walErr = fmt.Errorf("durable: WAL degraded: %w", err)
+	obsWALErrors.Inc()
+	m.opts.Logf("durable: WAL degraded, further mutations are NOT logged: %v", err)
+}
+
+// rotateLocked closes the active segment and opens a fresh one starting
+// at the next LSN. Caller holds m.mu.
+func (m *Manager) rotateLocked() {
+	if err := m.w.close(); err != nil {
+		m.degradeLocked(fmt.Errorf("rotate close: %w", err))
+		return
+	}
+	w, err := createSegment(m.opts.Dir, m.lastLSN.Load()+1)
+	if err != nil {
+		m.degradeLocked(fmt.Errorf("rotate create: %w", err))
+		return
+	}
+	m.w = w
+	obsRotations.Inc()
+}
+
+func (m *Manager) fsyncLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.Sync()
+		}
+	}
+}
+
+// Sync flushes and fsyncs the active WAL segment.
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.walErr != nil {
+		return m.walErr
+	}
+	d, err := m.w.sync()
+	if err != nil {
+		m.degradeLocked(fmt.Errorf("fsync: %w", err))
+		return m.walErr
+	}
+	if d > 0 {
+		obsFsyncHist.Observe(d)
+	}
+	return nil
+}
+
+func (m *Manager) checkpointLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opts.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			if _, err := m.Checkpoint(); err != nil {
+				m.opts.Logf("durable: background checkpoint failed: %v", err)
+			}
+		}
+	}
+}
+
+// Checkpoint captures a consistent image of the whole store, writes it
+// as a snapshot covering the exact WAL position of the capture, rotates
+// the active segment, and removes WAL segments and old snapshots the new
+// snapshot makes redundant. Concurrent mutations keep committing
+// throughout; only the in-memory capture holds the store's read lock.
+func (m *Manager) Checkpoint() (CheckpointStats, error) {
+	m.cpMu.Lock()
+	defer m.cpMu.Unlock()
+	t0 := time.Now()
+	var lsn uint64
+	states, terms := m.st.CaptureState(func() { lsn = m.lastLSN.Load() })
+	stats := CheckpointStats{LSN: lsn, Models: len(states)}
+	for i := range states {
+		stats.Triples += len(states[i].Triples)
+	}
+	path, size, err := WriteSnapshot(m.opts.Dir, lsn, states, terms)
+	if err != nil {
+		return stats, fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	stats.Path = path
+	stats.Bytes = size
+	// Rotate so the active segment starts past the checkpoint and the
+	// pre-checkpoint segments become removable.
+	m.mu.Lock()
+	if m.walErr == nil {
+		m.rotateLocked()
+	}
+	m.mu.Unlock()
+	m.pruneSnapshots()
+	// Truncate the WAL only below the *oldest retained* snapshot, not the
+	// new one: if the newest snapshot is later found corrupt, recovery can
+	// still fall back to an older one and replay forward from its LSN.
+	truncLSN := lsn
+	if snaps, err := listSnapshots(m.opts.Dir); err == nil && len(snaps) > 0 {
+		if oldest, ok := parseSnapshotName(snaps[0]); ok && oldest < truncLSN {
+			truncLSN = oldest
+		}
+	}
+	removed, err := m.removeCoveredSegments(truncLSN)
+	stats.SegmentsRemoved = removed
+	if err != nil {
+		m.opts.Logf("durable: checkpoint: segment truncation incomplete: %v", err)
+	}
+	stats.Duration = time.Since(t0)
+	obsCheckpoints.Inc()
+	obsCkptHist.Observe(stats.Duration)
+	obsCkptBytes.Set(size)
+	obsCkptDurMs.Set(stats.Duration.Milliseconds())
+	obsCkptLSN.Set(int64(lsn))
+	return stats, nil
+}
+
+// removeCoveredSegments deletes every WAL segment whose records all lie
+// at or below cpLSN — provable from the *next* segment's first LSN, so
+// the active segment (always last) is never considered.
+func (m *Manager) removeCoveredSegments(cpLSN uint64) (int, error) {
+	segs, err := listSegments(m.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	var firstErr error
+	for i := 0; i+1 < len(segs); i++ {
+		next, _ := parseSegmentName(segs[i+1])
+		if next > cpLSN+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(m.opts.Dir, segs[i])); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(m.opts.Dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return removed, firstErr
+}
+
+// pruneSnapshots removes old snapshots beyond the retention count.
+func (m *Manager) pruneSnapshots() {
+	snaps, err := listSnapshots(m.opts.Dir)
+	if err != nil {
+		return
+	}
+	keep := m.opts.KeepSnapshots + 1
+	if keep < 1 {
+		keep = 1
+	}
+	for len(snaps) > keep {
+		os.Remove(filepath.Join(m.opts.Dir, snaps[0]))
+		snaps = snaps[1:]
+	}
+}
+
+// Close detaches the manager from the store, stops the background loops,
+// and syncs and closes the active segment. The store remains usable
+// in-memory; further mutations are simply no longer logged.
+func (m *Manager) Close() error {
+	m.closeOnce.Do(func() {
+		m.st.SetCommitHook(nil)
+		close(m.stop)
+		m.wg.Wait()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err := m.w.close(); err != nil && m.walErr == nil {
+			m.closeErr = err
+		}
+	})
+	return m.closeErr
+}

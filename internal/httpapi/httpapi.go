@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"mdw/internal/core"
+	"mdw/internal/durable"
 	"mdw/internal/lineage"
 	"mdw/internal/rdf"
 	"mdw/internal/search"
@@ -25,6 +26,9 @@ import (
 type Server struct {
 	w   *core.Warehouse
 	mux *http.ServeMux
+	// mgr is the durability manager when the server runs with a data
+	// directory; nil otherwise (POST /api/checkpoint then answers 503).
+	mgr *durable.Manager
 }
 
 // NewServer returns a server for the given warehouse.
@@ -40,6 +44,7 @@ func NewServer(w *core.Warehouse) *Server {
 	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /api/statements", s.handleStatements)
+	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")
@@ -52,6 +57,26 @@ func NewServer(w *core.Warehouse) *Server {
 // observe middleware, which times it and feeds the per-route metrics.
 func (s *Server) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	s.observe(rw, r)
+}
+
+// SetDurable attaches the durability manager backing the warehouse, which
+// enables POST /api/checkpoint.
+func (s *Server) SetDurable(mgr *durable.Manager) { s.mgr = mgr }
+
+// handleCheckpoint forces a checkpoint: a consistent snapshot of the
+// whole store is written and the WAL segments it covers are removed. The
+// response is the checkpoint's CheckpointStats.
+func (s *Server) handleCheckpoint(rw http.ResponseWriter, r *http.Request) {
+	if s.mgr == nil {
+		writeError(rw, http.StatusServiceUnavailable, fmt.Errorf("durability not enabled (start mdwd with -data-dir)"))
+		return
+	}
+	stats, err := s.mgr.Checkpoint()
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, stats)
 }
 
 func writeJSON(rw http.ResponseWriter, status int, v any) {

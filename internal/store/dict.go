@@ -78,3 +78,15 @@ func (d *Dict) Len() int {
 	defer d.mu.RUnlock()
 	return len(d.terms)
 }
+
+// Snapshot returns a copy of the term table in ID order: element i is the
+// term with ID i+1. The dictionary is append-only, so the copy stays a
+// valid prefix of the live dictionary forever — the durable snapshot
+// writer persists exactly this table to preserve IDs across a restart.
+func (d *Dict) Snapshot() []rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]rdf.Term, len(d.terms))
+	copy(out, d.terms)
+	return out
+}

@@ -57,6 +57,7 @@ func ReadDump(r io.Reader) (*Store, error) {
 	}
 	st := New()
 	var cur *Model
+	seen := make(map[string]int)
 	line := 1
 	for sc.Scan() {
 		line++
@@ -66,6 +67,13 @@ func ReadDump(r io.Reader) (*Store, error) {
 			if name == "" {
 				return nil, fmt.Errorf("store: line %d: empty model name", line)
 			}
+			// A dump writes each model exactly once; a repeated section is
+			// a corrupt or hand-edited file and silently merging the two
+			// sections would mask the damage.
+			if prev, dup := seen[name]; dup {
+				return nil, fmt.Errorf("store: line %d: duplicate @model %s (first seen at line %d)", line, name, prev)
+			}
+			seen[name] = line
 			cur = st.Model(name)
 			continue
 		}

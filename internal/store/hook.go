@@ -1,0 +1,160 @@
+package store
+
+import (
+	"sort"
+
+	"mdw/internal/rdf"
+)
+
+// Op identifies the kind of a committed store mutation, as observed by a
+// CommitHook. The set mirrors the store's mutating entry points: triple
+// insertion (Add/AddAll and the staging bulk loads built on them),
+// removal, model lifecycle (DropModel/CloneModel), and atomic publication
+// of derived models (InstallModel, used by reason.Materialize).
+type Op uint8
+
+const (
+	// OpAdd records triples newly inserted into a model.
+	OpAdd Op = iota + 1
+	// OpRemove records a triple deleted from a model.
+	OpRemove
+	// OpDrop records removal of a whole model.
+	OpDrop
+	// OpClone records CloneModel(Src, Model).
+	OpClone
+	// OpInstall records atomic publication of a model via InstallModel.
+	OpInstall
+)
+
+// String returns the canonical lower-case name of the op.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpDrop:
+		return "drop"
+	case OpClone:
+		return "clone"
+	case OpInstall:
+		return "install"
+	default:
+		return "op?"
+	}
+}
+
+// Mutation describes one committed mutation. It is delivered to the
+// commit hook while the store's write lock is still held, so the sequence
+// of Mutations a hook observes is exactly the store's serialization
+// order — the property a write-ahead log needs.
+//
+// Triples are dictionary-encoded; the hook decodes them through the
+// store's Dict (safe under the write lock: the Dict has its own lock and
+// is append-only).
+type Mutation struct {
+	Op    Op
+	Model string // target model (destination for OpClone)
+	Src   string // source model (OpClone only)
+	// Triples holds the triples actually inserted (OpAdd) or the triple
+	// actually removed (OpRemove). Duplicates that changed nothing are
+	// never reported.
+	Triples []ETriple
+	// Gen is the target model's generation after the mutation (the clone's
+	// generation for OpClone, the installed model's for OpInstall, 0 for
+	// OpDrop). Replaying the same mutations onto the same prior state
+	// reproduces these generations exactly, which lets recovery verify
+	// convergence record by record.
+	Gen uint64
+	// Basis is the installed model's recorded derivation basis
+	// (OpInstall only).
+	Basis uint64
+	// Installed is the model just published (OpInstall only). The hook may
+	// read it — under the write lock nothing else mutates it — but must
+	// not modify or retain it past the call.
+	Installed *Model
+}
+
+// CommitHook observes committed mutations. It is invoked synchronously
+// under the store's write lock, immediately after the mutation applied:
+// the hook must be fast, must not block indefinitely, and must not call
+// any locking Store method (that would self-deadlock). The durable
+// subsystem attaches one to give every engine write-ahead logging for
+// free.
+type CommitHook func(Mutation)
+
+// SetCommitHook installs hook (nil detaches). Only one hook is supported;
+// the durable manager owns it.
+func (s *Store) SetCommitHook(hook CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = hook
+}
+
+// commit delivers mut to the attached hook. Callers hold the write lock.
+func (s *Store) commit(mut Mutation) {
+	if s.hook != nil {
+		s.hook(mut) //mdwlint:allow locksafe documented contract: CommitHook must not call locking Store methods
+	}
+}
+
+// ModelState is a consistent point-in-time capture of one model: its
+// identity, versioning counters, and full encoded contents in canonical
+// (S, P, O) order. CaptureState produces one per model; the durable
+// snapshot writer serializes them.
+type ModelState struct {
+	Name    string
+	Gen     uint64
+	Basis   uint64
+	Triples []ETriple // sorted ascending by (S, P, O)
+}
+
+// CaptureState captures every model of the store inside one read-lock
+// critical section, so the result is a single consistent cut across all
+// models: encoded triples (sorted), generations, and derivation bases,
+// plus a dictionary prefix that covers every ID referenced by the
+// capture. If observe is non-nil it runs inside the same critical
+// section — the durable manager uses it to read the WAL position that
+// corresponds exactly to the captured state (no writer, hence no WAL
+// append, can run concurrently).
+//
+// Sorting happens outside the lock; only the O(triples) collection pays
+// the read-lock hold time.
+func (s *Store) CaptureState(observe func()) ([]ModelState, []rdf.Term) {
+	s.mu.RLock()
+	states := make([]ModelState, 0, len(s.models))
+	for name, m := range s.models {
+		ms := ModelState{Name: name, Gen: m.gen, Basis: m.basis, Triples: make([]ETriple, 0, m.size)}
+		m.ForEach(Wildcard, Wildcard, Wildcard, func(t ETriple) bool {
+			ms.Triples = append(ms.Triples, t)
+			return true
+		})
+		states = append(states, ms)
+	}
+	if observe != nil {
+		observe() //mdwlint:allow locksafe documented contract: observe must not call locking Store methods
+	}
+	s.mu.RUnlock()
+	// The dictionary is append-only and shared; snapshotting it after the
+	// models guarantees every captured ID is covered.
+	terms := s.dict.Snapshot()
+	for i := range states {
+		SortETriples(states[i].Triples)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].Name < states[j].Name })
+	return states, terms
+}
+
+// SortETriples sorts encoded triples ascending by (S, P, O).
+func SortETriples(ts []ETriple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+}

@@ -93,6 +93,12 @@ func (m *Model) Basis() uint64 { return m.basis }
 // from.
 func (m *Model) SetBasis(gen uint64) { m.basis = gen }
 
+// SetGen overwrites the model's mutation generation. Only the durable
+// recovery path uses it, to restore the generation a snapshot recorded so
+// that replayed WAL mutations reproduce the original generation sequence
+// (and derived-model bases stay verifiable).
+func (m *Model) SetGen(gen uint64) { m.gen = gen }
+
 // Add inserts the encoded triple and reports whether it was newly added.
 func (m *Model) Add(t ETriple) bool {
 	if m.Contains(t) {

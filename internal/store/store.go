@@ -20,6 +20,9 @@ type Store struct {
 	mu     sync.RWMutex
 	dict   *Dict
 	models map[string]*Model
+	// hook, when set, observes every committed mutation under the write
+	// lock (see CommitHook). The durable write-ahead log attaches here.
+	hook CommitHook
 }
 
 // New returns an empty store.
@@ -105,6 +108,7 @@ func (s *Store) InstallModel(m *Model) {
 	defer s.mu.Unlock()
 	s.models[m.name] = m
 	obsInstalls.Inc()
+	s.commit(Mutation{Op: OpInstall, Model: m.name, Gen: m.gen, Basis: m.basis, Installed: m})
 }
 
 // ModelInfo is a point-in-time summary of one model, as observed inside
@@ -150,6 +154,7 @@ func (s *Store) DropModel(name string) bool {
 		return false
 	}
 	delete(s.models, name)
+	s.commit(Mutation{Op: OpDrop, Model: name})
 	return true
 }
 
@@ -171,9 +176,11 @@ func (s *Store) Add(model string, t rdf.Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.modelLocked(model)
-	added := m.Add(s.encode(t))
+	et := s.encode(t)
+	added := m.Add(et)
 	if added {
 		obsAdds.Inc()
+		s.commit(Mutation{Op: OpAdd, Model: model, Triples: []ETriple{et}, Gen: m.gen})
 	}
 	return added
 }
@@ -185,12 +192,20 @@ func (s *Store) AddAll(model string, ts []rdf.Triple) int {
 	defer s.mu.Unlock()
 	m := s.modelLocked(model)
 	n := 0
+	var added []ETriple
 	for _, t := range ts {
-		if m.Add(s.encode(t)) {
+		et := s.encode(t)
+		if m.Add(et) {
 			n++
+			if s.hook != nil {
+				added = append(added, et)
+			}
 		}
 	}
 	obsAdds.Add(int64(n))
+	if n > 0 {
+		s.commit(Mutation{Op: OpAdd, Model: model, Triples: added, Gen: m.gen})
+	}
 	return n
 }
 
@@ -210,6 +225,7 @@ func (s *Store) Remove(model string, t rdf.Triple) bool {
 	removed := m.Remove(et)
 	if removed {
 		obsRemoves.Inc()
+		s.commit(Mutation{Op: OpRemove, Model: model, Triples: []ETriple{et}, Gen: m.gen})
 	}
 	return removed
 }
@@ -361,7 +377,9 @@ func (s *Store) CloneModel(src, dst string) error {
 	if _, exists := s.models[dst]; exists {
 		return fmt.Errorf("store: clone: model %q already exists", dst)
 	}
-	s.models[dst] = sm.Clone(dst)
+	c := sm.Clone(dst)
+	s.models[dst] = c
+	s.commit(Mutation{Op: OpClone, Model: dst, Src: src, Gen: c.gen})
 	return nil
 }
 
