@@ -1,35 +1,63 @@
 // Command mdwlint is the warehouse's static-analysis multichecker. It
 // loads the requested packages with the repository's own source loader
-// (no external tooling, so it runs offline) and applies the four
+// (no external tooling, so it runs offline) and applies the nine
 // repo-specific analyzers:
 //
 //	sparqlcheck  constant query strings must parse
 //	iricheck     constant IRIs/prefixed names must exist in the vocabulary
 //	locksafe     no lock re-entry, callbacks, or channel sends under a mutex
 //	mustparse    sparql.MustParse takes constants only
+//	lockorder    mutexes must be acquired in one consistent global order
+//	ctxflow      contexts must be forwarded to context-aware callees
+//	syncerr      durable Write/Sync/Flush/Close errors must be checked
+//	atomicmix    no plain access to fields accessed via sync/atomic
+//	goroleak     goroutines must be tied to a shutdown path
 //
 // Usage:
 //
 //	go run ./cmd/mdwlint ./...
 //	go run ./cmd/mdwlint -help
 //	go run ./cmd/mdwlint -only sparqlcheck,iricheck ./internal/core
+//	go run ./cmd/mdwlint -json ./...
+//	go run ./cmd/mdwlint -c 2 ./internal/store
 //
 // Diagnostics print as file:line:col: analyzer: message; the exit code
-// is 1 when any diagnostic is reported. A finding is waived in source
-// with a trailing "//mdwlint:allow <analyzer> <reason>" comment.
+// is 1 when any diagnostic is reported. With -json the full result —
+// diagnostics plus stale suppression comments — is a single JSON
+// object on stdout. -c N adds N lines of source context around each
+// diagnostic in text mode.
+//
+// A finding is waived in source with a trailing
+// "//mdwlint:allow <analyzer> <reason>" comment. When the full analyzer
+// set runs, an allow comment that no longer suppresses anything is
+// itself reported (analyzer "deadallow"): stale waivers hide real
+// findings added later at the same site.
+//
+// Packages that fail to load — parse errors, real type errors that the
+// loader's import stubbing cannot explain — are reported under the
+// "loader" pseudo-analyzer and exit 1 like any other finding; a package
+// that did not load was not analyzed, and silence would be a false
+// "clean".
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"mdw/internal/analysis/atomicmix"
+	"mdw/internal/analysis/ctxflow"
 	"mdw/internal/analysis/framework"
+	"mdw/internal/analysis/goroleak"
 	"mdw/internal/analysis/iricheck"
+	"mdw/internal/analysis/lockorder"
 	"mdw/internal/analysis/locksafe"
 	"mdw/internal/analysis/mustparse"
 	"mdw/internal/analysis/sparqlcheck"
+	"mdw/internal/analysis/syncerr"
 )
 
 var all = []*framework.Analyzer{
@@ -37,11 +65,35 @@ var all = []*framework.Analyzer{
 	iricheck.Analyzer,
 	locksafe.Analyzer,
 	mustparse.Analyzer,
+	lockorder.Analyzer,
+	ctxflow.Analyzer,
+	syncerr.Analyzer,
+	atomicmix.Analyzer,
+	goroleak.Analyzer,
+}
+
+// deadAllowName labels stale-suppression findings.
+const deadAllowName = "deadallow"
+
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonResult is the -json top-level object.
+type jsonResult struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("help-analyzers", false, "print the analyzers and their documentation")
+	asJSON := flag.Bool("json", false, "emit the diagnostics as one JSON object on stdout")
+	context := flag.Int("c", 0, "print N lines of source context around each diagnostic (text mode)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: mdwlint [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers: %s\n\n", names(all))
@@ -57,8 +109,10 @@ func main() {
 	}
 
 	analyzers := all
+	fullSet := true
 	if *only != "" {
 		analyzers = nil
+		fullSet = false
 		for _, want := range strings.Split(*only, ",") {
 			want = strings.TrimSpace(want)
 			found := false
@@ -96,17 +150,96 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags, err := framework.Run(pkgs, analyzers...)
+	res, err := framework.RunAll(pkgs, analyzers...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mdwlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := res.Diagnostics
+
+	// Stale-allow audit: only meaningful when every analyzer ran — a
+	// partial run cannot tell "nothing to suppress" from "suppressed
+	// analyzer was not invoked".
+	if fullSet {
+		for _, a := range res.Allows {
+			if a.Used || !knownAnalyzer(a.Analyzer) {
+				continue
+			}
+			diags = append(diags, framework.Diagnostic{
+				Analyzer: deadAllowName,
+				Pos:      a.Pos,
+				Message:  fmt.Sprintf("stale //mdwlint:allow %s — it suppresses nothing; remove it so it cannot mask a future finding", a.Analyzer),
+			})
+		}
+	}
+
+	if *asJSON {
+		out := jsonResult{Diagnostics: []jsonDiagnostic{}}
+		for _, d := range diags {
+			out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "mdwlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+			if *context > 0 {
+				printContext(d, *context)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// printContext prints n source lines either side of the diagnostic,
+// gutter-numbered, with a marker on the reported line.
+func printContext(d framework.Diagnostic, n int) {
+	if d.Pos.Filename == "" || d.Pos.Line <= 0 {
+		return
+	}
+	f, err := os.Open(d.Pos.Filename)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	first, last := d.Pos.Line-n, d.Pos.Line+n
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for line := 1; sc.Scan(); line++ {
+		if line < first {
+			continue
+		}
+		if line > last {
+			break
+		}
+		marker := " "
+		if line == d.Pos.Line {
+			marker = ">"
+		}
+		fmt.Printf("  %s %4d | %s\n", marker, line, sc.Text())
+	}
+	fmt.Println()
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range all {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 func names(as []*framework.Analyzer) string {

@@ -1,0 +1,185 @@
+// Package atomicmix enforces the first rule of sync/atomic: a memory
+// location is either always accessed atomically or never. A struct
+// field that one goroutine updates through atomic.AddUint64 and another
+// reads with a plain load is a data race the race detector only catches
+// when the schedule cooperates; the mix is wrong even when it happens
+// to survive.
+//
+// The analyzer records every field passed by address to a sync/atomic
+// operation as an object fact (so a field made atomic in its defining
+// package taints uses in every downstream package), then reports every
+// plain read or write of such a field anywhere in the program. Fields
+// of the typed atomic.Int64/Uint64/… family are immune by construction
+// and are ignored.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mdw/internal/analysis/framework"
+)
+
+// Analyzer is the atomicmix framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc: "no plain access to fields that are accessed atomically\n\n" +
+		"A struct field passed to sync/atomic functions anywhere must be\n" +
+		"read and written through sync/atomic everywhere; mixing in plain\n" +
+		"accesses races with the atomic ones.",
+	Run:       run,
+	Finish:    finish,
+	FactTypes: []framework.Fact{(*AtomicField)(nil)},
+}
+
+// AtomicField marks a struct field as atomically accessed somewhere in
+// the program.
+type AtomicField struct {
+	// Ops counts the atomic operations observed on the field.
+	Ops int
+}
+
+// AFact marks AtomicField as a framework fact.
+func (*AtomicField) AFact() {}
+
+// access is one plain (non-atomic) appearance of a candidate field.
+type access struct {
+	obj types.Object
+	pos token.Pos
+	pkg string
+}
+
+type state struct {
+	plain []access
+}
+
+func getState(pass *framework.Pass) *state {
+	return pass.Prog.Memo("atomicmix.state", func() any { return &state{} }).(*state)
+}
+
+func run(pass *framework.Pass) error {
+	st := getState(pass)
+
+	// First pass over the files: find atomic operations and remember the
+	// exact &field argument nodes so the access scan below can skip them.
+	atomicArgs := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicOp(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(unary.X)
+			obj := fieldObject(pass, target)
+			if obj == nil {
+				return true
+			}
+			atomicArgs[target] = true
+			fact := &AtomicField{}
+			pass.ImportObjectFact(obj, fact)
+			fact.Ops++
+			pass.ExportObjectFact(obj, fact)
+			return true
+		})
+	}
+
+	// Second pass: every other appearance of any struct field is a
+	// candidate plain access; Finish filters them against the facts so
+	// cross-package ordering does not matter.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if atomicArgs[e] {
+				return false // the sanctioned &field of an atomic op
+			}
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := fieldObject(pass, sel); obj != nil {
+				st.plain = append(st.plain, access{obj: obj, pos: sel.Pos(), pkg: pass.Path})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func finish(pass *framework.Pass) error {
+	st := getState(pass)
+	facts := pass.AllObjectFacts((*AtomicField)(nil))
+	atomic := map[types.Object]int{}
+	for _, of := range facts {
+		atomic[of.Object] = of.Fact.(*AtomicField).Ops
+	}
+	var hits []access
+	for _, a := range st.plain {
+		if _, ok := atomic[a.obj]; ok {
+			hits = append(hits, a)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	for _, a := range hits {
+		pass.Reportf(a.pos, "field %s is accessed with sync/atomic (%d atomic ops elsewhere); this plain access races with them — use atomic loads/stores everywhere or a typed atomic",
+			a.obj.Name(), atomic[a.obj])
+	}
+	return nil
+}
+
+// isAtomicOp matches calls to the func-style sync/atomic API that take
+// an address: Add*, Load*, Store*, Swap*, CompareAndSwap*.
+func isAtomicOp(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	name := sel.Sel.Name
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObject resolves a selector (or bare identifier) to a struct
+// field object, or nil.
+func fieldObject(pass *framework.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}

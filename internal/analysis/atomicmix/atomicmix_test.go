@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/atomicmix"
+	"mdw/internal/analysis/framework/analysistest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, ".", atomicmix.Analyzer, "a", "b")
+}
+
+func TestAtomicmixCrossPackage(t *testing.T) {
+	analysistest.RunModule(t, ".", atomicmix.Analyzer, "mix")
+}

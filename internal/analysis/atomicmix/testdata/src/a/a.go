@@ -1,0 +1,27 @@
+// Package a mixes atomic and plain access to the same field.
+package a
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  uint64
+	total uint64
+}
+
+func (c *Counter) Incr() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Read does a plain load of a field the Incr above updates atomically.
+func (c *Counter) Read() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic`
+}
+
+// total is accessed atomically everywhere — no findings.
+func (c *Counter) Total() uint64 {
+	return atomic.LoadUint64(&c.total)
+}
+
+func (c *Counter) Bump() {
+	atomic.AddUint64(&c.total, 1)
+}

@@ -1,0 +1,25 @@
+// Package b holds atomic usage atomicmix must accept: typed atomics
+// (immune by construction) and fields that are atomic everywhere.
+package b
+
+import "sync/atomic"
+
+type Gauge struct {
+	val atomic.Int64
+	max int64
+}
+
+// val is a typed atomic: every access goes through its methods, and
+// max is never touched atomically, so plain access is fine.
+func (g *Gauge) Set(v int64) {
+	g.val.Store(v)
+	if v > g.max {
+		g.max = v
+	}
+}
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Incr() uint64 { return atomic.AddUint64(&c.n, 1) }
+
+func (c *Counter) Get() uint64 { return atomic.LoadUint64(&c.n) }

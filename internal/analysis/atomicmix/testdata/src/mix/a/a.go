@@ -1,0 +1,10 @@
+// Package a makes Stats.Hits atomic; the fact must taint package b.
+package a
+
+import "sync/atomic"
+
+type Stats struct{ Hits uint64 }
+
+func (s *Stats) Incr() {
+	atomic.AddUint64(&s.Hits, 1)
+}

@@ -1,0 +1,9 @@
+// Package b reads a.Stats.Hits plainly; the atomic accesses live in
+// the defining package, so only the cross-package fact catches this.
+package b
+
+import "mix/a"
+
+func Report(s *a.Stats) uint64 {
+	return s.Hits // want `field Hits is accessed with sync/atomic`
+}

@@ -1,0 +1,3 @@
+module mix
+
+go 1.21

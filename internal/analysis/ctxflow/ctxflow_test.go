@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/ctxflow"
+	"mdw/internal/analysis/framework/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ".", ctxflow.Analyzer, "a", "b", "c")
+}

@@ -1,0 +1,37 @@
+// Package a exercises ctxflow diagnostics: a dropped context where a
+// Ctx variant exists, and library code conjuring root contexts.
+package a
+
+import "context"
+
+type Client struct{}
+
+// Query is a sanctioned compatibility shim: its whole body delegates to
+// QueryCtx starting from context.Background().
+func (c *Client) Query(q string) error { return c.QueryCtx(context.Background(), q) }
+
+func (c *Client) QueryCtx(ctx context.Context, q string) error { return nil }
+
+// Handle holds a context but calls the context-free variant, so the
+// callee's trace is orphaned.
+func (c *Client) Handle(ctx context.Context, q string) error {
+	return c.Query(q) // want `Handle receives a context but calls c.Query, which has the context-aware variant QueryCtx`
+}
+
+func Lookup(name string) error { return LookupCtx(context.Background(), name) }
+
+func LookupCtx(ctx context.Context, name string) error { return nil }
+
+func Relay(ctx context.Context, name string) error {
+	return Lookup(name) // want `Relay receives a context but calls Lookup, which has the context-aware variant LookupCtx`
+}
+
+// Serve invents a root context outside main and outside any shim.
+func Serve(cl *Client) error {
+	ctx := context.Background() // want `context.Background\(\) orphans the request trace`
+	return cl.QueryCtx(ctx, "x")
+}
+
+func Stash(cl *Client) error {
+	return cl.QueryCtx(context.TODO(), "x") // want `context.TODO\(\) orphans the request trace`
+}

@@ -1,0 +1,38 @@
+// Package b holds context usage ctxflow must accept: forwarding,
+// wrapped forwarding, shims, and calls with no Ctx variant.
+package b
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) Query(q string) error { return c.QueryCtx(context.Background(), q) }
+
+func (c *Client) QueryCtx(ctx context.Context, q string) error { return nil }
+
+// Handle forwards its context.
+func (c *Client) Handle(ctx context.Context, q string) error {
+	return c.QueryCtx(ctx, q)
+}
+
+// A wrapped context still counts as forwarding.
+func Wrapped(ctx context.Context, c *Client) error {
+	return c.QueryCtx(wrap(ctx), "q")
+}
+
+func wrap(ctx context.Context) context.Context { return ctx }
+
+// Calling something without a Ctx variant needs no context.
+func Plain(ctx context.Context) int { return add(1, 2) }
+
+func add(a, b int) int { return a + b }
+
+// ParseCtx IS the Ctx variant of Parse: opening the span and delegating
+// to the base implementation is how variants are written, not a
+// dropped context.
+func ParseCtx(ctx context.Context, q string) error {
+	_ = ctx
+	return Parse(q)
+}
+
+func Parse(q string) error { return nil }

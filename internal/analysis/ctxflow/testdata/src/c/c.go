@@ -1,0 +1,16 @@
+// Package main owns the process root, so context.Background() is
+// allowed — but context.TODO() is a placeholder and stays banned.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return nil }
+
+func stub() {
+	_ = context.TODO() // want `context.TODO\(\) orphans the request trace`
+}

@@ -42,21 +42,49 @@ func runOne(t *testing.T, fxDir, fxName string, a *framework.Analyzer) {
 	if err != nil {
 		t.Fatalf("%s: loading fixture: %v", fxName, err)
 	}
-	diags, err := framework.Run([]*framework.Package{pkg}, a)
+	checkFixture(t, fxName, a, []*framework.Package{pkg})
+}
+
+// RunModule loads each named fixture directory as a complete module —
+// the fixture contains its own go.mod and one subdirectory per package
+// — applies the analyzer to all packages together, and checks "want"
+// comments across the whole module. This is how analyzers that pass
+// facts between packages (syncerr) or build whole-program structures
+// (lockorder) are tested.
+func RunModule(t *testing.T, dir string, a *framework.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fx := range fixtures {
+		fxDir := filepath.Join(dir, "testdata", "src", fx)
+		loader, err := framework.NewLoader(fxDir)
+		if err != nil {
+			t.Fatalf("%s: %v", fx, err)
+		}
+		pkgs, err := loader.Load("./...")
+		if err != nil {
+			t.Fatalf("%s: loading fixture module: %v", fx, err)
+		}
+		checkFixture(t, fx, a, pkgs)
+	}
+}
+
+func checkFixture(t *testing.T, fxName string, a *framework.Analyzer, pkgs []*framework.Package) {
+	t.Helper()
+	diags, err := framework.Run(pkgs, a)
 	if err != nil {
 		t.Fatalf("%s: running %s: %v", fxName, a.Name, err)
 	}
-
-	wants, err := collectWants(pkg)
-	if err != nil {
-		t.Fatalf("%s: %v", fxName, err)
+	ws := &wantSet{}
+	for _, pkg := range pkgs {
+		if err := collectWants(pkg, ws); err != nil {
+			t.Fatalf("%s: %v", fxName, err)
+		}
 	}
 	for _, d := range diags {
-		if !wants.match(d) {
+		if !ws.match(d) {
 			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", fxName, filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
 		}
 	}
-	for _, w := range wants.unmatched() {
+	for _, w := range ws.unmatched() {
 		t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", fxName, w.re.String(), filepath.Base(w.file), w.line)
 	}
 }
@@ -90,8 +118,7 @@ func (ws *wantSet) unmatched() []*want {
 	return out
 }
 
-func collectWants(pkg *framework.Package) (*wantSet, error) {
-	ws := &wantSet{}
+func collectWants(pkg *framework.Package, ws *wantSet) error {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -103,19 +130,19 @@ func collectWants(pkg *framework.Package) (*wantSet, error) {
 				pos := pkg.Fset.Position(c.Pos())
 				patterns, err := splitPatterns(rest)
 				if err != nil {
-					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+					return fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
 				}
 				for _, p := range patterns {
 					re, err := regexp.Compile(p)
 					if err != nil {
-						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+						return fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
 					}
 					ws.wants = append(ws.wants, &want{file: pos.Filename, line: pos.Line, re: re})
 				}
 			}
 		}
 	}
-	return ws, nil
+	return nil
 }
 
 // splitPatterns parses a sequence of "..." or `...` quoted regexps.

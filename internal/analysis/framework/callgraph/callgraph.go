@@ -1,0 +1,267 @@
+// Package callgraph builds a static call graph over the packages loaded
+// by the framework loader: one node per function or method declared in
+// the module, one edge per resolvable call site.
+//
+// Resolution covers three call shapes:
+//
+//   - direct calls to package-level functions, both unqualified (f())
+//     and qualified (pkg.F());
+//   - method calls on concrete receivers (x.M() where x has a named
+//     module type), including methods promoted from embedded types;
+//   - method calls through interfaces: an edge is added to the matching
+//     method of every named module type whose method set implements the
+//     interface (the "implementation set"), marked Dynamic.
+//
+// Calls through plain function values (callbacks, stored closures) are
+// inherently dynamic and produce no edge; analyzers that care (locksafe
+// does) handle them separately. Calls appearing inside a function
+// literal are attributed to the enclosing declared function — a
+// conservative over-approximation that suits may-analyses like lock
+// ordering.
+//
+// The loader stubs external imports, so calls into the standard library
+// have no node and interfaces declared outside the module resolve to no
+// implementations. Everything declared inside the module resolves.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"mdw/internal/analysis/framework"
+)
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	decls map[*ast.FuncDecl]*Node
+}
+
+// Node is one declared function or method.
+type Node struct {
+	Func *types.Func
+	// Decl is the declaration with body; nil for interface methods.
+	Decl *ast.FuncDecl
+	Pkg  *framework.Package
+	// Out lists calls made by this function, In the calls targeting it.
+	Out []*Edge
+	In  []*Edge
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Site   *ast.CallExpr
+	// Dynamic marks edges resolved through an interface's
+	// implementation set rather than a static callee.
+	Dynamic bool
+}
+
+// Node returns the node for fn, or nil if fn was not declared in the
+// loaded packages.
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return g.nodes[fn]
+}
+
+// NodeForDecl returns the node for a declaration in the loaded files.
+func (g *Graph) NodeForDecl(d *ast.FuncDecl) *Node { return g.decls[d] }
+
+// Nodes returns every node, ordered by position for determinism.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func.Pos() != out[j].Func.Pos() {
+			return out[i].Func.Pos() < out[j].Func.Pos()
+		}
+		return out[i].Func.Id() < out[j].Func.Id()
+	})
+	return out
+}
+
+// Of returns the call graph for the pass's whole program, building it
+// on first use and caching it on the Program so every analyzer in one
+// run shares a single graph.
+func Of(pass *framework.Pass) *Graph {
+	return pass.Prog.Memo("callgraph", func() any {
+		return Build(pass.Prog.Packages)
+	}).(*Graph)
+}
+
+// Build constructs the call graph for the given packages.
+func Build(pkgs []*framework.Package) *Graph {
+	g := &Graph{nodes: map[*types.Func]*Node{}, decls: map[*ast.FuncDecl]*Node{}}
+
+	// Pass 1: nodes for every declared function/method, and the set of
+	// named types for interface resolution.
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &Node{Func: obj, Decl: fd, Pkg: pkg}
+				g.nodes[obj] = n
+				g.decls[fd] = n
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if nt, ok := tn.Type().(*types.Named); ok {
+				named = append(named, nt)
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller := g.decls[fd]
+				if caller == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					g.addCall(caller, call, pkg, named)
+					return true
+				})
+			}
+		}
+	}
+
+	// Deterministic edge order.
+	for _, n := range g.nodes {
+		sortEdges(n.Out)
+		sortEdges(n.In)
+	}
+	return g
+}
+
+func sortEdges(es []*Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Site.Pos() != es[j].Site.Pos() {
+			return es[i].Site.Pos() < es[j].Site.Pos()
+		}
+		return es[i].Callee.Func.Id() < es[j].Callee.Func.Id()
+	})
+}
+
+// addCall resolves one call site and appends the resulting edges.
+func (g *Graph) addCall(caller *Node, call *ast.CallExpr, pkg *framework.Package, named []*types.Named) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// f() — package-level function or a conversion/builtin (skipped:
+		// their Uses object is not a *types.Func).
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			g.edge(caller, fn, call, false)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				g.interfaceEdges(caller, recv, fn, call, named)
+				return
+			}
+			g.edge(caller, fn, call, false)
+			return
+		}
+		// pkg.F() — qualified call; also catches method expressions of
+		// the form T.M used as a direct call.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				g.interfaceEdges(caller, sig.Recv().Type(), fn, call, named)
+				return
+			}
+			g.edge(caller, fn, call, false)
+		}
+	}
+}
+
+// interfaceEdges adds one dynamic edge per named module type whose
+// method set implements the interface the call goes through, targeting
+// that type's own method (possibly promoted from an embedded type).
+func (g *Graph) interfaceEdges(caller *Node, recv types.Type, ifaceMethod *types.Func, call *ast.CallExpr, named []*types.Named) {
+	iface, _ := recv.Underlying().(*types.Interface)
+	if iface == nil || iface.Empty() {
+		return
+	}
+	name := ifaceMethod.Name()
+	for _, nt := range named {
+		if types.IsInterface(nt) {
+			continue
+		}
+		var impl types.Type
+		if types.Implements(nt, iface) {
+			impl = nt
+		} else if p := types.NewPointer(nt); types.Implements(p, iface) {
+			impl = p
+		} else {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, ifaceMethod.Pkg(), name)
+		if m, ok := obj.(*types.Func); ok {
+			g.edge(caller, m, call, true)
+		}
+	}
+}
+
+// edge appends a caller→callee edge, materializing the callee node if
+// the function is known but was declared without a body in the loaded
+// set (interface methods).
+func (g *Graph) edge(caller *Node, callee *types.Func, call *ast.CallExpr, dynamic bool) {
+	if o := callee.Origin(); o != nil {
+		callee = o
+	}
+	cn := g.nodes[callee]
+	if cn == nil {
+		// Method of a stubbed external type, or an interface method: no
+		// body to analyze, but keep the node so In edges are queryable.
+		if callee.Pkg() == nil {
+			return
+		}
+		cn = &Node{Func: callee}
+		g.nodes[callee] = cn
+	}
+	e := &Edge{Caller: caller, Callee: cn, Site: call, Dynamic: dynamic}
+	caller.Out = append(caller.Out, e)
+	cn.In = append(cn.In, e)
+}

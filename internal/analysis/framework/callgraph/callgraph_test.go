@@ -1,0 +1,139 @@
+package callgraph_test
+
+import (
+	"go/types"
+	"testing"
+
+	"mdw/internal/analysis/framework"
+	"mdw/internal/analysis/framework/callgraph"
+)
+
+// buildShape loads the known-shape fixture module and builds its graph.
+func buildShape(t *testing.T) (*callgraph.Graph, []*framework.Package) {
+	t.Helper()
+	l, err := framework.NewLoader("testdata/src/shape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want shape and shape/sub", len(pkgs))
+	}
+	return callgraph.Build(pkgs), pkgs
+}
+
+// lookupFunc finds a package-level function or a named type's method.
+func lookupFunc(t *testing.T, pkgs []*framework.Package, pkgPath, typeName, funcName string) *types.Func {
+	t.Helper()
+	for _, p := range pkgs {
+		if p.Path != pkgPath {
+			continue
+		}
+		scope := p.Types.Scope()
+		if typeName == "" {
+			if fn, ok := scope.Lookup(funcName).(*types.Func); ok {
+				return fn
+			}
+			t.Fatalf("%s.%s not found", pkgPath, funcName)
+		}
+		named, ok := scope.Lookup(typeName).Type().(*types.Named)
+		if !ok {
+			t.Fatalf("%s.%s is not a named type", pkgPath, typeName)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == funcName {
+				return named.Method(i)
+			}
+		}
+		t.Fatalf("method %s.%s.%s not found", pkgPath, typeName, funcName)
+	}
+	t.Fatalf("package %s not loaded", pkgPath)
+	return nil
+}
+
+// callees maps each out-edge of a node to its callee's full name.
+func callees(n *callgraph.Node) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range n.Out {
+		out[e.Callee.Func.FullName()] = true
+	}
+	return out
+}
+
+func TestCallgraphShape(t *testing.T) {
+	g, pkgs := buildShape(t)
+
+	helper := lookupFunc(t, pkgs, "shape", "", "helper")
+	dispatch := lookupFunc(t, pkgs, "shape", "", "Dispatch")
+	direct := lookupFunc(t, pkgs, "shape", "", "Direct")
+	wrapper := lookupFunc(t, pkgs, "shape", "", "Wrapper")
+	use := lookupFunc(t, pkgs, "shape/sub", "", "Use")
+	aRun := lookupFunc(t, pkgs, "shape", "A", "Run")
+
+	// Direct: one static method call, one function call.
+	got := callees(g.Node(direct))
+	for _, want := range []string{"(*shape.A).Run", "shape.helper"} {
+		if !got[want] {
+			t.Errorf("Direct is missing edge to %s (has %v)", want, got)
+		}
+	}
+
+	// Dispatch: dynamic edges to every Runner implementation, and only
+	// those.
+	dn := g.Node(dispatch)
+	got = callees(dn)
+	for _, want := range []string{"(*shape.A).Run", "(shape.B).Run"} {
+		if !got[want] {
+			t.Errorf("Dispatch is missing dynamic edge to %s (has %v)", want, got)
+		}
+	}
+	if len(dn.Out) != 2 {
+		t.Errorf("Dispatch has %d out-edges, want exactly the 2 implementations", len(dn.Out))
+	}
+	for _, e := range dn.Out {
+		if !e.Dynamic {
+			t.Errorf("Dispatch edge to %s is not marked Dynamic", e.Callee.Func.FullName())
+		}
+	}
+
+	// Calls inside a function literal are attributed to the enclosing
+	// declaration.
+	if got := callees(g.Node(wrapper)); !got["shape.helper"] {
+		t.Errorf("Wrapper's literal call to helper not attributed to Wrapper (has %v)", got)
+	}
+
+	// Cross-package qualified call.
+	if got := callees(g.Node(use)); !got["shape.Direct"] {
+		t.Errorf("sub.Use is missing the cross-package edge to shape.Direct (has %v)", got)
+	}
+
+	// In-edges: helper is called from A.Run, Direct, and Wrapper's
+	// literal.
+	hn := g.Node(helper)
+	if len(hn.In) != 3 {
+		t.Errorf("helper has %d in-edges, want 3 (A.Run, Direct, Wrapper)", len(hn.In))
+	}
+
+	// Method node resolution matches the scope lookup.
+	if g.Node(aRun) == nil {
+		t.Error("no node for (*A).Run")
+	}
+}
+
+func TestCallgraphDeterministicNodes(t *testing.T) {
+	g, _ := buildShape(t)
+	first := g.Nodes()
+	second := g.Nodes()
+	if len(first) != len(second) {
+		t.Fatalf("node count changed between calls: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("node order not deterministic at %d: %s vs %s",
+				i, first[i].Func.FullName(), second[i].Func.FullName())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module shape
+
+go 1.21

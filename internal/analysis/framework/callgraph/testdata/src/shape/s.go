@@ -1,0 +1,33 @@
+// Package shape is a module with a known call-graph shape; the
+// callgraph unit tests assert its exact nodes and edges.
+package shape
+
+type Runner interface{ Run() }
+
+type A struct{}
+
+func (a *A) Run() { helper() }
+
+type B struct{}
+
+func (b B) Run() {}
+
+func helper() {}
+
+// Dispatch calls through the interface: one dynamic edge per
+// implementation.
+func Dispatch(r Runner) { r.Run() }
+
+// Direct calls a concrete method and a function.
+func Direct() {
+	var a A
+	a.Run()
+	helper()
+}
+
+// Wrapper calls through a literal; the call inside it is attributed to
+// Wrapper.
+func Wrapper() {
+	f := func() { helper() }
+	f()
+}

@@ -1,0 +1,6 @@
+// Package sub adds a cross-package edge into the shape module.
+package sub
+
+import "shape"
+
+func Use() { shape.Direct() }

@@ -1,0 +1,173 @@
+// Package dataflow answers one intraprocedural question for analyzers
+// like syncerr: given a call whose last result is an error, does that
+// value observably reach anything — a condition, a return, another
+// call, a field — or is it dropped on the floor?
+//
+// The walk is a reaching-values approximation, deliberately biased
+// toward NOT flagging: any read of the assigned variable positioned
+// after the assignment counts as consumption, without modeling control
+// flow between the two points. That keeps every report trustworthy
+// ("this error is never looked at") at the cost of missing convoluted
+// cases — the right trade for a linter that gates CI.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Verdict classifies how a call's error result is consumed.
+type Verdict int
+
+const (
+	// Consumed: the error flows somewhere observable (checked, returned,
+	// passed along, stored in a field, …).
+	Consumed Verdict = iota
+	// Discarded: the call is a bare statement (or assigns the error to
+	// the blank identifier) — the error can never be observed.
+	Discarded
+	// AssignedUnused: the error lands in a variable that is never read
+	// afterwards, which is a discard with extra steps.
+	AssignedUnused
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Consumed:
+		return "consumed"
+	case Discarded:
+		return "discarded"
+	case AssignedUnused:
+		return "assigned but never read"
+	default:
+		return "verdict?"
+	}
+}
+
+// ErrResult traces the last (by convention the error) result of call
+// inside the enclosing function body. The path must lead from body to
+// the call (innermost last), as produced by Path.
+func ErrResult(info *types.Info, body *ast.BlockStmt, path []ast.Node, call *ast.CallExpr) Verdict {
+	// Find the node directly above the call in the path.
+	parentIdx := -1
+	for i, n := range path {
+		if n == call {
+			parentIdx = i - 1
+			break
+		}
+	}
+	if parentIdx < 0 {
+		return Consumed // call not found or is the root: assume the best
+	}
+	parent := path[parentIdx]
+
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		return Discarded
+	case *ast.GoStmt, *ast.DeferStmt:
+		// The result of a go/defer call is unobservable by construction;
+		// callers decide whether that is acceptable (syncerr exempts
+		// defers explicitly before asking).
+		return Discarded
+	case *ast.AssignStmt:
+		// x, err := f(...) — only when the call is the sole RHS does the
+		// last LHS receive the error.
+		if len(p.Rhs) != 1 || p.Rhs[0] != call || len(p.Lhs) == 0 {
+			return Consumed
+		}
+		last := p.Lhs[len(p.Lhs)-1]
+		id, ok := last.(*ast.Ident)
+		if !ok {
+			return Consumed // field or index target: stored somewhere real
+		}
+		if id.Name == "_" {
+			return Discarded
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return Consumed
+		}
+		if UsedAfter(info, body, v, p.End()) {
+			return Consumed
+		}
+		return AssignedUnused
+	default:
+		// Argument position, return statement, condition, composite
+		// literal, channel send, … — the value flows onward.
+		return Consumed
+	}
+}
+
+// UsedAfter reports whether variable v is read at any position after
+// pos inside body. Appearances as a plain assignment target (`v = …`)
+// do not count — overwriting is not reading — but compound uses on a
+// RHS, in conditions, returns, or arguments do.
+func UsedAfter(info *types.Info, body *ast.BlockStmt, v *types.Var, pos token.Pos) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+			// Walk RHS and non-ident LHS only; a bare `v = x` target is
+			// an overwrite, not a read.
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && info.Uses[id] == v {
+					continue
+				}
+				if inspectUse(info, l, v, pos) {
+					used = true
+				}
+			}
+			for _, r := range as.Rhs {
+				if inspectUse(info, r, v, pos) {
+					used = true
+				}
+			}
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Pos() > pos && info.Uses[id] == v {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+func inspectUse(info *types.Info, e ast.Expr, v *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Pos() > pos && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// Path returns the chain of AST nodes from root down to target
+// (inclusive at both ends), or nil if target is not under root.
+func Path(root ast.Node, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == target {
+			found = append([]ast.Node(nil), stack...)
+			return false
+		}
+		return true
+	})
+	return found
+}

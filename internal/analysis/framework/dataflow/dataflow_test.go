@@ -1,0 +1,157 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"mdw/internal/analysis/framework/dataflow"
+)
+
+// The test source needs no imports, so it type-checks self-contained.
+// assignedUnused and overwritten intentionally leave err unread; the
+// resulting "declared and not used" complaints are soft errors that do
+// not stop Info collection.
+const src = `package p
+
+func fail() error { return nil }
+
+func sink(err error) {}
+
+func discarded() {
+	fail()
+}
+
+func blank() {
+	_ = fail()
+}
+
+func assignedUnused() {
+	err := fail()
+}
+
+func overwritten() error {
+	err := fail()
+	err = nil
+	return nil
+}
+
+func consumedCheck() {
+	if err := fail(); err != nil {
+		return
+	}
+}
+
+func consumedReturn() error {
+	return fail()
+}
+
+func consumedArg() {
+	sink(fail())
+}
+
+func consumedLater() error {
+	err := fail()
+	sink(err)
+	return err
+}
+
+func deferred() {
+	defer fail()
+}
+`
+
+var want = map[string]dataflow.Verdict{
+	"discarded":      dataflow.Discarded,
+	"blank":          dataflow.Discarded,
+	"assignedUnused": dataflow.AssignedUnused,
+	"overwritten":    dataflow.AssignedUnused,
+	"consumedCheck":  dataflow.Consumed,
+	"consumedReturn": dataflow.Consumed,
+	"consumedArg":    dataflow.Consumed,
+	"consumedLater":  dataflow.Consumed,
+	"deferred":       dataflow.Discarded,
+}
+
+func TestErrResult(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: map[*ast.Ident]types.Object{},
+		Uses: map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		// Soft errors (unused variables) are expected; Info is complete.
+		t.Logf("type check: %v (continuing)", err)
+	}
+
+	checked := 0
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		expect, ok := want[fd.Name.Name]
+		if !ok {
+			continue
+		}
+		call := findCall(fd.Body, "fail")
+		if call == nil {
+			t.Errorf("%s: no call to fail found", fd.Name.Name)
+			continue
+		}
+		path := dataflow.Path(fd.Body, call)
+		if path == nil {
+			t.Errorf("%s: Path did not locate the call", fd.Name.Name)
+			continue
+		}
+		if got := dataflow.ErrResult(info, fd.Body, path, call); got != expect {
+			t.Errorf("%s: verdict = %v, want %v", fd.Name.Name, got, expect)
+		}
+		checked++
+	}
+	if checked != len(want) {
+		t.Fatalf("checked %d functions, want %d", checked, len(want))
+	}
+}
+
+func TestPathMissingTarget(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := f.Decls
+	first, second := decls[2].(*ast.FuncDecl), decls[3].(*ast.FuncDecl)
+	call := findCall(second.Body, "fail")
+	if call == nil {
+		t.Fatal("no call in second function")
+	}
+	if got := dataflow.Path(first.Body, call); got != nil {
+		t.Fatalf("Path found a target outside its root: %v", got)
+	}
+}
+
+func findCall(body *ast.BlockStmt, callee string) *ast.CallExpr {
+	var out *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == callee {
+				out = call
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,178 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// markFact marks a function object for the facts round-trip test.
+type markFact struct{ Seen int }
+
+func (*markFact) AFact() {}
+
+// loadFactsModule loads the two-package facts fixture in REVERSE
+// dependency order, so the test also proves RunAll's topological
+// reordering (facts must flow lo → hi regardless of input order).
+func loadFactsModule(t *testing.T) []*Package {
+	t.Helper()
+	l, err := NewLoader("testdata/src/facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("facts/hi", "facts/lo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "facts/hi" {
+		t.Fatalf("loaded %d packages, want hi then lo as input order", len(pkgs))
+	}
+	return pkgs
+}
+
+func factAnalyzers() (*Analyzer, *Analyzer) {
+	def := &Analyzer{
+		Name:      "factdef",
+		Doc:       "exports a fact on every function named Target",
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Name.Name != "Target" {
+						continue
+					}
+					obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					fact := &markFact{}
+					pass.ImportObjectFact(obj, fact)
+					fact.Seen++
+					pass.ExportObjectFact(obj, fact)
+				}
+			}
+			return nil
+		},
+	}
+	use := &Analyzer{
+		Name:     "factuse",
+		Doc:      "reports calls to fact-marked functions",
+		Requires: []*Analyzer{def},
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+					if !ok {
+						return true
+					}
+					if pass.ImportObjectFact(fn, &markFact{}) {
+						pass.Reportf(call.Pos(), "call to marked function %s", fn.Name())
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	return def, use
+}
+
+func TestFactsFlowAcrossPackages(t *testing.T) {
+	pkgs := loadFactsModule(t)
+	_, use := factAnalyzers()
+
+	// Passing only `use`: the Requires expansion must pull in factdef and
+	// run it first.
+	res, err := RunAll(pkgs, use)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hits []Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "factuse" {
+			hits = append(hits, d)
+		}
+	}
+	// Two lo.Target() call sites in hi; one is suppressed by an allow.
+	if len(hits) != 1 {
+		t.Fatalf("got %d factuse diagnostics, want 1 (one suppressed): %v", len(hits), hits)
+	}
+	if !strings.Contains(hits[0].Message, "Target") {
+		t.Errorf("diagnostic %q does not name the marked function", hits[0].Message)
+	}
+
+	// Allow audit: one allow consumed a diagnostic, one is stale.
+	var used, stale int
+	for _, a := range res.Allows {
+		if a.Analyzer != "factuse" {
+			continue
+		}
+		if a.Used {
+			used++
+		} else {
+			stale++
+		}
+	}
+	if used != 1 || stale != 1 {
+		t.Fatalf("allow audit: used=%d stale=%d, want 1 and 1 (%+v)", used, stale, res.Allows)
+	}
+}
+
+func TestAllObjectFacts(t *testing.T) {
+	pkgs := loadFactsModule(t)
+	def, _ := factAnalyzers()
+
+	var all []ObjectFact
+	def.Finish = func(pass *Pass) error {
+		all = pass.AllObjectFacts((*markFact)(nil))
+		return nil
+	}
+	defer func() { def.Finish = nil }()
+	if _, err := RunAll(pkgs, def); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("AllObjectFacts returned %d facts, want exactly lo.Target", len(all))
+	}
+	if all[0].Object.Name() != "Target" {
+		t.Errorf("fact on %s, want Target", all[0].Object.Name())
+	}
+	if all[0].Fact.(*markFact).Seen != 1 {
+		t.Errorf("fact Seen = %d, want 1", all[0].Fact.(*markFact).Seen)
+	}
+}
+
+func TestExportFactUnregisteredPanics(t *testing.T) {
+	pkgs := loadFactsModule(t)
+	bad := &Analyzer{
+		Name: "bad",
+		Doc:  "exports a fact type it never registered",
+		Run: func(pass *Pass) error {
+			obj := pass.Pkg.Scope().Lookup("Target")
+			if obj == nil {
+				return nil // the fixture package without Target
+			}
+			defer func() {
+				if recover() == nil {
+					t.Error("ExportObjectFact on an unregistered fact type did not panic")
+				}
+			}()
+			pass.ExportObjectFact(obj, &markFact{})
+			return nil
+		},
+	}
+	if _, err := RunAll(pkgs, bad); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -16,18 +17,92 @@ import (
 
 // Package is one loaded, type-checked package.
 type Package struct {
-	Path  string
-	Name  string
-	Dir   string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path string
+	Name string
+	Dir  string
+	// ModulePath is the path of the module the loader resolved
+	// module-internal imports against.
+	ModulePath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
 	// TypeErrors collects type-checker complaints. Imports of packages
 	// outside the module are stubbed out (the loader works offline and
 	// does not compile the standard library), so analyzers must expect
 	// partial type information and must not treat these as fatal.
+	// RealTypeErrors filters out the complaints the stubbing provokes.
 	TypeErrors []error
+	// LoadError is set when the package could not be loaded at all
+	// (unreadable directory, parse failure). Such a package has no Files
+	// or Types; framework.Run reports it under the "loader"
+	// pseudo-analyzer instead of silently skipping it.
+	LoadError error
+	// LoadErrorPos locates LoadError when it has a source position
+	// (parse errors do; directory errors do not).
+	LoadErrorPos token.Position
+}
+
+// RealTypeErrors returns the type errors that are NOT explained by the
+// loader's stubbing of external imports — errors a real compiler would
+// also report. The stub noise has two shapes, verified against the full
+// healthy tree: "undefined: q.Name" where q locally names a stubbed
+// (non-module) import of the erroring file, and `"path" imported and
+// not used` for a stubbed import whose every selection failed.
+// Everything else — undefined bare identifiers, module-internal import
+// failures, mismatched types between module types — is real.
+func (p *Package) RealTypeErrors() []error {
+	if len(p.TypeErrors) == 0 {
+		return nil
+	}
+	// file -> local names of stubbed imports in that file.
+	stubImports := map[string]map[string]bool{}
+	isModule := func(path string) bool {
+		return p.ModulePath != "" && (path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/"))
+	}
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		names := map[string]bool{}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || isModule(path) {
+				continue
+			}
+			name := path
+			if i := strings.LastIndexByte(name, '/'); i >= 0 {
+				name = name[i+1:]
+			}
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			names[name] = true
+		}
+		stubImports[fname] = names
+	}
+	var real []error
+	for _, err := range p.TypeErrors {
+		te, ok := err.(types.Error)
+		if !ok {
+			real = append(real, err)
+			continue
+		}
+		msg := te.Msg
+		fname := te.Fset.Position(te.Pos).Filename
+		if rest, ok := strings.CutPrefix(msg, "undefined: "); ok {
+			if q, _, found := strings.Cut(rest, "."); found && stubImports[fname][q] {
+				continue // selection into a stubbed import
+			}
+		}
+		if strings.HasSuffix(msg, "imported and not used") {
+			if q, _, found := strings.Cut(msg, `"`); found && q == "" {
+				if path, _, ok := strings.Cut(msg[1:], `"`); ok && !isModule(path) {
+					continue // stubbed import whose every selection failed
+				}
+			}
+		}
+		real = append(real, err)
+	}
+	return real
 }
 
 // Loader parses and type-checks packages of one Go module from source.
@@ -177,7 +252,10 @@ func (l *Loader) walkPackageDirs(root string) ([]string, error) {
 }
 
 // loadDir parses and type-checks the package in dir under the given
-// import path, caching by path.
+// import path, caching by path. Load failures (unreadable directory,
+// parse errors, no Go files) do not abort the load: they produce a
+// Package whose LoadError is set, so one broken package surfaces as a
+// diagnostic instead of hiding every other package's findings.
 func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
@@ -188,9 +266,14 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
+	fail := func(err error, pos token.Position) (*Package, error) {
+		p := &Package{Path: path, Dir: dir, ModulePath: l.ModulePath, Fset: l.Fset, LoadError: err, LoadErrorPos: pos}
+		l.pkgs[path] = p
+		return p, nil
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("framework: %s: %w", path, err)
+		return fail(err, token.Position{})
 	}
 	var files []*ast.File
 	for _, e := range entries {
@@ -200,12 +283,17 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("framework: parsing %s: %w", filepath.Join(dir, name), err)
+			pos := token.Position{Filename: filepath.Join(dir, name)}
+			if el, ok := err.(scanner.ErrorList); ok && len(el) > 0 {
+				pos = el[0].Pos
+				err = fmt.Errorf("%s", el[0].Msg)
+			}
+			return fail(fmt.Errorf("parse: %w", err), pos)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("framework: %s: no Go files in %s", path, dir)
+		return fail(fmt.Errorf("no Go files in %s", dir), token.Position{})
 	}
 
 	// Load module-internal imports first (depth-first topological order).
@@ -224,11 +312,12 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	}
 
 	pkg := &Package{
-		Path:  path,
-		Name:  files[0].Name.Name,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
+		Path:       path,
+		Name:       files[0].Name.Name,
+		Dir:        dir,
+		ModulePath: l.ModulePath,
+		Fset:       l.Fset,
+		Files:      files,
 		Info: &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
 			Defs:       map[*ast.Ident]types.Object{},
@@ -276,6 +365,11 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 		p, err := l.importModulePackage(path)
 		if err != nil {
 			return nil, err
+		}
+		if p.LoadError != nil {
+			// Propagate so the importing package records a "could not
+			// import" type error pointing at the broken dependency.
+			return nil, p.LoadError
 		}
 		return p.Types, nil
 	}

@@ -1,0 +1,5 @@
+// Package broken does not type-check: the loader-diagnostics test
+// asserts the failure surfaces as a "loader" finding, not silence.
+package broken
+
+var oops = undefinedIdent

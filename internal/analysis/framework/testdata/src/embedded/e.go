@@ -1,0 +1,29 @@
+// Package embedded exercises interface embedding and method promotion
+// through embedded struct pointers.
+package embedded
+
+type Reader interface{ Read() int }
+
+type Closer interface{ Close() error }
+
+type ReadCloser interface {
+	Reader
+	Closer
+}
+
+type File struct{ n int }
+
+func (f *File) Read() int    { return f.n }
+func (f *File) Close() error { return nil }
+
+type Logged struct {
+	*File
+	tag string
+}
+
+func Use(rc ReadCloser) int { return rc.Read() }
+
+func Promote(l *Logged) (int, error) {
+	n := l.Read()
+	return n, l.Close()
+}

@@ -1,0 +1,3 @@
+module facts
+
+go 1.21

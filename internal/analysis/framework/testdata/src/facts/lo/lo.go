@@ -1,0 +1,6 @@
+// Package lo defines the function the facts test marks.
+package lo
+
+func Target() {}
+
+func Plain() {}

@@ -1,0 +1,29 @@
+// Package generics gives the loader a workout on type parameters:
+// constraint interfaces, generic functions, generic types with methods,
+// and instantiations — all of which must type-check offline.
+package generics
+
+type Number interface{ ~int | ~float64 }
+
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+func (p Pair[K, V]) Swap() (V, K) { return p.Val, p.Key }
+
+func Use() int {
+	p := Pair[string, int]{Key: "a", Val: 1}
+	v, k := p.Swap()
+	_ = v
+	_ = k
+	return Sum([]int{1, 2, 3})
+}

@@ -1,0 +1,136 @@
+// Package goroleak demands that every goroutine launched by library
+// code is tied to a shutdown path. The warehouse runs as a long-lived
+// daemon: a `go` statement with no WaitGroup, no context/quit-channel
+// receive, and no channel range is a goroutine that outlives Close,
+// keeps sampling/flushing/ticking against freed state, and shows up as
+// a monotonically climbing mdw_runtime_goroutines gauge in production.
+//
+// A goroutine counts as tied when the function it runs (a literal's
+// body, or the declaration of a named function/method, followed one
+// static call deep) contains any of:
+//
+//   - a channel receive (<-ch) — covers ctx.Done(), quit channels, and
+//     signal channels, wherever they appear, including select cases;
+//   - a range over a channel — draining until close IS the shutdown;
+//   - a niladic .Done() call — the sync.WaitGroup handshake.
+//
+// Anything else is reported at the `go` statement.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mdw/internal/analysis/framework"
+	"mdw/internal/analysis/framework/callgraph"
+)
+
+// Analyzer is the goroleak framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "goroleak",
+	Doc: "goroutines must be tied to a shutdown path\n\n" +
+		"Every `go` statement in non-test code must hand the goroutine a way\n" +
+		"to stop: a WaitGroup Done, a receive on a context/quit channel, or\n" +
+		"a range over a closable channel.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(pass, gs.Call)
+			if body == nil {
+				pass.Reportf(gs.Pos(), "goroutine target is not statically resolvable; tie it to a shutdown path (WaitGroup, context, or quit channel) where it is defined")
+				return true
+			}
+			if hasShutdownTie(pass, body, 2) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no shutdown tie (no WaitGroup Done, channel receive, or channel range); it outlives Close and leaks")
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineBody resolves the body the goroutine will execute: the
+// literal's own body, or the declaration of the named function/method.
+func goroutineBody(pass *framework.Pass, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if node := calleeNode(pass, call); node != nil && node.Decl != nil {
+		return node.Decl.Body
+	}
+	return nil
+}
+
+// calleeNode resolves a call to its callgraph node, when static.
+func calleeNode(pass *framework.Pass, call *ast.CallExpr) *callgraph.Node {
+	g := callgraph.Of(pass)
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return g.Node(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return g.Node(fn)
+			}
+		}
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return g.Node(fn)
+		}
+	}
+	return nil
+}
+
+// hasShutdownTie scans a body for a termination signal, following
+// statically resolvable calls up to depth levels deep (the goroutine
+// body itself is depth 1; `go m.run()` where run delegates the loop to
+// a helper is depth 2).
+func hasShutdownTie(pass *framework.Pass, body *ast.BlockStmt, depth int) bool {
+	if body == nil || depth == 0 {
+		return false
+	}
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := pass.TypesInfo.Types[n.X]; ok && t.Type != nil {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(n.Args) == 0 {
+				// <-ctx.Done() is caught by the receive case; a bare
+				// x.Done() statement is the WaitGroup handshake.
+				tied = true
+				return false
+			}
+			if depth > 1 {
+				if node := calleeNode(pass, n); node != nil && node.Decl != nil && node.Decl.Body != nil {
+					if hasShutdownTie(pass, node.Decl.Body, depth-1) {
+						tied = true
+					}
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

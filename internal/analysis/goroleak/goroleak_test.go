@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/framework/analysistest"
+	"mdw/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, ".", goroleak.Analyzer, "a", "b")
+}

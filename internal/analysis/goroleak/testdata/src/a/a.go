@@ -1,0 +1,30 @@
+// Package a exercises goroleak diagnostics: untied loops, dynamic
+// goroutine targets, and untied literals.
+package a
+
+type Sampler struct{ n int }
+
+// loop spins forever with no way to stop it.
+func (s *Sampler) loop() {
+	for {
+		s.n++
+	}
+}
+
+func (s *Sampler) Start() {
+	go s.loop() // want `goroutine has no shutdown tie`
+}
+
+// Fire launches a caller-supplied function: nothing ties it down, and
+// the target cannot even be inspected.
+func Fire(fn func()) {
+	go fn() // want `goroutine target is not statically resolvable`
+}
+
+func Inline(s *Sampler) {
+	go func() { // want `goroutine has no shutdown tie`
+		for {
+			s.n++
+		}
+	}()
+}

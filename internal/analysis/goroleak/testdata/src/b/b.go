@@ -1,0 +1,53 @@
+// Package b holds goroutines goroleak must accept: quit-channel
+// receives, WaitGroup handshakes, channel ranges, and a shutdown tie
+// one static call below the go statement.
+package b
+
+import "sync"
+
+type Worker struct {
+	quit chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+// run drains jobs until quit closes.
+func (w *Worker) run() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+func (w *Worker) Start() {
+	go w.run()
+}
+
+// Spawn uses the WaitGroup handshake.
+func (w *Worker) Spawn(job func()) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		job()
+	}()
+}
+
+// Consume ranges over a channel: draining until close IS the shutdown.
+func Consume(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// StartIndirect ties the goroutine one call deeper: outer delegates to
+// run, which receives.
+func (w *Worker) StartIndirect() {
+	go w.outer()
+}
+
+func (w *Worker) outer() { w.run() }

@@ -1,0 +1,433 @@
+// Package lockorder checks that the program's mutexes are always
+// acquired in one global order. locksafe (same-receiver re-entry) and
+// lockorder split the deadlock space between them: locksafe owns "this
+// lock taken twice", lockorder owns "lock A held while taking lock B,
+// elsewhere B held while taking A" — the classic cross-component
+// deadlock that needs two goroutines and is invisible to any
+// single-package analysis.
+//
+// Mechanics: each package run records (1) every sync.Mutex/RWMutex
+// field and package-level mutex var (syntactic — the loader stubs
+// sync), (2) every acquire/release on a resolvable mutex owner, keyed
+// by a program-wide lock identity (owner package, type, field), and
+// (3) the locked regions (acquire to first non-deferred release of the
+// same lock, else end of body). The Finish hook then computes, over the
+// shared call graph, the may-acquire set of every function (direct
+// acquires plus everything reachable callees may take, interface
+// dispatch included), projects each locked region onto the calls it
+// contains to produce held→taken edges, and reports every strongly
+// connected component of two or more locks as an ordering cycle, once,
+// at the first edge that closes it.
+//
+// Re-acquiring the SAME lock is deliberately not reported here — that
+// is locksafe's finding, with receiver-level precision this
+// whole-program pass cannot match.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mdw/internal/analysis/framework"
+	"mdw/internal/analysis/framework/callgraph"
+)
+
+// Analyzer is the lockorder framework.Analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "mutexes must be acquired in a consistent global order\n\n" +
+		"Builds the program-wide held-while-acquiring graph from locked\n" +
+		"regions and the call graph; any cycle between distinct locks is a\n" +
+		"potential deadlock.",
+	Run:    run,
+	Finish: finish,
+}
+
+// lockID names one mutex program-wide: the package and type that own
+// the field, or just the package for a package-level mutex var.
+type lockID struct {
+	pkg   string
+	typ   string // "" for a package-level var
+	field string
+}
+
+func (id lockID) String() string {
+	pkg := id.pkg
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if id.typ == "" {
+		return pkg + "." + id.field
+	}
+	return pkg + "." + id.typ + "." + id.field
+}
+
+// acquire is one Lock/RLock call on a resolved mutex.
+type acquire struct {
+	id       lockID
+	call     *ast.CallExpr
+	deferred bool
+}
+
+// region is one locked span inside a function body.
+type region struct {
+	id         lockID
+	start, end token.Pos
+	fn         *ast.FuncDecl
+}
+
+type state struct {
+	// declared mutexes: validated against in Finish so a stray
+	// x.y.Lock() on a non-mutex never becomes a lock node.
+	mutexes map[lockID]bool
+	// direct acquires per declaring function (may-acquire seeds).
+	acquires map[*ast.FuncDecl][]acquire
+	regions  []region
+}
+
+func getState(pass *framework.Pass) *state {
+	return pass.Prog.Memo("lockorder.state", func() any {
+		return &state{mutexes: map[lockID]bool{}, acquires: map[*ast.FuncDecl][]acquire{}}
+	}).(*state)
+}
+
+func run(pass *framework.Pass) error {
+	st := getState(pass)
+
+	// Mutex declarations: struct fields and package-level vars.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st_, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st_.Fields.List {
+						if !isMutexType(field.Type) {
+							continue
+						}
+						for _, name := range field.Names {
+							st.mutexes[lockID{pass.Path, spec.Name.Name, name.Name}] = true
+						}
+					}
+				case *ast.ValueSpec:
+					if !isMutexType(spec.Type) {
+						continue
+					}
+					for _, name := range spec.Names {
+						st.mutexes[lockID{pass.Path, "", name.Name}] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Acquires, releases, and locked regions per function.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var acqs []acquire
+			type release struct {
+				id  lockID
+				pos token.Pos
+			}
+			var rels []release
+			deferred := map[*ast.CallExpr]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if ds, ok := n.(*ast.DeferStmt); ok {
+					deferred[ds.Call] = true
+					return true
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, op, ok := lockTarget(pass, call)
+				if !ok {
+					return true
+				}
+				switch op {
+				case "Lock", "RLock":
+					acqs = append(acqs, acquire{id: id, call: call, deferred: deferred[call]})
+				case "Unlock", "RUnlock":
+					if !deferred[call] {
+						rels = append(rels, release{id: id, pos: call.Pos()})
+					}
+				}
+				return true
+			})
+			if len(acqs) == 0 {
+				continue
+			}
+			st.acquires[fd] = acqs
+			for _, a := range acqs {
+				if a.deferred {
+					continue
+				}
+				end := fd.Body.End()
+				for _, r := range rels {
+					if r.id == a.id && r.pos > a.call.End() && r.pos < end {
+						end = r.pos
+					}
+				}
+				st.regions = append(st.regions, region{id: a.id, start: a.call.End(), end: end, fn: fd})
+			}
+		}
+	}
+	return nil
+}
+
+// lockTarget matches <expr>.<field>.<op>() and <mutexVar>.<op>() where
+// op is Lock/RLock/Unlock/RUnlock, and resolves the owner to a lockID.
+// Validity (is that field really a mutex?) is checked in Finish against
+// the declaration table, so resolution here can be generous.
+func lockTarget(pass *framework.Pass, call *ast.CallExpr) (lockID, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockID{}, "", false
+	}
+	op := sel.Sel.Name
+	if op != "Lock" && op != "RLock" && op != "Unlock" && op != "RUnlock" {
+		return lockID{}, "", false
+	}
+	switch owner := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// x.mu.Lock(): the owner is the type of x, which is a module type
+		// and therefore fully resolved even under import stubbing.
+		tv, ok := pass.TypesInfo.Types[owner.X]
+		if !ok || tv.Type == nil {
+			return lockID{}, "", false
+		}
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return lockID{}, "", false
+		}
+		return lockID{named.Obj().Pkg().Path(), named.Obj().Name(), owner.Sel.Name}, op, true
+	case *ast.Ident:
+		// mu.Lock() on a package-level mutex var.
+		obj := pass.TypesInfo.Uses[owner]
+		if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+			return lockID{}, "", false
+		}
+		return lockID{obj.Pkg().Path(), "", obj.Name()}, op, true
+	}
+	return lockID{}, "", false
+}
+
+// isMutexType matches (*)sync.Mutex / (*)sync.RWMutex syntactically.
+func isMutexType(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// lockEdge is one observed "held id held while acquiring taken".
+type lockEdge struct {
+	held, taken lockID
+	pos         token.Pos
+	via         string // how the taken lock is reached (callee name or "directly")
+}
+
+func finish(pass *framework.Pass) error {
+	st := getState(pass)
+	g := callgraph.Of(pass)
+
+	// may-acquire fixpoint over the call graph.
+	may := map[*callgraph.Node]map[lockID]bool{}
+	for fd, acqs := range st.acquires {
+		node := g.NodeForDecl(fd)
+		if node == nil {
+			continue
+		}
+		set := map[lockID]bool{}
+		for _, a := range acqs {
+			if st.mutexes[a.id] {
+				set[a.id] = true
+			}
+		}
+		may[node] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.Nodes() {
+			for _, e := range node.Out {
+				for id := range may[e.Callee] {
+					if may[node] == nil {
+						may[node] = map[lockID]bool{}
+					}
+					if !may[node][id] {
+						may[node][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Project each locked region onto the acquires and calls inside it.
+	edges := map[lockID]map[lockID]lockEdge{}
+	addEdge := func(held, taken lockID, pos token.Pos, via string) {
+		if held == taken { // same-lock re-entry is locksafe's finding
+			return
+		}
+		if edges[held] == nil {
+			edges[held] = map[lockID]lockEdge{}
+		}
+		if prev, ok := edges[held][taken]; !ok || pos < prev.pos {
+			edges[held][taken] = lockEdge{held, taken, pos, via}
+		}
+	}
+	for _, r := range st.regions {
+		if !st.mutexes[r.id] {
+			continue
+		}
+		for _, a := range st.acquires[r.fn] {
+			if !a.deferred && st.mutexes[a.id] && a.call.Pos() >= r.start && a.call.Pos() < r.end {
+				addEdge(r.id, a.id, a.call.Pos(), "directly")
+			}
+		}
+		caller := g.NodeForDecl(r.fn)
+		if caller == nil {
+			continue
+		}
+		for _, e := range caller.Out {
+			if e.Site.Pos() < r.start || e.Site.Pos() >= r.end {
+				continue
+			}
+			for id := range may[e.Callee] {
+				addEdge(r.id, id, e.Site.Pos(), "via "+e.Callee.Func.Name())
+			}
+		}
+	}
+
+	// Cycle detection: report each SCC of ≥2 locks once.
+	for _, scc := range stronglyConnected(edges) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Slice(scc, func(i, j int) bool { return scc[i].String() < scc[j].String() })
+		inSCC := map[lockID]bool{}
+		for _, id := range scc {
+			inSCC[id] = true
+		}
+		var first *lockEdge
+		for _, id := range scc {
+			for taken, e := range edges[id] {
+				if !inSCC[taken] {
+					continue
+				}
+				e := e
+				if first == nil || e.pos < first.pos {
+					first = &e
+				}
+			}
+		}
+		if first == nil {
+			continue
+		}
+		names := make([]string, len(scc))
+		for i, id := range scc {
+			names[i] = id.String()
+		}
+		pass.Reportf(first.pos, "lock ordering cycle among {%s}: %s is acquired (%s) while %s is held, and the reverse order also occurs; two goroutines can deadlock — pick one global order",
+			strings.Join(names, ", "), first.taken, first.via, first.held)
+	}
+	return nil
+}
+
+// stronglyConnected runs Tarjan's algorithm over the lock graph.
+func stronglyConnected(edges map[lockID]map[lockID]lockEdge) [][]lockID {
+	nodes := map[lockID]bool{}
+	for held, m := range edges {
+		nodes[held] = true
+		for taken := range m {
+			nodes[taken] = true
+		}
+	}
+	ordered := make([]lockID, 0, len(nodes))
+	for id := range nodes {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return fmt.Sprint(ordered[i]) < fmt.Sprint(ordered[j]) })
+
+	index := map[lockID]int{}
+	low := map[lockID]int{}
+	onStack := map[lockID]bool{}
+	var stack []lockID
+	var sccs [][]lockID
+	next := 0
+
+	var strongconnect func(v lockID)
+	strongconnect = func(v lockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		var succs []lockID
+		for w := range edges[v] {
+			succs = append(succs, w)
+		}
+		sort.Slice(succs, func(i, j int) bool { return fmt.Sprint(succs[i]) < fmt.Sprint(succs[j]) })
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+
+		if low[v] == index[v] {
+			var scc []lockID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range ordered {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}

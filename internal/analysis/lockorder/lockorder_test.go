@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/framework/analysistest"
+	"mdw/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.RunModule(t, ".", lockorder.Analyzer, "cycle", "ordered")
+}

@@ -1,0 +1,25 @@
+// Package base holds Store.mu and fires a Notifier while holding it —
+// one half of a cross-package lock cycle closed in package reg through
+// the interface dispatch.
+package base
+
+import "sync"
+
+type Notifier interface{ Notify() }
+
+type Store struct {
+	mu sync.Mutex
+	n  Notifier
+}
+
+func (s *Store) Put(v int) {
+	s.mu.Lock()
+	s.n.Notify() // want `lock ordering cycle`
+	s.mu.Unlock()
+}
+
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 0
+}

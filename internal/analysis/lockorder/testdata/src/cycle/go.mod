@@ -1,0 +1,3 @@
+module cycle
+
+go 1.21

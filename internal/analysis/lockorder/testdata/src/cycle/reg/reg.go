@@ -1,0 +1,27 @@
+// Package reg closes the cycle: Size holds Registry.mu while calling
+// Store.Len (which takes Store.mu), and Notify — reached from
+// Store.Put under Store.mu — takes Registry.mu.
+package reg
+
+import (
+	"sync"
+
+	"cycle/base"
+)
+
+type Registry struct {
+	mu sync.Mutex
+	s  *base.Store
+}
+
+// Notify implements base.Notifier.
+func (r *Registry) Notify() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.Len()
+}

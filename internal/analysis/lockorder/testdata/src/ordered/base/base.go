@@ -1,0 +1,24 @@
+// Package base releases Store.mu before notifying, so the only
+// cross-lock edge in this module points one way.
+package base
+
+import "sync"
+
+type Notifier interface{ Notify() }
+
+type Store struct {
+	mu sync.Mutex
+	n  Notifier
+}
+
+func (s *Store) Put(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.n.Notify()
+}
+
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 0
+}

@@ -1,0 +1,3 @@
+module ordered
+
+go 1.21

@@ -1,0 +1,31 @@
+// Package reg acquires Registry.mu before Store.mu everywhere; a
+// consistent order is exactly what lockorder wants to see. initMu
+// exercises package-level mutex vars.
+package reg
+
+import (
+	"sync"
+
+	"ordered/base"
+)
+
+var initMu sync.Mutex
+
+func Init() {
+	initMu.Lock()
+	defer initMu.Unlock()
+}
+
+type Registry struct {
+	mu sync.Mutex
+	s  *base.Store
+}
+
+// Notify implements base.Notifier without touching Registry.mu.
+func (r *Registry) Notify() {}
+
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.Len()
+}

@@ -1,0 +1,12 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"mdw/internal/analysis/framework/analysistest"
+	"mdw/internal/analysis/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	analysistest.RunModule(t, ".", syncerr.Analyzer, "propagate")
+}

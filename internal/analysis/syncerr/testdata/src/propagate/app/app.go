@@ -1,0 +1,16 @@
+// Package app consumes the DurableErr fact exported while analyzing
+// package wal: dropping the propagated error is the same bug one level
+// up.
+package app
+
+import "propagate/wal"
+
+// Persist discards a durability error received through the fact.
+func Persist(l *wal.Log, rec []byte) {
+	l.Flush() // want `error from Flush is discarded`
+}
+
+// Run propagates properly.
+func Run(l *wal.Log) error {
+	return l.Flush()
+}

@@ -1,0 +1,3 @@
+module propagate
+
+go 1.21

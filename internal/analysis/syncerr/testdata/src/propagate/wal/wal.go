@@ -1,0 +1,57 @@
+// Package wal exercises direct sink checking: discarded writes are
+// reported, checked ones are not, and the defer / close-on-error-path
+// idioms are exempt.
+package wal
+
+import (
+	"bufio"
+	"os"
+)
+
+type Log struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// Append drops the buffered write's error on the floor.
+func (l *Log) Append(rec []byte) {
+	l.bw.Write(rec) // want `error from Write is discarded`
+}
+
+// Flush checks everything and so becomes a DurableErr carrier.
+func (l *Log) Flush() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Write closes on the error path while returning the original error —
+// the sanctioned cleanup shape.
+func (l *Log) Write(rec []byte) error {
+	if _, err := l.bw.Write(rec); err != nil {
+		l.f.Close()
+		return err
+	}
+	return nil
+}
+
+// CloseQuietly discards under defer, which is exempt by rule.
+func (l *Log) CloseQuietly() {
+	defer l.f.Close()
+}
+
+// Drop assigns the close error to the blank identifier.
+func (l *Log) Drop() {
+	_ = l.f.Close() // want `error from Close is discarded`
+}
+
+// Snapshot tracks locals assigned from os constructors.
+func Snapshot(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(data) // want `error from f.Write is discarded`
+	return f.Close()
+}
