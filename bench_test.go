@@ -334,6 +334,51 @@ func BenchmarkFigure8Lineage(b *testing.B) {
 	})
 }
 
+// BenchmarkFigure8LineagePaper reruns the Figure 8 lineage workload at
+// paper scale through the SPARQL engine, sweeping the parallel
+// executor's worker cap (par=all is the process-wide default,
+// GOMAXPROCS or MDW_PARALLELISM). Every sub-benchmark reports the
+// plan-selected degree of parallelism as the "workers" metric — the CI
+// smoke asserts it exceeds 1 at par=all on multi-core runners — and
+// BENCH_parallel.json records the sweep.
+func BenchmarkFigure8LineagePaper(b *testing.B) {
+	f := paperLandscape(b)
+	idx := reason.IndexModelName("DWH_CURR", reason.RulebaseOWLPrime)
+	src := f.st.ViewOf("DWH_CURR", idx)
+	dict := f.st.Dict()
+	target := pathTerm(f.l.MartColumns[0])
+	origin := pathTerm(f.l.Chains[0][0])
+	prefix := `PREFIX dt: <` + rdf.DTNS + `> PREFIX dm: <` + rdf.DMNS + `> `
+	queries := []struct{ name, text string }{
+		// Backward lineage: the Figure 8 trace as a property path.
+		{"path-to-target", prefix + `SELECT ?s WHERE { ?s dt:isMappedTo* <` + target.Value + `> }`},
+		// Forward impact closure from a chain origin.
+		{"path-impact", prefix + `SELECT ?o WHERE { <` + origin.Value + `> dt:isMappedTo+ ?o }`},
+		// Mapping scan joined with names: the morsel-driven strategy.
+		{"join", prefix + `SELECT ?s ?n WHERE { ?s dt:isMappedTo ?t . ?s dm:hasName ?n }`},
+		// Root-level UNION over the two data-transfer predicates.
+		{"union", prefix + `SELECT ?s WHERE { { ?s dt:isMappedTo ?t } UNION { ?s dt:feeds ?t } }`},
+	}
+	levels := []struct {
+		label string
+		n     int
+	}{{"par=1", 1}, {"par=2", 2}, {"par=4", 4}, {"par=all", sparql.MaxParallelism()}}
+	for _, qc := range queries {
+		q := sparql.MustParse(qc.text)
+		for _, lv := range levels {
+			p := q.PlanOpts(src, dict, sparql.ParOptions{MaxWorkers: lv.n})
+			b.Run(qc.name+"/"+lv.label, func(b *testing.B) {
+				b.ReportMetric(float64(p.Parallelism()), "workers")
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Exec(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkListing2 runs the paper's Listing 2 lineage SEM_MATCH call.
 func BenchmarkListing2(b *testing.B) {
 	f := figure3Fixture(b)

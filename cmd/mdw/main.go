@@ -832,6 +832,10 @@ func printStatements(stmts []obs.StatementStat, evicted int64, n int) {
 		if len(stmt) > 96 {
 			stmt = stmt[:93] + "..."
 		}
+		par := "-"
+		if st.Parallelism > 0 {
+			par = fmt.Sprintf("%d", st.Parallelism)
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", i+1),
 			fmt.Sprintf("%d", st.Calls),
@@ -840,10 +844,11 @@ func printStatements(stmts []obs.StatementStat, evicted int64, n int) {
 			st.Mean.Round(time.Microsecond).String(),
 			st.Min.Round(time.Microsecond).String(),
 			st.Max.Round(time.Microsecond).String(),
+			par,
 			stmt,
 		})
 	}
-	printResultTable([]string{"#", "calls", "rows", "total", "mean", "min", "max", "statement"}, rows)
+	printResultTable([]string{"#", "calls", "rows", "total", "mean", "min", "max", "par", "statement"}, rows)
 	if evicted > 0 {
 		fmt.Printf("(%d least-expensive fingerprints evicted from the table)\n", evicted)
 	}

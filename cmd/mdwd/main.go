@@ -42,6 +42,7 @@ import (
 	"mdw/internal/landscape"
 	"mdw/internal/obs"
 	"mdw/internal/ontology"
+	"mdw/internal/sparql"
 	"mdw/internal/staging"
 )
 
@@ -56,8 +57,11 @@ func main() {
 	slow := flag.Duration("slow-query", obs.DefaultSlowQueryThreshold,
 		"log queries slower than this to /api/traces (0s = every query, <0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	parallelism := flag.Int("parallelism", sparql.MaxParallelism(),
+		"max workers per query (default GOMAXPROCS, or MDW_PARALLELISM; 1 = serial execution)")
 	flag.Parse()
 	obs.DefaultSlowLog().SetThreshold(*slow)
+	sparql.SetMaxParallelism(*parallelism)
 
 	w, mgr, err := buildWarehouse(*data, *dump, *scale, *dataDir, *fsync, *ckptEvery)
 	if err != nil {

@@ -28,6 +28,16 @@ type StatementStat struct {
 	Mean        time.Duration `json:"meanNs"`
 	LastPlan    string        `json:"lastPlan,omitempty"`
 	LastSeen    time.Time     `json:"lastSeen"`
+	// Parallelism is the degree of parallelism of the last recorded plan
+	// (1 = serial; 0 = the plan did not report one).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// ParallelPlan is optionally implemented by recorded plans that carry a
+// degree of parallelism (the SPARQL Plan does); Record captures it so
+// `mdw top` can show which statements fan out.
+type ParallelPlan interface {
+	Parallelism() int
 }
 
 // stmtEntry is the mutable accumulator behind one StatementStat. The
@@ -41,6 +51,7 @@ type stmtEntry struct {
 	total    time.Duration
 	min, max time.Duration
 	lastPlan fmt.Stringer
+	lastPar  int
 	lastSeen time.Time
 }
 
@@ -92,6 +103,9 @@ func (s *Statements) Record(fp, query string, rows int, d time.Duration, plan fm
 	}
 	if plan != nil {
 		e.lastPlan = plan
+		if pp, ok := plan.(ParallelPlan); ok {
+			e.lastPar = pp.Parallelism()
+		}
 	}
 	e.lastSeen = now
 }
@@ -155,6 +169,7 @@ func (s *Statements) Snapshot() []StatementStat {
 			Min:         e.min,
 			Max:         e.max,
 			LastSeen:    e.lastSeen,
+			Parallelism: e.lastPar,
 		}
 		if e.calls > 0 {
 			st.Mean = e.total / time.Duration(e.calls)

@@ -11,6 +11,7 @@ package sparql_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -109,6 +110,9 @@ func entailedFixture(rng *rand.Rand) diffFixture {
 type queryGen struct {
 	rng *rand.Rand
 	fx  diffFixture
+	// paths makes pattern() occasionally emit <p>* / <p>+ property paths,
+	// exercising the parallel frontier BFS in the parallel sweep.
+	paths bool
 }
 
 var diffVars = []string{"a", "b", "c", "d"}
@@ -121,7 +125,13 @@ func (g *queryGen) pattern() string {
 		s = "<" + g.fx.subjects[g.rng.Intn(len(g.fx.subjects))] + ">"
 	}
 	p := "<" + g.fx.preds[g.rng.Intn(len(g.fx.preds))] + ">"
-	if g.rng.Intn(10) == 0 {
+	if g.paths && g.rng.Intn(4) == 0 {
+		if g.rng.Intn(2) == 0 {
+			p += "*"
+		} else {
+			p += "+"
+		}
+	} else if g.rng.Intn(10) == 0 {
 		p = "?" + g.variable()
 	}
 	o := "?" + g.variable()
@@ -251,6 +261,91 @@ func subsetOf(a, b []string) bool {
 		counts[k]--
 	}
 	return true
+}
+
+// TestDifferentialParallel is the parallel twin of the harness below:
+// the same class of random queries (plus property paths), executed
+// through plans forced into parallel strategies at several worker
+// counts, must agree with the naive reference at every level. The
+// thresholds are floored to 1 so even these tiny fixtures take the
+// morsel / parallel-UNION / frontier-BFS code paths; run it with -race
+// to make it a data-race hunt as well as a semantics check.
+func TestDifferentialParallel(t *testing.T) {
+	levels := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		levels = append(levels, n)
+	}
+	rng := rand.New(rand.NewSource(77))
+	fixtures := []diffFixture{simpleFixture(rng), entailedFixture(rng)}
+	const perFixture = 150 // 300 queries, each at every parallelism level
+	for _, fx := range fixtures {
+		g := &queryGen{rng: rng, fx: fx, paths: true}
+		for i := 0; i < perFixture; i++ {
+			full, unlimited := g.query()
+			q, err := sparql.Parse(full)
+			if err != nil {
+				t.Fatalf("[%s #%d] generator emitted unparsable query %q: %v", fx.name, i, full, err)
+			}
+			naive, err := q.ExecNaive(fx.src, fx.dict)
+			if err != nil {
+				t.Fatalf("[%s #%d] naive exec failed for %q: %v", fx.name, i, full, err)
+			}
+			// For LIMIT-without-ORDER-BY, precompute the full solution
+			// multiset once: any right-sized subset of it is correct.
+			var fk []string
+			if unlimited != "" {
+				uq, err := sparql.Parse(unlimited)
+				if err != nil {
+					t.Fatalf("[%s #%d] unlimited variant unparsable: %v", fx.name, i, err)
+				}
+				fullRes, err := uq.ExecNaive(fx.src, fx.dict)
+				if err != nil {
+					t.Fatalf("[%s #%d] unlimited naive exec failed: %v", fx.name, i, err)
+				}
+				fk = rowKeys(fullRes)
+			}
+			nk := rowKeys(naive)
+			for _, workers := range levels {
+				p := q.PlanOpts(fx.src, fx.dict, sparql.ParOptions{
+					MaxWorkers:        workers,
+					MorselSize:        4,
+					SerialThreshold:   1,
+					FrontierThreshold: 1,
+				})
+				res, err := p.Exec()
+				if err != nil {
+					t.Fatalf("[%s #%d w=%d] parallel exec failed for %q: %v", fx.name, i, workers, full, err)
+				}
+				if q.Kind == sparql.AskQuery {
+					if res.Ask != naive.Ask {
+						t.Errorf("[%s #%d w=%d] ASK divergence on %q: parallel=%v naive=%v",
+							fx.name, i, workers, full, res.Ask, naive.Ask)
+					}
+					continue
+				}
+				pk := rowKeys(res)
+				if unlimited == "" {
+					if !sameMultiset(pk, nk) {
+						t.Errorf("[%s #%d w=%d] divergence on %q:\nparallel (%d): %v\nnaive    (%d): %v",
+							fx.name, i, workers, full, len(pk), pk, len(nk), nk)
+					}
+					continue
+				}
+				want := len(fk)
+				if q.Limit < want {
+					want = q.Limit
+				}
+				if len(pk) != want {
+					t.Errorf("[%s #%d w=%d] LIMIT row count wrong on %q: got %d want %d",
+						fx.name, i, workers, full, len(pk), want)
+				}
+				if !subsetOf(pk, fk) {
+					t.Errorf("[%s #%d w=%d] LIMIT rows not drawn from full solutions on %q",
+						fx.name, i, workers, full)
+				}
+			}
+		}
+	}
 }
 
 func TestDifferentialPlannerVsNaive(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mdw/internal/obs"
@@ -103,7 +104,7 @@ func (p *Plan) Exec() (*Result, error) {
 func (p *Plan) ExecCtx(ctx context.Context) (*Result, error) {
 	sp, _ := obs.ChildCtx(ctx, "sparql exec")
 	t0 := time.Now()
-	res, err := p.exec()
+	res, info, err := p.exec(ctx)
 	d := obsExecHist.ObserveSince(t0)
 	if err != nil || res == nil {
 		sp.Finish()
@@ -114,6 +115,11 @@ func (p *Plan) ExecCtx(ctx context.Context) (*Result, error) {
 		rows = len(res.Triples)
 	} else if p.query.Kind == AskQuery {
 		rows = 1
+	}
+	if info.workers > 1 {
+		sp.SetLabel("parallel", info.strategy)
+		sp.SetLabel("workers", strconv.Itoa(info.workers))
+		sp.SetLabel("morsels", strconv.Itoa(info.tasks))
 	}
 	sp.SetLabel("rows", strconv.Itoa(rows)).Finish()
 	obsRows.Add(int64(rows))
@@ -133,15 +139,33 @@ func (p *Plan) ExecCtx(ctx context.Context) (*Result, error) {
 	return res, err
 }
 
-func (p *Plan) exec() (*Result, error) {
+// execInfo is the parallel-execution evidence one exec produced, fed to
+// the trace span labels.
+type execInfo struct {
+	strategy string
+	workers  int
+	tasks    int
+}
+
+func (p *Plan) exec(ctx context.Context) (*Result, execInfo, error) {
 	if p.src == nil || p.dict == nil {
-		return nil, errors.New("sparql: plan was built without a source; use Query.Plan(src, dict)")
+		return nil, execInfo{}, errors.New("sparql: plan was built without a source; use Query.Plan(src, dict)")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, execInfo{}, err
+		}
 	}
 	q := p.query
-	ev := &evaluator{src: p.src, dict: p.dict}
+	ev := &evaluator{src: p.src, dict: p.dict, ctx: ctx, plan: p}
+	res, err := ev.execKind(q)
+	return res, execInfo{strategy: ev.parStrategy, workers: ev.parWorkers, tasks: ev.parTasks}, err
+}
+
+func (ev *evaluator) execKind(q *Query) (*Result, error) {
 	if q.Kind == AskQuery {
 		found := false
-		ev.runGroup(p.root, env{}, func(env) bool {
+		ev.runRoot(func(env) bool {
 			found = true
 			return false
 		})
@@ -155,12 +179,12 @@ func (p *Plan) exec() (*Result, error) {
 	}
 	if q.Kind == SelectQuery && len(q.Select) > 0 {
 		if hasAggregates(q) || len(q.GroupBy) > 0 {
-			return ev.aggregateRows(q, p.root)
+			return ev.aggregateRows(q)
 		}
-		return ev.selectRows(q, p.root)
+		return ev.selectRows(q)
 	}
 	var sols []env
-	ev.runGroup(p.root, env{}, func(s env) bool {
+	ev.runRoot(func(s env) bool {
 		sols = append(sols, s.clone())
 		return true
 	})
@@ -197,6 +221,28 @@ type evaluator struct {
 	// err records the first execution error; recursion unwinds by
 	// returning false once it is set.
 	err error
+	// ctx is the execution's request context; cancelled() probes it
+	// every cancelTick match callbacks. nil means uncancellable.
+	ctx context.Context
+	// tick counts cancellation probes (see cancelled).
+	tick uint32
+	// plan is the executing plan; runRoot reads its parallel decision.
+	// nil for worker evaluators and the naive reference evaluator, whose
+	// pipelines are always serial.
+	plan *Plan
+	// parStop, when set, is the merger's early-termination flag of the
+	// parallel run this (worker) evaluator belongs to.
+	parStop *atomic.Bool
+	// pathWorkers/frontierMin arm parallel frontier BFS in the path
+	// engine (0 = serial traversal).
+	pathWorkers int
+	frontierMin int
+	// Parallel execution evidence, reported on trace spans: the strategy
+	// actually used, the workers launched, and the tasks (morsels,
+	// branches, or BFS levels) processed.
+	parStrategy string
+	parWorkers  int
+	parTasks    int
 }
 
 // term decodes an ID through the per-execution filter decode cache.
@@ -357,6 +403,10 @@ func (r *bgpRun) next(idx int) bool {
 // onTriple handles one index match for pattern idx: bind the pattern's
 // variables in place, run the deeper levels, then restore the bindings.
 func (r *bgpRun) onTriple(idx int, t store.ETriple) bool {
+	if r.ev.cancelled() || r.ev.stopped() {
+		r.frames[idx].cont = false
+		return false
+	}
 	pp := r.b.patterns[idx]
 	f := &r.frames[idx]
 	s := r.s
@@ -485,7 +535,7 @@ func hasAggregates(q *Query) bool {
 // building result rows directly from the streamed solutions — no
 // intermediate env clone per solution. When the query has a LIMIT and no
 // ORDER BY it also stops the pipeline as soon as enough rows exist.
-func (ev *evaluator) selectRows(q *Query, root *planGroup) (*Result, error) {
+func (ev *evaluator) selectRows(q *Query) (*Result, error) {
 	vars := make([]string, len(q.Select))
 	for i, it := range q.Select {
 		vars[i] = it.Var
@@ -500,7 +550,7 @@ func (ev *evaluator) selectRows(q *Query, root *planGroup) (*Result, error) {
 		seen = make(map[string]bool)
 	}
 	if needed != 0 {
-		ev.runGroup(root, env{}, func(s env) bool {
+		ev.runRoot(func(s env) bool {
 			b := make(Binding, len(vars))
 			for _, v := range vars {
 				if id, ok := s[v]; ok {
@@ -543,7 +593,7 @@ func (ev *evaluator) selectRows(q *Query, root *planGroup) (*Result, error) {
 // aggregateRows streams solutions straight into per-group aggregate
 // state — group key, COUNT counters, and the handful of IDs the
 // projection needs — instead of materializing a cloned env per solution.
-func (ev *evaluator) aggregateRows(q *Query, root *planGroup) (*Result, error) {
+func (ev *evaluator) aggregateRows(q *Query) (*Result, error) {
 	items := q.Select
 	vars := make([]string, len(items))
 	for i, it := range items {
@@ -570,7 +620,7 @@ func (ev *evaluator) aggregateRows(q *Query, root *planGroup) (*Result, error) {
 	groups := map[string]*aggState{}
 	var order []string
 	var keyBuf []byte
-	ev.runGroup(root, env{}, func(s env) bool {
+	ev.runRoot(func(s env) bool {
 		keyBuf = keyBuf[:0]
 		for _, gv := range q.GroupBy {
 			keyBuf = strconv.AppendUint(keyBuf, uint64(s[gv]), 10)

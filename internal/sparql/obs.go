@@ -15,6 +15,17 @@ var (
 	obsRows          = obs.Default().Counter("mdw_sparql_rows_total")
 	obsEarlyAsk      = obs.Default().Counter("mdw_sparql_early_terminations_total", "kind", "ask")
 	obsEarlyLimit    = obs.Default().Counter("mdw_sparql_early_terminations_total", "kind", "limit")
+
+	// Intra-query parallelism: executions per strategy, executions whose
+	// plan chose a strategy but fell back to serial at runtime (stale
+	// estimates, narrow frontiers), and the fan-out volumes.
+	obsParExecMorsel = obs.Default().Counter("mdw_sparql_parallel_execs_total", "strategy", "morsel")
+	obsParExecUnion  = obs.Default().Counter("mdw_sparql_parallel_execs_total", "strategy", "union")
+	obsParExecPath   = obs.Default().Counter("mdw_sparql_parallel_execs_total", "strategy", "path")
+	obsParFallback   = obs.Default().Counter("mdw_sparql_parallel_fallbacks_total")
+	obsParWorkers    = obs.Default().Counter("mdw_sparql_parallel_workers_total")
+	obsParMorsels    = obs.Default().Counter("mdw_sparql_parallel_morsels_total")
+	obsParPathLevels = obs.Default().Counter("mdw_sparql_parallel_path_levels_total")
 )
 
 func init() {
@@ -26,4 +37,9 @@ func init() {
 	r.SetHelp("mdw_sparql_plancache_total", "Memoized-plan lookups in Query.Exec by result.")
 	r.SetHelp("mdw_sparql_rows_total", "Solutions streamed to clients (rows, or triples for CONSTRUCT).")
 	r.SetHelp("mdw_sparql_early_terminations_total", "Executions stopped before exhausting the search space (ASK first solution, LIMIT reached).")
+	r.SetHelp("mdw_sparql_parallel_execs_total", "Executions that fanned out to the parallel strategy.")
+	r.SetHelp("mdw_sparql_parallel_fallbacks_total", "Executions whose plan chose a parallel strategy but ran serially (live data under the threshold).")
+	r.SetHelp("mdw_sparql_parallel_workers_total", "Workers launched by parallel executions.")
+	r.SetHelp("mdw_sparql_parallel_morsels_total", "Candidate morsels dispatched by parallel BGP scans.")
+	r.SetHelp("mdw_sparql_parallel_path_levels_total", "BFS frontier levels expanded in parallel by path closures.")
 }

@@ -1,0 +1,374 @@
+package sparql_test
+
+// Tests for intra-query parallelism: strategy selection, the
+// deterministic-order guarantee (parallel execution returns the exact
+// row sequence serial execution does, not just the same multiset),
+// cancellation (no goroutine outlives ExecCtx), and early termination.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mdw/internal/rdf"
+	"mdw/internal/sparql"
+	"mdw/internal/store"
+)
+
+// forcedPar returns options that parallelize aggressively: any estimate
+// triggers fan-out and morsels are tiny, so even test-sized fixtures
+// exercise the worker pool.
+func forcedPar(workers int) sparql.ParOptions {
+	return sparql.ParOptions{
+		MaxWorkers:        workers,
+		MorselSize:        8,
+		SerialThreshold:   1,
+		FrontierThreshold: 1,
+	}
+}
+
+// serialPar forces serial execution for the baseline runs.
+func serialPar() sparql.ParOptions {
+	return sparql.ParOptions{MaxWorkers: 1}
+}
+
+// parLevels is the worker-count sweep the satellites require: 1, 2, and
+// GOMAXPROCS, padded with 4 so multi-worker merging is exercised even on
+// small machines.
+func parLevels() []int {
+	levels := []int{1, 2, 4}
+	n := runtime.GOMAXPROCS(0)
+	for _, l := range levels {
+		if l == n {
+			return levels
+		}
+	}
+	return append(levels, n)
+}
+
+// typedFixture builds a model whose first join step is answered from an
+// index slice ((?s, type, C) probes pos[type][C]), so the serial
+// enumeration order is deterministic and parallel runs must reproduce it
+// exactly.
+func typedFixture(t testing.TB, n int) (store.Source, *store.Dict) {
+	t.Helper()
+	st := store.New()
+	var ts []rdf.Triple
+	for i := 0; i < n; i++ {
+		s := rdf.IRI(fmt.Sprintf("http://d/s%05d", i))
+		ts = append(ts, rdf.T(s, rdf.Type, rdf.IRI("http://d/C")))
+		ts = append(ts, rdf.T(s, rdf.HasName, rdf.Literal(fmt.Sprintf("n%d", i%17))))
+		if i%2 == 0 {
+			ts = append(ts, rdf.T(s, rdf.Type, rdf.IRI("http://d/C2")))
+		}
+	}
+	st.AddAll("m", ts)
+	return st.ViewOf("m"), st.Dict()
+}
+
+// rowStrings renders result rows in order, for exact-sequence comparison.
+func rowStrings(res *sparql.Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		var b strings.Builder
+		for _, v := range res.Vars {
+			if tm, ok := row[v]; ok {
+				fmt.Fprintf(&b, "%s=%s;", v, tm.String())
+			}
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+func mustExec(t *testing.T, q *sparql.Query, src store.Source, dict *store.Dict, opts sparql.ParOptions) *sparql.Result {
+	t.Helper()
+	res, err := q.PlanOpts(src, dict, opts).Exec()
+	if err != nil {
+		t.Fatalf("exec failed: %v", err)
+	}
+	return res
+}
+
+// TestParallelDeterministicOrder is the satellite regression test: an
+// ORDER BY-free SELECT must return identically ordered rows at
+// parallelism 1 and N, matching the serial order.
+func TestParallelDeterministicOrder(t *testing.T) {
+	src, dict := typedFixture(t, 3000)
+	queries := []string{
+		`SELECT ?s ?n WHERE { ?s <` + rdf.RDFType + `> <http://d/C> . ?s <` + rdf.MDWHasName + `> ?n }`,
+		`SELECT ?s WHERE { ?s <` + rdf.RDFType + `> <http://d/C> }`,
+		`SELECT DISTINCT ?n WHERE { ?s <` + rdf.RDFType + `> <http://d/C> . ?s <` + rdf.MDWHasName + `> ?n }`,
+		`SELECT ?s ?n WHERE { ?s <` + rdf.RDFType + `> <http://d/C> . ?s <` + rdf.MDWHasName + `> ?n } LIMIT 100`,
+	}
+	for _, text := range queries {
+		q := sparql.MustParse(text)
+		serial := rowStrings(mustExec(t, q, src, dict, serialPar()))
+		for _, par := range parLevels()[1:] {
+			p := q.PlanOpts(src, dict, forcedPar(par))
+			if p.Parallelism() < 2 {
+				t.Fatalf("parallelism %d not selected for %q (got %d)", par, text, p.Parallelism())
+			}
+			res, err := p.Exec()
+			if err != nil {
+				t.Fatalf("parallel exec (%d workers) failed: %v", par, err)
+			}
+			got := rowStrings(res)
+			if len(got) != len(serial) {
+				t.Fatalf("row count at %d workers: got %d, want %d (%q)", par, len(got), len(serial), text)
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("row order diverges at %d workers, row %d: got %q, want %q (%q)",
+						par, i, got[i], serial[i], text)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelUnionOrder: both UNION branches are slice-backed scans, so
+// the parallel left-then-right merge must reproduce the serial sequence.
+func TestParallelUnionOrder(t *testing.T) {
+	src, dict := typedFixture(t, 2000)
+	text := `SELECT ?s WHERE { { ?s <` + rdf.RDFType + `> <http://d/C> } UNION { ?s <` + rdf.RDFType + `> <http://d/C2> } }`
+	q := sparql.MustParse(text)
+	serial := rowStrings(mustExec(t, q, src, dict, serialPar()))
+	p := q.PlanOpts(src, dict, forcedPar(4))
+	if got := p.Parallelism(); got != 2 {
+		t.Fatalf("UNION parallelism = %d, want 2", got)
+	}
+	if !strings.Contains(p.String(), "PARALLEL UNION") {
+		t.Fatalf("plan rendering lacks PARALLEL UNION line:\n%s", p)
+	}
+	res, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowStrings(res)
+	if len(got) != len(serial) {
+		t.Fatalf("row count: got %d, want %d", len(got), len(serial))
+	}
+	for i := range got {
+		if got[i] != serial[i] {
+			t.Fatalf("UNION order diverges at row %d: got %q, want %q", i, got[i], serial[i])
+		}
+	}
+}
+
+// chainFixture builds a graph of e-edges with enough branching that BFS
+// frontiers grow wide: 60 roots each starting a chain, plus skip edges.
+func chainFixture(t testing.TB, n int) (store.Source, *store.Dict) {
+	t.Helper()
+	st := store.New()
+	node := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("http://d/n%05d", i)) }
+	edge := rdf.IRI("http://d/e")
+	var ts []rdf.Triple
+	for i := 0; i < n; i++ {
+		if i+60 < n {
+			ts = append(ts, rdf.T(node(i), edge, node(i+60)))
+		}
+		if i%3 == 0 && i+61 < n {
+			ts = append(ts, rdf.T(node(i), edge, node(i+61)))
+		}
+	}
+	st.AddAll("g", ts)
+	return st.ViewOf("g"), st.Dict()
+}
+
+// TestParallelPathOrder: closures run level-synchronously, so forward,
+// backward, and both-unbound path queries must return the serial BFS
+// discovery order at any worker count.
+func TestParallelPathOrder(t *testing.T) {
+	src, dict := chainFixture(t, 1500)
+	smallSrc, smallDict := chainFixture(t, 250) // all-pairs closure: keep the universe small
+	queries := []string{
+		`SELECT ?o WHERE { <http://d/n00000> <http://d/e>+ ?o }`,
+		`SELECT ?o WHERE { <http://d/n00003> <http://d/e>* ?o }`,
+		`SELECT ?s WHERE { ?s <http://d/e>* <http://d/n01490> }`,
+		`SELECT ?s ?o WHERE { ?s <http://d/e>+ ?o }`,
+	}
+	for qi, text := range queries {
+		src, dict := src, dict
+		if qi == len(queries)-1 {
+			src, dict = smallSrc, smallDict
+		}
+		q := sparql.MustParse(text)
+		serial := rowStrings(mustExec(t, q, src, dict, serialPar()))
+		for _, par := range parLevels()[1:] {
+			res, err := q.PlanOpts(src, dict, forcedPar(par)).Exec()
+			if err != nil {
+				t.Fatalf("parallel path exec (%d workers) failed: %v", par, err)
+			}
+			got := rowStrings(res)
+			if len(got) != len(serial) {
+				t.Fatalf("path rows at %d workers: got %d, want %d (%q)", par, len(got), len(serial), text)
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("path order diverges at %d workers, row %d (%q)", par, i, text)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAggregateParity: aggregation consumes the ordered merge on
+// the caller goroutine, so grouped results must match serial exactly.
+func TestParallelAggregateParity(t *testing.T) {
+	src, dict := typedFixture(t, 3000)
+	text := `SELECT ?n (COUNT(?s) AS ?c) WHERE { ?s <` + rdf.RDFType + `> <http://d/C> . ?s <` + rdf.MDWHasName + `> ?n } GROUP BY ?n`
+	q := sparql.MustParse(text)
+	serial := rowStrings(mustExec(t, q, src, dict, serialPar()))
+	for _, par := range parLevels()[1:] {
+		got := rowStrings(mustExec(t, q, src, dict, forcedPar(par)))
+		if len(got) != len(serial) {
+			t.Fatalf("group count at %d workers: got %d, want %d", par, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("aggregate rows diverge at %d workers, row %d: got %q want %q", par, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestParallelSelection checks the planner's thresholds: big scans pick
+// the morsel strategy under default options, small ones stay serial, and
+// the decision is visible in the plan rendering and Parallelism().
+func TestParallelSelection(t *testing.T) {
+	big, bigDict := typedFixture(t, 6000)
+	small, smallDict := typedFixture(t, 20)
+	q := sparql.MustParse(`SELECT ?s WHERE { ?s <` + rdf.RDFType + `> <http://d/C> }`)
+
+	p := q.PlanOpts(big, bigDict, sparql.ParOptions{MaxWorkers: 4})
+	if p.Parallelism() < 2 {
+		t.Fatalf("big scan not parallel under default thresholds: parallelism=%d", p.Parallelism())
+	}
+	if !strings.Contains(p.String(), "PARALLEL morsel scan") {
+		t.Fatalf("plan rendering lacks PARALLEL morsel line:\n%s", p)
+	}
+
+	ps := q.PlanOpts(small, smallDict, sparql.ParOptions{MaxWorkers: 4})
+	if ps.Parallelism() != 1 {
+		t.Fatalf("small scan parallelized: parallelism=%d", ps.Parallelism())
+	}
+	if strings.Contains(ps.String(), "PARALLEL") {
+		t.Fatalf("serial plan rendering mentions PARALLEL:\n%s", ps)
+	}
+
+	// Worker cap 1 disables fan-out regardless of size.
+	if got := q.PlanOpts(big, bigDict, serialPar()).Parallelism(); got != 1 {
+		t.Fatalf("MaxWorkers 1 still parallel: %d", got)
+	}
+}
+
+// TestParallelEarlyTermination: ASK and streamed LIMIT must stop the
+// pool, return promptly, and leave no workers behind.
+func TestParallelEarlyTermination(t *testing.T) {
+	src, dict := typedFixture(t, 4000)
+	base := runtime.NumGoroutine()
+	for _, text := range []string{
+		`ASK { ?s <` + rdf.RDFType + `> <http://d/C> }`,
+		`SELECT ?s WHERE { ?s <` + rdf.RDFType + `> <http://d/C> } LIMIT 1`,
+	} {
+		q := sparql.MustParse(text)
+		res, err := q.PlanOpts(src, dict, forcedPar(4)).Exec()
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if q.Kind == sparql.AskQuery && !res.Ask {
+			t.Fatalf("%q returned false", text)
+		}
+		if q.Kind == sparql.SelectQuery && len(res.Rows) != 1 {
+			t.Fatalf("%q returned %d rows, want 1", text, len(res.Rows))
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestParallelCancellation is the satellite coverage: a context
+// cancelled mid-execution stops every worker promptly, ExecCtx returns
+// ctx.Err(), and the goroutine count settles back to the baseline.
+func TestParallelCancellation(t *testing.T) {
+	// A wide cross-ish join: 700 subjects each probing 700 candidates
+	// through the shared object keeps execution busy for tens of
+	// milliseconds, far longer than the cancellation delay.
+	st := store.New()
+	var ts []rdf.Triple
+	for i := 0; i < 700; i++ {
+		ts = append(ts, rdf.T(rdf.IRI(fmt.Sprintf("http://d/a%04d", i)), rdf.IRI("http://d/p1"), rdf.IRI("http://d/hub")))
+		ts = append(ts, rdf.T(rdf.IRI(fmt.Sprintf("http://d/b%04d", i)), rdf.IRI("http://d/p2"), rdf.IRI("http://d/hub")))
+	}
+	st.AddAll("m", ts)
+	src, dict := st.ViewOf("m"), st.Dict()
+	q := sparql.MustParse(`SELECT ?x ?z WHERE { ?x <http://d/p1> ?y . ?z <http://d/p2> ?y }`)
+
+	base := runtime.NumGoroutine()
+
+	// Cancelled before execution starts: the error surfaces immediately.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := q.PlanOpts(src, dict, forcedPar(4)).ExecCtx(pre); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled exec returned %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-execution: workers notice via the amortized probe.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Microsecond)
+		cancel()
+	}()
+	_, err := q.PlanOpts(src, dict, forcedPar(4)).ExecCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-execution cancel returned %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, base)
+
+	// The serial pipeline honors cancellation too.
+	sctx, scancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Microsecond)
+		scancel()
+	}()
+	if _, err := q.PlanOpts(src, dict, serialPar()).ExecCtx(sctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial cancel returned %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelPathCancellation cancels a parallel all-pairs closure.
+func TestParallelPathCancellation(t *testing.T) {
+	src, dict := chainFixture(t, 4000)
+	q := sparql.MustParse(`SELECT ?s ?o WHERE { ?s <http://d/e>+ ?o }`)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Microsecond)
+		cancel()
+	}()
+	if _, err := q.PlanOpts(src, dict, forcedPar(4)).ExecCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("path cancel returned %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, base)
+}
+
+// waitForGoroutines asserts the goroutine count returns to (near) the
+// baseline: the pool's WaitGroup guarantees no worker outlives Exec, so
+// anything persistently above the baseline is a leak.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

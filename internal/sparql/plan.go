@@ -41,6 +41,11 @@ type Plan struct {
 	// planDur is how long planning took; cached plans keep reporting the
 	// original cost in the slow-query log's stage breakdown.
 	planDur time.Duration
+
+	// par is the parallel-execution decision taken at plan time from the
+	// same cardinality estimates that chose the join order. The zero
+	// value (parNone) means serial execution.
+	par parDecision
 }
 
 // planGroup is the planned form of a GroupPattern: an ordered step
@@ -165,6 +170,14 @@ func (vs varset) hasAll(names []string) bool {
 // can use real cardinalities; a nil src yields a statistics-free plan
 // (static heuristics) good only for rendering and analysis.
 func (q *Query) Plan(src store.Source, dict *store.Dict) *Plan {
+	return q.PlanOpts(src, dict, DefaultParOptions())
+}
+
+// PlanOpts is Plan with explicit parallelism options: the worker cap,
+// morsel size, and serial-fallback thresholds the plan's parallel
+// decision uses. Tests force tiny thresholds through it; production
+// callers want Plan.
+func (q *Query) PlanOpts(src store.Source, dict *store.Dict, par ParOptions) *Plan {
 	t0 := time.Now()
 	p := &Plan{query: q, src: src, dict: dict}
 	if dict != nil {
@@ -172,6 +185,7 @@ func (q *Query) Plan(src store.Source, dict *store.Dict) *Plan {
 	}
 	pl := &planner{src: src, dict: dict, plan: p}
 	p.root, _ = pl.group(q.Where, varset{})
+	p.decidePar(par)
 	p.planDur = obsPlanHist.ObserveSince(t0)
 	return p
 }
@@ -715,6 +729,16 @@ func (p *Plan) String() string {
 			}
 		}
 		b.WriteByte('\n')
+	}
+	switch p.par.strategy {
+	case parMorsel:
+		fmt.Fprintf(&b, "PARALLEL morsel scan: up to %d workers, %d-triple morsels (first step est %.0f rows)\n",
+			p.par.workers, p.par.morsel, p.par.est)
+	case parUnion:
+		fmt.Fprintf(&b, "PARALLEL UNION: branches evaluated concurrently (est %.0f rows)\n", p.par.est)
+	case parPath:
+		fmt.Fprintf(&b, "PARALLEL path BFS: up to %d workers on frontiers >= %d (est %.0f edges)\n",
+			p.par.workers, p.par.frontierMin, p.par.est)
 	}
 	p.renderGroup(&b, p.root, 1)
 	if len(q.GroupBy) > 0 {

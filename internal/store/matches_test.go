@@ -1,0 +1,148 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectForEach gathers ForEach's stream for comparison with Matches.
+func collectForEach(src Source, s, p, o ID) []ETriple {
+	var out []ETriple
+	src.ForEach(s, p, o, func(t ETriple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func tripleMultiset(ts []ETriple) map[ETriple]int {
+	m := make(map[ETriple]int, len(ts))
+	for _, t := range ts {
+		m[t]++
+	}
+	return m
+}
+
+func sameTriples(a, b []ETriple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am, bm := tripleMultiset(a), tripleMultiset(b)
+	for k, n := range am {
+		if bm[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func randomModel(rng *rand.Rand, n int) *Model {
+	m := NewModel("m")
+	for i := 0; i < n; i++ {
+		m.Add(ETriple{
+			S: ID(1 + rng.Intn(12)),
+			P: ID(100 + rng.Intn(5)),
+			O: ID(200 + rng.Intn(16)),
+		})
+	}
+	return m
+}
+
+// matchPatterns covers every access path: fully bound, the three
+// two-bound slice paths, the three one-bound map walks, and the full
+// scan.
+func matchPatterns() [][3]ID {
+	return [][3]ID{
+		{3, 101, 205},
+		{3, 101, Wildcard},
+		{Wildcard, 101, 205},
+		{3, Wildcard, 205},
+		{3, Wildcard, Wildcard},
+		{Wildcard, 101, Wildcard},
+		{Wildcard, Wildcard, 205},
+		{Wildcard, Wildcard, Wildcard},
+	}
+}
+
+func TestModelMatchesAgreesWithForEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomModel(rng, 400)
+	for _, pat := range matchPatterns() {
+		got := m.Matches(pat[0], pat[1], pat[2])
+		want := collectForEach(m, pat[0], pat[1], pat[2])
+		if !sameTriples(got, want) {
+			t.Errorf("Matches(%v) multiset differs from ForEach: got %d triples, want %d",
+				pat, len(got), len(want))
+		}
+		if len(got) != m.Count(pat[0], pat[1], pat[2]) {
+			t.Errorf("Matches(%v) length %d != Count %d", pat, len(got), m.Count(pat[0], pat[1], pat[2]))
+		}
+	}
+}
+
+// The slice-backed access paths must preserve ForEach's exact order —
+// the morsel scan's deterministic-order guarantee builds on it.
+func TestModelMatchesSliceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomModel(rng, 400)
+	for _, pat := range [][3]ID{
+		{3, 101, Wildcard},
+		{Wildcard, 101, 205},
+		{3, Wildcard, 205},
+	} {
+		got := m.Matches(pat[0], pat[1], pat[2])
+		want := collectForEach(m, pat[0], pat[1], pat[2])
+		if len(got) != len(want) {
+			t.Fatalf("Matches(%v) length %d != ForEach %d", pat, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Matches(%v) order diverges from ForEach at %d: %v vs %v",
+					pat, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Map-walked access paths must at least be stable call over call (Go map
+// ranges are not), since parallel execution replays them.
+func TestModelMatchesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomModel(rng, 400)
+	for _, pat := range matchPatterns() {
+		a := m.Matches(pat[0], pat[1], pat[2])
+		for round := 0; round < 3; round++ {
+			b := m.Matches(pat[0], pat[1], pat[2])
+			if len(a) != len(b) {
+				t.Fatalf("Matches(%v) length varies across calls", pat)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("Matches(%v) order varies across calls at index %d", pat, i)
+				}
+			}
+		}
+	}
+}
+
+func TestViewMatchesDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m1 := randomModel(rng, 200)
+	m2 := randomModel(rng, 200) // same pools: heavy overlap
+	v := NewView(m1, m2)
+	for _, pat := range matchPatterns() {
+		got := v.Matches(pat[0], pat[1], pat[2])
+		want := collectForEach(v, pat[0], pat[1], pat[2])
+		if !sameTriples(got, want) {
+			t.Errorf("View.Matches(%v) multiset differs from View.ForEach: got %d, want %d",
+				pat, len(got), len(want))
+		}
+		seen := make(map[ETriple]bool, len(got))
+		for _, tr := range got {
+			if seen[tr] {
+				t.Fatalf("View.Matches(%v) reported %v twice", pat, tr)
+			}
+			seen[tr] = true
+		}
+	}
+}
