@@ -262,3 +262,16 @@ func TestQueryExplain(t *testing.T) {
 		t.Error("bad query should error in explain")
 	}
 }
+
+func TestCloneCommand(t *testing.T) {
+	if err := run([]string{"clone"}); err == nil {
+		t.Error("clone without DST did not fail")
+	}
+	out, err := capture(t, func() error { return run([]string{"clone", "SANDBOX"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cloned DWH_CURR -> SANDBOX") || !strings.Contains(out, "copy-on-write") {
+		t.Errorf("clone output = %q", out)
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	mdwd [-addr :8080] [-data DIR | -wh DUMP] [-data-dir DIR]
 //	     [-fsync always|interval|none] [-checkpoint-every 5m]
-//	     [-slow-query 250ms] [-pprof]
+//	     [-slow-query 250ms] [-rescache N] [-rescache-bytes B] [-pprof]
 //
 // Without -data/-wh the server hosts the built-in Figure 3 example.
 // With -data-dir the warehouse is durable: every mutation is
@@ -42,6 +42,7 @@ import (
 	"mdw/internal/landscape"
 	"mdw/internal/obs"
 	"mdw/internal/ontology"
+	"mdw/internal/rescache"
 	"mdw/internal/sparql"
 	"mdw/internal/staging"
 )
@@ -59,9 +60,18 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	parallelism := flag.Int("parallelism", sparql.MaxParallelism(),
 		"max workers per query (default GOMAXPROCS, or MDW_PARALLELISM; 1 = serial execution)")
+	rcEntries := flag.Int("rescache", rescache.DefaultMaxEntries,
+		"max entries in the generation-keyed results cache (0 disables it)")
+	rcBytes := flag.Int64("rescache-bytes", rescache.DefaultMaxBytes,
+		"byte budget of the results cache")
 	flag.Parse()
 	obs.DefaultSlowLog().SetThreshold(*slow)
 	sparql.SetMaxParallelism(*parallelism)
+	if *rcEntries <= 0 {
+		rescache.Disable()
+	} else {
+		rescache.Enable(*rcEntries, *rcBytes)
+	}
 
 	w, mgr, err := buildWarehouse(*data, *dump, *scale, *dataDir, *fsync, *ckptEvery)
 	if err != nil {

@@ -290,6 +290,22 @@ func (w *Warehouse) ExplainSemMatch(call string) (string, error) {
 	return req.Explain(w.st)
 }
 
+// CloneModel clones model src ("" selects the base model) into dst via
+// the store's zero-copy clone path: the two models share index nodes
+// copy-on-write and the clone starts at a fresh salted generation, so
+// cached query results and entailment-currency checks can never alias
+// source and clone. On a durable warehouse the clone is one WAL record,
+// not a triple-by-triple copy, and survives recovery.
+func (w *Warehouse) CloneModel(src, dst string) (int, error) {
+	if src == "" {
+		src = w.model
+	}
+	if err := w.st.CloneModel(src, dst); err != nil {
+		return 0, err
+	}
+	return w.st.Len(dst), nil
+}
+
 // Snapshot historizes the current graph as a new release version. The
 // historian's record is mirrored into the meta model immediately, so it
 // reaches the write-ahead log of a durable warehouse and survives a

@@ -218,3 +218,30 @@ func TestLoadInvalidatesIndex(t *testing.T) {
 		t.Error("stale index served after load")
 	}
 }
+
+func TestWarehouseCloneModel(t *testing.T) {
+	w := buildWarehouse(t)
+	n, err := w.CloneModel("", "SANDBOX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != w.Stats().Triples {
+		t.Errorf("clone has %d triples, base has %d", n, w.Stats().Triples)
+	}
+	// Fresh generation: clone and source must never alias.
+	if w.Store().Generation("SANDBOX") == w.Store().Generation(w.Model()) {
+		t.Error("clone generation aliases the base model")
+	}
+	// Duplicate destination and unknown source are errors.
+	if _, err := w.CloneModel("", "SANDBOX"); err == nil {
+		t.Error("duplicate dst accepted")
+	}
+	if _, err := w.CloneModel("no-such-model", "OTHER"); err == nil {
+		t.Error("unknown src accepted")
+	}
+	// The clone diverges independently of the base.
+	w.Store().Add("SANDBOX", rdf.T(rdf.IRI("http://x/s"), rdf.IRI(rdf.MDWHasName), rdf.Literal("only-in-clone")))
+	if w.Store().Len("SANDBOX") != n+1 || w.Stats().Triples != n {
+		t.Errorf("clone mutation leaked: clone=%d base=%d", w.Store().Len("SANDBOX"), w.Stats().Triples)
+	}
+}

@@ -209,7 +209,12 @@ func applyRecord(st *store.Store, rec *Record) error {
 		}
 		return nil
 	case store.OpClone:
-		if err := st.CloneModel(rec.Src, rec.Model); err != nil {
+		// Replay with the generation the original CloneModel allocated:
+		// clone generations are salted store-wide (the salt depends on
+		// models that may since have been dropped), so the record — not a
+		// fresh allocation — is authoritative. verifyGen still guards the
+		// clone path itself against divergence.
+		if err := st.CloneModelAt(rec.Src, rec.Model, rec.Gen); err != nil {
 			return err
 		}
 		return verifyGen(st, rec.Model, rec.Gen)

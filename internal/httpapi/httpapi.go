@@ -16,6 +16,7 @@ import (
 	"mdw/internal/core"
 	"mdw/internal/durable"
 	"mdw/internal/lineage"
+	"mdw/internal/ntriples"
 	"mdw/internal/rdf"
 	"mdw/internal/search"
 	"mdw/internal/sparql"
@@ -45,6 +46,8 @@ func NewServer(w *core.Warehouse) *Server {
 	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /api/statements", s.handleStatements)
 	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /api/clone", s.handleClone)
+	s.mux.HandleFunc("POST /api/load", s.handleLoad)
 	s.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")
@@ -77,6 +80,59 @@ func (s *Server) handleCheckpoint(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(rw, http.StatusOK, stats)
+}
+
+// CloneResponse is the JSON shape of a completed model clone.
+type CloneResponse struct {
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	Triples int    `json:"triples"`
+}
+
+// handleClone clones a model (?src, defaulting to the base model) into
+// ?dst through the store's copy-on-write path. The clone starts at a
+// fresh generation, so results cached for the source never leak into
+// queries over the clone, and vice versa.
+func (s *Server) handleClone(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	dst := q.Get("dst")
+	if dst == "" {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("missing ?dst"))
+		return
+	}
+	n, err := s.w.CloneModel(q.Get("src"), dst)
+	if err != nil {
+		writeError(rw, http.StatusConflict, err)
+		return
+	}
+	src := q.Get("src")
+	if src == "" {
+		src = s.w.Model()
+	}
+	writeJSON(rw, http.StatusOK, CloneResponse{Src: src, Dst: dst, Triples: n})
+}
+
+// handleLoad adds raw triples to the base model, posted as N-Triples
+// text (the auxiliary-triples path of `mdw generate`). The write bumps
+// the model generation, so cached query results and the entailment
+// index are invalidated implicitly.
+func (s *Server) handleLoad(rw http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, 16<<20))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	ts, err := ntriples.Unmarshal(string(body))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	if len(ts) == 0 {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("no triples in request body"))
+		return
+	}
+	added := s.w.LoadTriples(ts)
+	writeJSON(rw, http.StatusOK, map[string]int{"parsed": len(ts), "added": added})
 }
 
 func writeJSON(rw http.ResponseWriter, status int, v any) {

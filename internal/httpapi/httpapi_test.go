@@ -418,3 +418,78 @@ func TestSlowQueryLogCapturesPlan(t *testing.T) {
 		t.Error("no http GET /api/query trace with a nested warehouse.query span in the ring")
 	}
 }
+
+func TestCloneEndpoint(t *testing.T) {
+	srv := testServer(t)
+	post := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	if code := post("/api/clone", nil); code != 400 {
+		t.Errorf("missing dst: status = %d, want 400", code)
+	}
+	var res CloneResponse
+	if code := post("/api/clone?dst=SANDBOX", &res); code != 200 {
+		t.Fatalf("clone: status = %d", code)
+	}
+	if res.Src != core.DefaultModel || res.Dst != "SANDBOX" || res.Triples == 0 {
+		t.Fatalf("clone response = %+v", res)
+	}
+	// The destination name is now taken.
+	if code := post("/api/clone?dst=SANDBOX", nil); code != 409 {
+		t.Errorf("duplicate dst: status = %d, want 409", code)
+	}
+	// An unknown source model is a conflict too, not a 500.
+	if code := post("/api/clone?src=nope&dst=OTHER", nil); code != 409 {
+		t.Errorf("unknown src: status = %d, want 409", code)
+	}
+	// A clone of the clone goes through ?src.
+	if code := post("/api/clone?src=SANDBOX&dst=SANDBOX2", &res); code != 200 || res.Src != "SANDBOX" {
+		t.Errorf("chained clone: status = %d, res = %+v", code, res)
+	}
+}
+
+func TestLoadEndpointInvalidatesCache(t *testing.T) {
+	srv := testServer(t)
+	postBody := func(path, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/n-triples", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	if code := postBody("/api/load", "", nil); code != 400 {
+		t.Errorf("empty body: status = %d, want 400", code)
+	}
+	if code := postBody("/api/load", "not ntriples", nil); code != 400 {
+		t.Errorf("garbage body: status = %d, want 400", code)
+	}
+	var res struct {
+		Parsed int `json:"parsed"`
+		Added  int `json:"added"`
+	}
+	nt := "<http://x/s> <http://x/p> <http://x/o> .\n<http://x/s> <http://x/p> <http://x/o> .\n"
+	if code := postBody("/api/load", nt, &res); code != 200 {
+		t.Fatalf("load: status = %d", code)
+	}
+	if res.Parsed != 2 || res.Added != 1 {
+		t.Errorf("load response = %+v, want parsed=2 added=1 (duplicate dropped)", res)
+	}
+}

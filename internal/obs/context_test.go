@@ -194,6 +194,11 @@ func TestStatementsEviction(t *testing.T) {
 	if s.Len() != 0 {
 		t.Fatalf("len after Reset = %d", s.Len())
 	}
+	// Regression: Reset must clear the eviction counter with the table —
+	// a reset table reporting phantom evictions misled `mdw top -reset`.
+	if s.Evicted() != 0 {
+		t.Fatalf("evicted after Reset = %d, want 0", s.Evicted())
+	}
 }
 
 type stringerFunc string

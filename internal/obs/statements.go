@@ -142,11 +142,15 @@ func (s *Statements) Len() int {
 	return len(s.m)
 }
 
-// Reset clears the table (mdw top -reset, tests).
+// Reset clears the table (mdw top -reset, tests). The eviction counter
+// belongs to the table contents, so it resets too — otherwise a reset
+// table reports phantom evictions that never happened to any row it
+// holds.
 func (s *Statements) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m = make(map[string]*stmtEntry)
+	s.evicted = 0
 }
 
 // Snapshot returns the table sorted by total time, highest first. Plans

@@ -109,7 +109,9 @@ func (e *Engine) Materialize(model string) (string, int, error) {
 	if work == nil {
 		return "", 0, fmt.Errorf("reason: no such model %q", model)
 	}
-	basis := work.Gen()
+	// The snapshot carries its own fresh generation; the base generation
+	// it was taken at — the derivation basis — is its Basis.
+	basis := work.Basis()
 	derived := store.NewModel(idxName)
 
 	var queue []store.ETriple

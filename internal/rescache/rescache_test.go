@@ -1,0 +1,126 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(4, 1<<20)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", "v", 10)
+	v, ok := c.Get("k")
+	if !ok || v.(string) != "v" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Overwrite updates size accounting.
+	c.Put("k", "w", 30)
+	if c.Bytes() != 30 || c.Len() != 1 {
+		t.Errorf("after overwrite: %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+func TestLRUEvictionByCount(t *testing.T) {
+	c := New(3, 1<<20)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 1)
+	}
+	c.Get("k0") // promote k0; k1 is now oldest
+	c.Put("k3", 3, 1)
+	if _, ok := c.Get("k1"); ok {
+		t.Error("LRU victim k1 survived")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s was evicted, want retained", k)
+		}
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	c := New(100, 100)
+	c.Put("a", 1, 60)
+	c.Put("b", 2, 60) // exceeds 100 bytes -> evict a
+	if _, ok := c.Get("a"); ok {
+		t.Error("byte bound did not evict oldest")
+	}
+	if c.Bytes() != 60 {
+		t.Errorf("bytes = %d, want 60", c.Bytes())
+	}
+	// A value over the whole budget is refused outright.
+	c.Put("huge", 3, 1000)
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized value was cached")
+	}
+}
+
+func TestPeekDoesNotPromoteOrCount(t *testing.T) {
+	c := New(2, 1<<20)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	if !c.Peek("a") || c.Peek("zz") {
+		t.Fatal("Peek wrong")
+	}
+	h, m := c.Stats().Hits, c.Stats().Misses
+	if h != 0 || m != 0 {
+		t.Errorf("Peek counted hits/misses: %d/%d", h, m)
+	}
+	// a was NOT promoted by Peek, so it is still the eviction victim.
+	c.Put("c", 3, 1)
+	if c.Peek("a") {
+		t.Error("Peek promoted the entry")
+	}
+}
+
+func TestPurgeAndDisable(t *testing.T) {
+	c := New(4, 1<<20)
+	c.Put("a", 1, 5)
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("after purge: %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+	old := Default()
+	defer defaultCache.Store(old)
+	Disable()
+	if Default() != nil {
+		t.Error("Default() non-nil after Disable")
+	}
+	if got := Enable(8, 1024); Default() != got {
+		t.Error("Enable did not install the new cache")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(64, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				if v, ok := c.Get(k); ok {
+					if v.(string) != k {
+						t.Errorf("cache returned wrong value for %s", k)
+					}
+				} else {
+					c.Put(k, k, int64(len(k)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("entry bound violated: %d", c.Len())
+	}
+}

@@ -30,6 +30,10 @@ type diffFixture struct {
 	// Pools the generator draws from. Constants overlap with the data so
 	// joins and filters actually select.
 	subjects, preds, objects []string
+	// The owning store and a member model of src, retained so sweeps can
+	// interleave mutations (the results-cache differential does).
+	st       *store.Store
+	mutModel string
 }
 
 // simpleFixture: one model of dense random triples over small pools, so
@@ -59,6 +63,7 @@ func simpleFixture(rng *rand.Rand) diffFixture {
 	return diffFixture{
 		name: "simple", src: st.ViewOf("m"), dict: st.Dict(),
 		subjects: subjects, preds: preds, objects: objects,
+		st: st, mutModel: "m",
 	}
 }
 
@@ -102,7 +107,9 @@ func entailedFixture(rng *rand.Rand) diffFixture {
 		preds: []string{
 			rdf.RDFType, rdf.RDFSSubClassOf, rdf.MDWIsMappedTo, rdf.MDWHasName,
 		},
-		objects: objects,
+		objects:  objects,
+		st:       st,
+		mutModel: "DWH",
 	}
 }
 

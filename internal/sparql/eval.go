@@ -12,6 +12,7 @@ import (
 
 	"mdw/internal/obs"
 	"mdw/internal/rdf"
+	"mdw/internal/rescache"
 	"mdw/internal/store"
 )
 
@@ -48,6 +49,35 @@ func (q *Query) Exec(src store.Source, dict *store.Dict) (*Result, error) {
 // plan" and "sparql exec" child spans to it. Untraced contexts pay one
 // context lookup and no span allocation.
 func (q *Query) ExecCtx(ctx context.Context, src store.Source, dict *store.Dict) (*Result, error) {
+	// Results cache first: a hit skips planning and execution entirely.
+	// The key embeds every model generation of the source, so it can only
+	// match a result computed from the exact store state being queried.
+	rc := rescache.Default()
+	var genKey string
+	if rc != nil && q.resultsCacheable() {
+		if gk, ok := sourceGenKey(src); ok {
+			genKey = gk
+			t0 := time.Now()
+			if v, ok := rc.Get(q.resultCacheKey(genKey)); ok {
+				return q.serveCachedResult(ctx, v.(*Result), time.Since(t0))
+			}
+		}
+	}
+	res, err := q.execUncached(ctx, src, dict)
+	if genKey != "" && err == nil && res != nil {
+		// Store only if no model mutated while we executed: a result
+		// computed from a moving source under a pre-move key would be
+		// served as current forever.
+		if gk, ok := sourceGenKey(src); ok && gk == genKey {
+			rc.Put(q.resultCacheKey(genKey), res, estimateResultSize(res))
+		}
+	}
+	return res, err
+}
+
+// execUncached is the pre-results-cache execution path: plan-cache
+// probe, (re)planning, execution.
+func (q *Query) execUncached(ctx context.Context, src store.Source, dict *store.Dict) (*Result, error) {
 	if p := q.cachedPlan.Load(); p != nil && p.dict == dict && sameSource(p.src, src) &&
 		(!p.unresolved || p.dictLen == dict.Len()) {
 		obsPlanCacheHit.Inc()

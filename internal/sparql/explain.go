@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mdw/internal/rdf"
+	"mdw/internal/rescache"
 	"mdw/internal/store"
 )
 
@@ -20,9 +21,18 @@ func (q *Query) Explain() string {
 
 // ExplainOn renders the plan the query would execute against src: the
 // statistics-driven join order annotated with the cardinality estimate
-// that selected each pattern.
+// that selected each pattern. When the results cache holds an entry for
+// the query at the source's current generations, a trailing line says
+// so — execution would not run this plan at all. The probe is a Peek,
+// so explaining never skews the cache's hit/miss statistics.
 func (q *Query) ExplainOn(src store.Source, dict *store.Dict) string {
-	return q.Plan(src, dict).String()
+	s := q.Plan(src, dict).String()
+	if rc := rescache.Default(); rc != nil && q.resultsCacheable() {
+		if genKey, ok := sourceGenKey(src); ok && rc.Peek(q.resultCacheKey(genKey)) {
+			s += "results cache: HIT — served without execution at current generations\n"
+		}
+	}
+	return s
 }
 
 func explainNode(n NodePattern) string {

@@ -705,6 +705,15 @@ func exprVars(e Expr) []string {
 // String renders the plan as indented text: the group structure, the
 // join order chosen for each basic graph pattern with the cardinality
 // estimates that drove it, and where each filter was placed.
+//
+// Concurrency contract: a Plan is immutable once published (stored in
+// Query.cachedPlan or handed to obs.Statements.Record) — every field
+// String reads is written during PlanOpts, never after. Statements
+// renders memoized plans outside its lock, and revalidation builds a
+// fresh Plan rather than touching the cached one, so rendering may run
+// concurrently with Record, Snapshot, and replanning. The -race test
+// TestConcurrentRecordSnapshotReplan enforces this; keep any new Plan
+// field construction-only or the statement table will race.
 func (p *Plan) String() string {
 	var b strings.Builder
 	q := p.query

@@ -1,0 +1,112 @@
+package sparql
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mdw/internal/obs"
+	"mdw/internal/store"
+)
+
+// Results caching: before planning, Exec consults the process-wide
+// rescache keyed by (fingerprint, query text, sorted per-model
+// generations of the source). Any mutation bumps a model generation, so
+// a stale key simply never matches again — invalidation is implicit.
+//
+// The fingerprint alone cannot be the key (it collapses constants, so
+// "everything about dwh:Client" and "... dwh:Branch" share one), which
+// is why the raw text rides along; the fingerprint stays in the key so
+// the statement table and the cache agree on statement identity.
+
+// resultsCacheable reports whether the query may be served from / stored
+// into the results cache. SELECT and ASK results are cacheable when the
+// query is deterministic: LIMIT/OFFSET without a full ORDER BY may
+// return any valid subset, so those are bypassed rather than pinned to
+// whichever subset ran first. Hand-constructed queries (no source text)
+// have no reliable identity and are bypassed too.
+func (q *Query) resultsCacheable() bool {
+	if q.Kind != SelectQuery && q.Kind != AskQuery {
+		return false
+	}
+	if q.Text == "" {
+		return false
+	}
+	if (q.Limit >= 0 || q.Offset > 0) && len(q.OrderBy) == 0 {
+		return false
+	}
+	return true
+}
+
+// sourceGenKey renders the (model instance, generation) pairs of src in
+// sorted order — the part of the cache key that ties an entry to the
+// exact store state it was computed from. The model UID (unique per
+// construction, so it distinguishes recreated models, reinstalled
+// indexes, and separate Store instances) pairs with the generation
+// (unique per mutation within a UID); together they can never alias two
+// different states. Only Model/View sources (everything the warehouse
+// executes against) are keyed; exotic Source implementations are never
+// cached.
+func sourceGenKey(src store.Source) (string, bool) {
+	var models []*store.Model
+	switch s := src.(type) {
+	case *store.Model:
+		models = []*store.Model{s}
+	case *store.View:
+		models = s.Models()
+	default:
+		return "", false
+	}
+	parts := make([]string, len(models))
+	for i, m := range models {
+		parts[i] = m.Name() + "@" + strconv.FormatUint(m.UID(), 10) +
+			":" + strconv.FormatUint(m.Gen(), 10)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|"), true
+}
+
+// resultCacheKey assembles the full cache key from the query identity
+// and the source's generation vector.
+func (q *Query) resultCacheKey(genKey string) string {
+	return q.Fingerprint() + "\x00" + q.Text + "\x00" + genKey
+}
+
+// estimateResultSize approximates the retained footprint of a result for
+// the cache's byte accounting: string payloads plus a fixed per-binding
+// overhead for map and header costs. Exactness is not the point —
+// keeping the cache's memory roughly bounded is.
+func estimateResultSize(res *Result) int64 {
+	const overhead = 48 // map entry + term header, approximate
+	n := int64(64)
+	for _, v := range res.Vars {
+		n += int64(len(v)) + 16
+	}
+	for _, row := range res.Rows {
+		n += 48 // map header
+		for k, t := range row {
+			n += int64(len(k)+len(t.Value)+len(t.Datatype)+len(t.Lang)) + overhead
+		}
+	}
+	return n
+}
+
+// serveCachedResult emits the observability evidence of a cache hit —
+// an exec span labelled rescache=hit, the statement-table record, row
+// counters — and returns a shallow copy of the cached result (callers
+// own the Result struct; the row data is shared and treated as
+// immutable by every read path).
+func (q *Query) serveCachedResult(ctx context.Context, res *Result, d time.Duration) (*Result, error) {
+	sp, _ := obs.ChildCtx(ctx, "sparql exec")
+	rows := len(res.Rows)
+	if q.Kind == AskQuery {
+		rows = 1
+	}
+	sp.SetLabel("rescache", "hit").SetLabel("rows", strconv.Itoa(rows)).Finish()
+	obsRows.Add(int64(rows))
+	obs.DefaultStatements().Record(q.Fingerprint(), q.Text, rows, d, nil)
+	out := *res
+	return &out, nil
+}

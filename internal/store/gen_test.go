@@ -52,7 +52,7 @@ func TestCurrentAndBasis(t *testing.T) {
 		derived.Add(e)
 		return true
 	})
-	derived.SetBasis(snap.Gen())
+	derived.SetBasis(snap.Basis())
 	st.InstallModel(derived)
 	if !st.Current("base", "base$IDX") {
 		t.Fatal("freshly installed derived model not current")
@@ -74,8 +74,13 @@ func TestSnapshotModelIsDetached(t *testing.T) {
 	if snap == nil || snap.Len() != 1 {
 		t.Fatalf("snapshot = %v", snap)
 	}
-	if snap.Gen() != st.Generation("m") {
-		t.Errorf("snapshot gen %d != model gen %d", snap.Gen(), st.Generation("m"))
+	if snap.Basis() != st.Generation("m") {
+		t.Errorf("snapshot basis %d != model gen %d", snap.Basis(), st.Generation("m"))
+	}
+	// The snapshot's own generation is fresh: it must never alias the
+	// source's, no matter how either side mutates from here.
+	if snap.Gen() == st.Generation("m") {
+		t.Errorf("snapshot kept the source generation %d", snap.Gen())
 	}
 	// Later store writes do not leak into the snapshot, and snapshot
 	// writes do not leak back.

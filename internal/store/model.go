@@ -1,6 +1,9 @@
 package store
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // ETriple is a dictionary-encoded triple.
 type ETriple struct {
@@ -58,9 +61,32 @@ type Model struct {
 	// basis always reads as "never derived".
 	gen uint64
 	// basis is the generation of the base model this model was derived
-	// from (index models only; 0 = not a recorded derivation).
+	// from (index models and clones; 0 = not a recorded derivation).
 	basis uint64
+	// ownSPO/ownPOS/ownOSP implement copy-on-write index sharing between
+	// a model and its clones. nil means no clone was ever taken: every
+	// inner index node is privately owned and mutations touch it in
+	// place (the common case pays one nil check). After Clone both sides
+	// get empty ownership sets — every inner node is shared — and the
+	// first mutation of a shared node copies it (inner map and slices)
+	// before writing, marking the node owned. Readers never consult
+	// these maps, so reads of a quiescent model stay safe to share.
+	ownSPO map[ID]bool
+	ownPOS map[ID]bool
+	ownOSP map[ID]bool
+	// uid identifies this model *instance*, unique across every model
+	// ever constructed in the process. Generations alone cannot key a
+	// results cache: a dropped-and-recreated model, a reinstalled index
+	// model, or a second Store restart from the same state all repeat
+	// (name, generation) pairs with possibly different contents. The uid
+	// changes with every construction, so a cache key embedding it can
+	// never alias across instances. Never persisted — it has no replay
+	// meaning.
+	uid uint64
 }
+
+// modelUIDs allocates Model.uid values.
+var modelUIDs atomic.Uint64
 
 // NewModel returns an empty model with the given name.
 func NewModel(name string) *Model {
@@ -71,6 +97,7 @@ func NewModel(name string) *Model {
 		osp:      make(map[ID]map[ID][]ID),
 		predSize: make(map[ID]int),
 		gen:      1,
+		uid:      modelUIDs.Add(1),
 	}
 }
 
@@ -89,6 +116,12 @@ func (m *Model) Gen() uint64 { return m.gen }
 // (0 when none was recorded).
 func (m *Model) Basis() uint64 { return m.basis }
 
+// UID returns the process-unique instance id of this model (see the
+// field comment). The results cache keys on (UID, Gen); UID never
+// repeats, Gen never repeats within a UID, so a key can never alias two
+// different states.
+func (m *Model) UID() uint64 { return m.uid }
+
 // SetBasis records the base generation this (derived) model was computed
 // from.
 func (m *Model) SetBasis(gen uint64) { m.basis = gen }
@@ -104,6 +137,7 @@ func (m *Model) Add(t ETriple) bool {
 	if m.Contains(t) {
 		return false
 	}
+	m.cowFor(t)
 	addIdx(m.spo, t.S, t.P, t.O)
 	addIdx(m.pos, t.P, t.O, t.S)
 	addIdx(m.osp, t.O, t.S, t.P)
@@ -118,6 +152,7 @@ func (m *Model) Remove(t ETriple) bool {
 	if !m.Contains(t) {
 		return false
 	}
+	m.cowFor(t)
 	removeIdx(m.spo, t.S, t.P, t.O)
 	removeIdx(m.pos, t.P, t.O, t.S)
 	removeIdx(m.osp, t.O, t.S, t.P)
@@ -141,6 +176,41 @@ func (m *Model) Contains(t ETriple) bool {
 		}
 	}
 	return false
+}
+
+// cowFor makes the three index nodes the triple lands in safe to mutate:
+// on a model that shares nodes with a clone (or its source), any node not
+// yet owned is copied before addIdx/removeIdx write into it. Models that
+// were never cloned have nil ownership sets and return immediately.
+func (m *Model) cowFor(t ETriple) {
+	if m.ownSPO == nil {
+		return
+	}
+	cowNode(m.spo, m.ownSPO, t.S)
+	cowNode(m.pos, m.ownPOS, t.P)
+	cowNode(m.osp, m.ownOSP, t.O)
+}
+
+// cowNode ensures idx[a] is privately owned, copying the inner map and
+// its slices if the node is still shared. Slices must be copied too:
+// removeIdx swap-deletes in place, and an append into a shared backing
+// array would be visible to the other side.
+func cowNode(idx map[ID]map[ID][]ID, own map[ID]bool, a ID) {
+	if own[a] {
+		return
+	}
+	own[a] = true
+	inner, ok := idx[a]
+	if !ok {
+		return
+	}
+	ci := make(map[ID][]ID, len(inner))
+	for b, list := range inner {
+		cl := make([]ID, len(list))
+		copy(cl, list)
+		ci[b] = cl
+	}
+	idx[a] = ci
 }
 
 func addIdx(idx map[ID]map[ID][]ID, a, b, c ID) {
@@ -366,35 +436,50 @@ func (m *Model) Predicates() []ID {
 	return out
 }
 
-// Clone returns a deep copy of the model under a new name. Historization
-// uses this to snapshot a release before the next one mutates it; the
-// reasoner uses it to compute entailment closures off to the side. The
-// copy keeps the source's generation so derivations from the copy can be
-// checked against the original.
+// Clone returns a copy-on-write copy of the model under a new name.
+// Historization uses this to snapshot a release before the next one
+// mutates it; the reasoner uses it to compute entailment closures off to
+// the side. Only the outer index maps are copied — inner nodes are
+// shared until either side first mutates them (see cowFor) — so a clone
+// costs O(distinct terms), not O(triples).
+//
+// The copy gets a generation disjoint from the source's: its high word
+// is one past the source's, so the two generation sequences can never
+// collide after the models diverge. Basis records the source generation
+// the copy was taken at, so derivations computed from the clone can
+// still be checked against the original. Two standalone clones of the
+// same model share a generation sequence; Store.CloneModel and
+// Store.SnapshotModel hand out store-wide unique generations instead.
 func (m *Model) Clone(name string) *Model {
+	return m.cloneAt(name, ((m.gen>>32)+1)<<32+1)
+}
+
+// cloneAt is Clone with an explicit generation for the copy.
+func (m *Model) cloneAt(name string, gen uint64) *Model {
 	c := NewModel(name)
 	c.size = m.size
-	c.gen = m.gen
-	c.spo = cloneIdx(m.spo)
-	c.pos = cloneIdx(m.pos)
-	c.osp = cloneIdx(m.osp)
+	c.gen = gen
+	c.basis = m.gen
+	c.spo = copyOuter(m.spo)
+	c.pos = copyOuter(m.pos)
+	c.osp = copyOuter(m.osp)
 	c.predSize = make(map[ID]int, len(m.predSize))
 	for p, n := range m.predSize {
 		c.predSize[p] = n
 	}
+	// Every inner node is now shared between m and c: reset ownership on
+	// both sides so the first mutation of a node copies it first.
+	m.ownSPO, m.ownPOS, m.ownOSP = map[ID]bool{}, map[ID]bool{}, map[ID]bool{}
+	c.ownSPO, c.ownPOS, c.ownOSP = map[ID]bool{}, map[ID]bool{}, map[ID]bool{}
 	return c
 }
 
-func cloneIdx(idx map[ID]map[ID][]ID) map[ID]map[ID][]ID {
+// copyOuter copies only the outer map of one index; the inner maps (and
+// their slices) stay shared until cowNode copies them on first write.
+func copyOuter(idx map[ID]map[ID][]ID) map[ID]map[ID][]ID {
 	out := make(map[ID]map[ID][]ID, len(idx))
 	for a, inner := range idx {
-		ci := make(map[ID][]ID, len(inner))
-		for b, list := range inner {
-			cl := make([]ID, len(list))
-			copy(cl, list)
-			ci[b] = cl
-		}
-		out[a] = ci
+		out[a] = inner
 	}
 	return out
 }

@@ -12,6 +12,7 @@ var (
 	obsStatsHits  = obs.Default().Counter("mdw_store_statscache_total", "result", "hit")
 	obsStatsMiss  = obs.Default().Counter("mdw_store_statscache_total", "result", "miss")
 	obsStatsBuild = obs.Default().Counter("mdw_store_statscache_rebuilds_total")
+	obsClones     = obs.Default().Counter("mdw_store_clones_total")
 )
 
 func init() {
@@ -22,4 +23,5 @@ func init() {
 	r.SetHelp("mdw_store_installs_total", "Models atomically published via InstallModel.")
 	r.SetHelp("mdw_store_statscache_total", "Per-predicate statistics cache probes by result.")
 	r.SetHelp("mdw_store_statscache_rebuilds_total", "Statistics cache resets forced by a new model generation.")
+	r.SetHelp("mdw_store_clones_total", "Copy-on-write model clones published via CloneModel.")
 }

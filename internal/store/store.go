@@ -23,6 +23,12 @@ type Store struct {
 	// hook, when set, observes every committed mutation under the write
 	// lock (see CommitHook). The durable write-ahead log attaches here.
 	hook CommitHook
+	// cloneEpoch is the highest generation salt (high 32 bits) the store
+	// has handed to a clone or seen on an installed model. Guarded by mu;
+	// it only ratchets up, so a salt is never reused even after the model
+	// carrying it is dropped (a reused (name, generation) pair could
+	// alias stale results-cache entries).
+	cloneEpoch uint64
 }
 
 // New returns an empty store.
@@ -84,18 +90,38 @@ func (s *Store) Current(base, idx string) bool {
 	return ok && i.basis == b.gen
 }
 
-// SnapshotModel returns a deep copy of the named model taken under the
-// read lock (nil if absent). The copy is detached: the caller owns it and
-// may read or mutate it freely while other goroutines keep writing to the
-// store — the safe way to run a long computation over a consistent state.
+// SnapshotModel returns a copy-on-write copy of the named model (nil if
+// absent). The copy is detached: the caller owns it and may read or
+// mutate it freely while other goroutines keep writing to the store —
+// the safe way to run a long computation over a consistent state. The
+// brief write lock covers the ownership bookkeeping on the source; the
+// copy itself is O(distinct terms), not O(triples). The snapshot carries
+// a fresh generation; the source generation it was taken at is Basis().
 func (s *Store) SnapshotModel(model string) *Model {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m, ok := s.models[model]
 	if !ok {
 		return nil
 	}
-	return m.Clone(model)
+	return m.cloneAt(model, s.nextCloneGenLocked())
+}
+
+// nextCloneGenLocked allocates the generation for a fresh clone: low
+// word 1 under a salt strictly greater than any salt the store has seen,
+// so the clone's generation sequence can never collide with its
+// source's — or any other model's — no matter how either side mutates
+// afterwards. Caller holds the write lock.
+func (s *Store) nextCloneGenLocked() uint64 {
+	salt := s.cloneEpoch
+	for _, m := range s.models {
+		if hi := m.gen >> 32; hi > salt {
+			salt = hi
+		}
+	}
+	salt++
+	s.cloneEpoch = salt
+	return salt<<32 + 1
 }
 
 // InstallModel atomically publishes m under its name, replacing any
@@ -107,6 +133,9 @@ func (s *Store) InstallModel(m *Model) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.models[m.name] = m
+	if hi := m.gen >> 32; hi > s.cloneEpoch {
+		s.cloneEpoch = hi
+	}
 	obsInstalls.Inc()
 	s.commit(Mutation{Op: OpInstall, Model: m.name, Gen: m.gen, Basis: m.basis, Installed: m})
 }
@@ -365,11 +394,33 @@ func (s *Store) Triples(model string) []rdf.Triple {
 	return ts
 }
 
-// CloneModel snapshots the src model under the dst name. It fails if dst
-// already exists.
+// CloneModel publishes a copy-on-write copy of the src model under the
+// dst name. It fails if dst already exists. The clone shares index nodes
+// with its source until either side mutates them, so the exclusive lock
+// is held for O(distinct terms), not O(triples). The clone's generation
+// is fresh (store-wide unique) and its Basis records the source
+// generation it was taken at, so no cache key or derivation check can
+// alias clone and source after they diverge.
 func (s *Store) CloneModel(src, dst string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.cloneModelLocked(src, dst, 0)
+}
+
+// CloneModelAt is CloneModel with an explicit generation for the copy.
+// Only the durable recovery path uses it, to reproduce the generation
+// the original CloneModel allocated (and logged) so that replaying the
+// same WAL converges on the same generation sequence.
+func (s *Store) CloneModelAt(src, dst string, gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hi := gen >> 32; hi > s.cloneEpoch {
+		s.cloneEpoch = hi
+	}
+	return s.cloneModelLocked(src, dst, gen)
+}
+
+func (s *Store) cloneModelLocked(src, dst string, gen uint64) error {
 	sm, ok := s.models[src]
 	if !ok {
 		return fmt.Errorf("store: clone: no such model %q", src)
@@ -377,8 +428,12 @@ func (s *Store) CloneModel(src, dst string) error {
 	if _, exists := s.models[dst]; exists {
 		return fmt.Errorf("store: clone: model %q already exists", dst)
 	}
-	c := sm.Clone(dst)
+	if gen == 0 {
+		gen = s.nextCloneGenLocked()
+	}
+	c := sm.cloneAt(dst, gen)
 	s.models[dst] = c
+	obsClones.Inc()
 	s.commit(Mutation{Op: OpClone, Model: dst, Src: src, Gen: c.gen})
 	return nil
 }
