@@ -11,14 +11,14 @@
 //	mdw index        [-data DIR] [flags]           build/inspect the full-text index
 //	mdw lineage      [-data DIR] [flags] ITEM      trace provenance (§IV.B)
 //	mdw query        [-data DIR] [-explain] 'SPARQL'
-//	mdw explain      [-data DIR] 'SPARQL'|'SEM_MATCH(...)'  print the evaluation plan
+//	mdw explain      [-data DIR] [-analyze] 'SPARQL'|'SEM_MATCH(...)'  print (or run and annotate) the plan
 //	mdw semmatch     [-data DIR] 'SEM_MATCH(...)'  Oracle-style call (Listings 1/2)
 //	mdw audit        [-data DIR] ITEM              who can access the item
 //	mdw impact       [-wh DUMP] -from N -to M      release change impact
 //	mdw stats        [-data DIR] [-validate]       census + validation
 //	mdw learn-schema [-data DIR] [-migrate]        §VII schema learning
 //	mdw metrics      [-data DIR] [-slow-query D]   workload + Prometheus metrics dump
-//	mdw top          [-data DIR | -url URL] [-n N] per-statement query statistics
+//	mdw top          [-data DIR | -url URL] [-n N] [-misest] per-statement query statistics
 //	mdw checkpoint   [-url URL]                    force a durability checkpoint on a running mdwd
 //	mdw clone        [-data DIR | -url URL] [-src MODEL] DST  copy-on-write model clone
 //	mdw report       table1|subjects|scale|figure6|figure7|growth
@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -419,9 +420,13 @@ func cmdQuery(args []string) error {
 // cmdExplain prints the statistics-driven evaluation plan — join order
 // with estimated cardinalities, filter placement, streaming notes — for
 // a SPARQL query or an Oracle-style SEM_MATCH call, without executing it.
+// With -analyze it executes the query once and annotates every operator
+// with estimated vs actual rows, loop counts, and wall time (EXPLAIN
+// ANALYZE), followed by the execution's resource summary.
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
 	data := fs.String("data", "", "data directory written by `mdw generate`")
+	analyze := fs.Bool("analyze", false, "execute the query and annotate the plan with actual rows, loops, and timings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -433,6 +438,19 @@ func cmdExplain(args []string) error {
 		return err
 	}
 	text := fs.Arg(0)
+	if *analyze {
+		var stats *sparql.ExecStats
+		if strings.Contains(text, "SEM_MATCH") {
+			_, stats, err = w.SemMatchAnalyzeCtx(context.Background(), text)
+		} else {
+			_, stats, err = w.QueryAnalyze(text)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(stats.String())
+		return nil
+	}
 	var plan string
 	if strings.Contains(text, "SEM_MATCH") {
 		plan, err = w.ExplainSemMatch(text)
@@ -701,10 +719,16 @@ func cmdTop(args []string) error {
 	url := fs.String("url", "", "base URL of a running mdwd; fetch its /api/statements instead of replaying locally")
 	n := fs.Int("n", 10, "list at most this many statements")
 	runs := fs.Int("runs", 3, "repetitions of each workload query (local mode)")
+	misest := fs.Bool("misest", false, "show the planner-misestimation log instead of the statement table")
+	misestThr := fs.Float64("misest-threshold", sparql.DefaultMisestimateThreshold,
+		"misestimation reporting threshold for the local analyzed replay")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *url != "" {
+		if *misest {
+			return topMisestRemote(*url, *n)
+		}
 		resp, err := http.Get(strings.TrimSuffix(*url, "/") + "/api/statements")
 		if err != nil {
 			return err
@@ -727,12 +751,73 @@ func cmdTop(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := topWorkload(w, *runs); err != nil {
+	// -misest replays the workload analyzed, so every execution feeds the
+	// misestimation channel instead of sampling via the slow-query path.
+	sparql.SetMisestimateThreshold(*misestThr)
+	if err := topWorkload(w, *runs, *misest); err != nil {
 		return err
+	}
+	if *misest {
+		printMisestimates(obs.DefaultMisestimates().Snapshot(), sparql.MisestimateThreshold(), *n)
+		return nil
 	}
 	tbl := obs.DefaultStatements()
 	printStatements(tbl.Snapshot(), tbl.Evicted(), *n)
 	return nil
+}
+
+// topMisestRemote fetches and prints GET /api/misestimates of a running
+// mdwd.
+func topMisestRemote(url string, n int) error {
+	resp, err := http.Get(strings.TrimSuffix(url, "/") + "/api/misestimates")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("top: %s returned %s", url, resp.Status)
+	}
+	var remote struct {
+		Threshold    float64           `json:"threshold"`
+		Misestimates []obs.Misestimate `json:"misestimates"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&remote); err != nil {
+		return fmt.Errorf("top: decoding /api/misestimates: %w", err)
+	}
+	printMisestimates(remote.Misestimates, remote.Threshold, n)
+	return nil
+}
+
+// printMisestimates renders the misestimation log, worst offender first.
+func printMisestimates(entries []obs.Misestimate, threshold float64, n int) {
+	if n >= 0 && len(entries) > n {
+		entries = entries[:n]
+	}
+	rows := make([][]string, 0, len(entries))
+	for i, e := range entries {
+		op := e.WorstOp
+		if len(op) > 48 {
+			op = op[:45] + "..."
+		}
+		stmt := e.Fingerprint
+		if len(stmt) > 64 {
+			stmt = stmt[:61] + "..."
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", e.Count),
+			fmt.Sprintf("x%.1f", e.MaxRatio),
+			fmt.Sprintf("x%.1f", e.Ratio),
+			op,
+			stmt,
+		})
+	}
+	printResultTable([]string{"#", "count", "worst", "last", "operator", "statement"}, rows)
+	if len(entries) == 0 {
+		fmt.Printf("no misestimations at threshold x%g — the planner's estimates held up\n", threshold)
+	} else {
+		fmt.Printf("(analyzed executions whose worst operator estimate was off by >= x%g)\n", threshold)
+	}
 }
 
 // cmdCheckpoint asks a running mdwd (started with -data-dir) to write a
@@ -849,7 +934,7 @@ func cmdClone(args []string) error {
 // Listing 1 (classify search hits by ontology class) once per term in a
 // small term set, and Listing 2 (column-level lineage) — each repeated
 // runs times so the statement table has latency distributions to show.
-func topWorkload(w *core.Warehouse, runs int) error {
+func topWorkload(w *core.Warehouse, runs int, analyzed bool) error {
 	l1, err := semmatch.ParseCall(`SEM_MATCH(
 		{?object rdf:type ?c .
 		 ?c rdfs:label ?class .
@@ -877,15 +962,23 @@ func topWorkload(w *core.Warehouse, runs int) error {
 		return err
 	}
 	l2.Select = []string{"source_id", "target_id", "target_name"}
+	run := func(req semmatch.Request) error {
+		if analyzed {
+			_, _, err := req.ExecAnalyze(w.Store())
+			return err
+		}
+		_, err := req.Exec(w.Store())
+		return err
+	}
 	for i := 0; i < runs; i++ {
 		for _, term := range []string{"customer", "account", "branch"} {
 			req := *l1
 			req.Filter = fmt.Sprintf("regex(?term, %q, \"i\")", term)
-			if _, err := req.Exec(w.Store()); err != nil {
+			if err := run(req); err != nil {
 				return err
 			}
 		}
-		if _, err := l2.Exec(w.Store()); err != nil {
+		if err := run(*l2); err != nil {
 			return err
 		}
 	}

@@ -6,7 +6,8 @@
 //
 //	mdwd [-addr :8080] [-data DIR | -wh DUMP] [-data-dir DIR]
 //	     [-fsync always|interval|none] [-checkpoint-every 5m]
-//	     [-slow-query 250ms] [-rescache N] [-rescache-bytes B] [-pprof]
+//	     [-slow-query 250ms] [-rescache N] [-rescache-bytes B]
+//	     [-misest-threshold 8] [-pprof]
 //
 // Without -data/-wh the server hosts the built-in Figure 3 example.
 // With -data-dir the warehouse is durable: every mutation is
@@ -21,17 +22,26 @@
 // including runtime gauges refreshed by a background sampler), recent
 // traces plus the slow-query log at /api/traces (every response carries
 // its trace ID in X-Mdw-Trace), and per-fingerprint query statistics at
-// /api/statements. -pprof additionally mounts the net/http/pprof
-// profiling handlers under /debug/pprof/.
+// /api/statements. GET /api/query?...&analyze=1 executes with
+// operator-level instrumentation and returns the runtime statistics
+// tree alongside the results; analyzed executions whose worst operator
+// estimate is off by -misest-threshold land in GET /api/misestimates.
+// /healthz answers 200 as soon as the process serves (liveness);
+// /readyz answers 503 with the blocking startup stage until recovery
+// and index builds finish, then 200 (readiness). -pprof additionally
+// mounts the net/http/pprof profiling handlers under /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -64,28 +74,31 @@ func main() {
 		"max entries in the generation-keyed results cache (0 disables it)")
 	rcBytes := flag.Int64("rescache-bytes", rescache.DefaultMaxBytes,
 		"byte budget of the results cache")
+	misestThr := flag.Float64("misest-threshold", sparql.DefaultMisestimateThreshold,
+		"report analyzed executions whose worst operator estimate is off by this factor (GET /api/misestimates)")
 	flag.Parse()
 	obs.DefaultSlowLog().SetThreshold(*slow)
 	sparql.SetMaxParallelism(*parallelism)
+	sparql.SetMisestimateThreshold(*misestThr)
 	if *rcEntries <= 0 {
 		rescache.Disable()
 	} else {
 		rescache.Enable(*rcEntries, *rcBytes)
 	}
 
-	w, mgr, err := buildWarehouse(*data, *dump, *scale, *dataDir, *fsync, *ckptEvery)
+	// Reserve the port before the (possibly long) durable recovery and
+	// index builds: probes connecting during startup queue in the listen
+	// backlog and get an honest not-ready answer the moment serving
+	// begins, instead of connection-refused flapping.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdwd:", err)
 		os.Exit(1)
 	}
-	// Materialize the entailment index up front so the first query is
-	// fast — unless recovery already brought back a current one, in which
-	// case rebuilding would only bloat the WAL with an identical index.
-	if !w.Stats().IndexCurrent {
-		if _, err := w.Reindex(); err != nil {
-			fmt.Fprintln(os.Stderr, "mdwd:", err)
-			os.Exit(1)
-		}
+	w, mgr, err := buildWarehouse(*data, *dump, *scale, *dataDir, *fsync, *ckptEvery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdwd:", err)
+		os.Exit(1)
 	}
 	stop := obs.StartRuntimeSampler(0)
 	defer stop()
@@ -109,13 +122,53 @@ func main() {
 		srv.MountPprof()
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	s := w.Stats()
-	log.Printf("serving model %s (%d base + %d derived triples) on %s",
-		s.Model, s.Triples, s.Derived, *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	// Serve immediately — /healthz answers 200 and /readyz 503 with the
+	// blocking stage — and run the remaining startup work (entailment
+	// index, text index) with the listener live. /readyz flips to 200
+	// when the warehouse can answer queries at full speed; queries
+	// arriving earlier still work, they just pay the on-demand builds.
+	var ready atomic.Bool
+	var stage atomic.Value
+	stage.Store("building entailment index")
+	srv.SetReadiness(func() (bool, string) {
+		if ready.Load() {
+			return true, ""
+		}
+		reason, _ := stage.Load().(string)
+		return false, reason
+	})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errc <- http.Serve(ln, srv)
+	}()
+
+	// Materialize the entailment index up front so the first query is
+	// fast — unless recovery already brought back a current one, in which
+	// case rebuilding would only bloat the WAL with an identical index.
+	if !w.Stats().IndexCurrent {
+		if _, err := w.Reindex(); err != nil {
+			fmt.Fprintln(os.Stderr, "mdwd:", err)
+			os.Exit(1)
+		}
+	}
+	stage.Store("building text index")
+	if _, err := w.TextIndex(); err != nil {
 		fmt.Fprintln(os.Stderr, "mdwd:", err)
 		os.Exit(1)
 	}
+	ready.Store(true)
+
+	s := w.Stats()
+	log.Printf("serving model %s (%d base + %d derived triples) on %s, ready",
+		s.Model, s.Triples, s.Derived, ln.Addr())
+	err = <-errc
+	wg.Wait()
+	fmt.Fprintln(os.Stderr, "mdwd:", err)
+	os.Exit(1)
 }
 
 func buildWarehouse(dataDir, dump, scale, durableDir, fsync string, ckptEvery time.Duration) (*core.Warehouse, *durable.Manager, error) {

@@ -232,6 +232,41 @@ func (w *Warehouse) QueryCtx(ctx context.Context, query string) (*sparql.Result,
 	return res, err
 }
 
+// QueryAnalyze is QueryAnalyzeCtx with a background context.
+func (w *Warehouse) QueryAnalyze(query string) (*sparql.Result, *sparql.ExecStats, error) {
+	return w.QueryAnalyzeCtx(context.Background(), query)
+}
+
+// QueryAnalyzeCtx is QueryCtx with operator-level instrumentation
+// (EXPLAIN ANALYZE): the returned ExecStats mirrors the executed plan
+// with actual rows, loops, and wall time per operator, plus query-wide
+// resource accounting. It always executes — analyzed statistics never
+// come from the results cache.
+func (w *Warehouse) QueryAnalyzeCtx(ctx context.Context, query string) (*sparql.Result, *sparql.ExecStats, error) {
+	root, ctx := obs.StartChildCtx(ctx, "warehouse.query")
+	defer root.Finish()
+	q, err := sparql.ParseCtx(ctx, query)
+	if err != nil {
+		root.SetLabel("error", "parse")
+		return nil, nil, err
+	}
+	idx := reason.IndexModelName(w.model, reason.RulebaseOWLPrime)
+	if !w.st.Current(w.model, idx) {
+		sp := root.Child("reindex")
+		_, err := w.Reindex()
+		sp.Finish()
+		if err != nil {
+			root.SetLabel("error", "reindex")
+			return nil, nil, err
+		}
+	}
+	res, stats, err := q.ExecAnalyzeCtx(ctx, w.st.ViewOf(w.model, idx), w.st.Dict())
+	if err == nil {
+		root.SetLabel("rows", strconv.Itoa(len(res.Rows)))
+	}
+	return res, stats, err
+}
+
 // QueryFacts executes a SPARQL query against the base facts only — the
 // paper's default when no rulebase is named.
 func (w *Warehouse) QueryFacts(query string) (*sparql.Result, error) {
@@ -247,6 +282,16 @@ func (w *Warehouse) QueryFactsCtx(ctx context.Context, query string) (*sparql.Re
 	return q.ExecCtx(ctx, w.st.ViewOf(w.model), w.st.Dict())
 }
 
+// QueryFactsAnalyzeCtx is QueryFactsCtx with operator-level
+// instrumentation (see QueryAnalyzeCtx).
+func (w *Warehouse) QueryFactsAnalyzeCtx(ctx context.Context, query string) (*sparql.Result, *sparql.ExecStats, error) {
+	q, err := sparql.ParseCtx(ctx, query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q.ExecAnalyzeCtx(ctx, w.st.ViewOf(w.model), w.st.Dict())
+}
+
 // SemMatch executes an Oracle-style SEM_MATCH call (Listings 1 and 2).
 func (w *Warehouse) SemMatch(call string) (*sparql.Result, error) {
 	return semmatch.Exec(w.st, call)
@@ -255,6 +300,12 @@ func (w *Warehouse) SemMatch(call string) (*sparql.Result, error) {
 // SemMatchCtx is SemMatch carrying a request context.
 func (w *Warehouse) SemMatchCtx(ctx context.Context, call string) (*sparql.Result, error) {
 	return semmatch.ExecCtx(ctx, w.st, call)
+}
+
+// SemMatchAnalyzeCtx is SemMatchCtx with operator-level instrumentation
+// (see QueryAnalyzeCtx).
+func (w *Warehouse) SemMatchAnalyzeCtx(ctx context.Context, call string) (*sparql.Result, *sparql.ExecStats, error) {
+	return semmatch.ExecAnalyzeCtx(ctx, w.st, call)
 }
 
 // Explain renders the evaluation plan Query would execute: the

@@ -30,6 +30,11 @@ type Server struct {
 	// mgr is the durability manager when the server runs with a data
 	// directory; nil otherwise (POST /api/checkpoint then answers 503).
 	mgr *durable.Manager
+	// readiness gates GET /readyz. nil means always ready (embedded and
+	// test servers); mdwd installs a probe that flips once recovery and
+	// index builds finish. Set before serving; the probe itself must be
+	// safe for concurrent calls.
+	readiness func() (bool, string)
 }
 
 // NewServer returns a server for the given warehouse.
@@ -45,13 +50,17 @@ func NewServer(w *core.Warehouse) *Server {
 	s.mux.HandleFunc("GET /api/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /api/statements", s.handleStatements)
+	s.mux.HandleFunc("GET /api/misestimates", s.handleMisestimates)
 	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /api/clone", s.handleClone)
 	s.mux.HandleFunc("POST /api/load", s.handleLoad)
+	// Liveness: the process is up and serving. Always 200 — a wedged
+	// recovery is a readiness problem, not a liveness one.
 	s.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		fmt.Fprintln(rw, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	return s
 }
@@ -65,6 +74,29 @@ func (s *Server) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 // SetDurable attaches the durability manager backing the warehouse, which
 // enables POST /api/checkpoint.
 func (s *Server) SetDurable(mgr *durable.Manager) { s.mgr = mgr }
+
+// SetReadiness installs the probe behind GET /readyz: not-ready answers
+// 503 with the probe's reason, ready answers 200. Call before serving;
+// the probe runs on request goroutines and must be concurrency-safe
+// (mdwd's reads an atomic flag flipped when startup work completes).
+func (s *Server) SetReadiness(probe func() (bool, string)) { s.readiness = probe }
+
+// handleReadyz serves the readiness probe: 200 once the warehouse can
+// answer queries (durable recovery replayed, entailment and text indexes
+// built), 503 with the blocking stage before that. Load balancers and
+// orchestration hold traffic until the flip; /healthz stays 200 all the
+// while.
+func (s *Server) handleReadyz(rw http.ResponseWriter, _ *http.Request) {
+	if s.readiness != nil {
+		if ok, reason := s.readiness(); !ok {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, "not ready: "+reason)
+			return
+		}
+	}
+	rw.WriteHeader(http.StatusOK)
+	fmt.Fprintln(rw, "ready")
+}
 
 // handleCheckpoint forces a checkpoint: a consistent snapshot of the
 // whole store is written and the WAL segments it covers are removed. The
@@ -389,6 +421,17 @@ type QueryResponse struct {
 	Ask  *bool               `json:"ask,omitempty"`
 	// Triples carries CONSTRUCT results in N-Triples syntax.
 	Triples []string `json:"triples,omitempty"`
+	// Stats and AnalyzedPlan are present with ?analyze=1: the operator
+	// stats tree of the execution that produced this result, and its
+	// EXPLAIN ANALYZE rendering.
+	Stats        *sparql.ExecStats `json:"stats,omitempty"`
+	AnalyzedPlan string            `json:"analyzedPlan,omitempty"`
+}
+
+// wantAnalyze reports whether the request opted into EXPLAIN ANALYZE.
+func wantAnalyze(r *http.Request) bool {
+	v := r.URL.Query().Get("analyze")
+	return v == "1" || v == "true"
 }
 
 func (s *Server) handleQuery(rw http.ResponseWriter, r *http.Request) {
@@ -397,11 +440,18 @@ func (s *Server) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("missing ?q"))
 		return
 	}
+	factsOnly := r.URL.Query().Get("facts") == "only"
 	var res *sparql.Result
+	var stats *sparql.ExecStats
 	var err error
-	if r.URL.Query().Get("facts") == "only" {
+	switch {
+	case wantAnalyze(r) && factsOnly:
+		res, stats, err = s.w.QueryFactsAnalyzeCtx(r.Context(), q)
+	case wantAnalyze(r):
+		res, stats, err = s.w.QueryAnalyzeCtx(r.Context(), q)
+	case factsOnly:
 		res, err = s.w.QueryFactsCtx(r.Context(), q)
-	} else {
+	default:
 		res, err = s.w.QueryCtx(r.Context(), q)
 	}
 	if err != nil {
@@ -409,6 +459,10 @@ func (s *Server) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := QueryResponse{Vars: res.Vars}
+	if stats != nil {
+		resp.Stats = stats
+		resp.AnalyzedPlan = stats.String()
+	}
 	if len(res.Triples) > 0 {
 		for _, tr := range res.Triples {
 			resp.Triples = append(resp.Triples, tr.NTriple())
@@ -435,12 +489,22 @@ func (s *Server) handleSemMatch(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.w.SemMatchCtx(r.Context(), string(body))
+	var res *sparql.Result
+	var stats *sparql.ExecStats
+	if wantAnalyze(r) {
+		res, stats, err = s.w.SemMatchAnalyzeCtx(r.Context(), string(body))
+	} else {
+		res, err = s.w.SemMatchCtx(r.Context(), string(body))
+	}
 	if err != nil {
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
 	resp := QueryResponse{Vars: res.Vars}
+	if stats != nil {
+		resp.Stats = stats
+		resp.AnalyzedPlan = stats.String()
+	}
 	for _, b := range res.Rows {
 		row := map[string]string{}
 		for v, t := range b {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mdw/internal/obs"
+	"mdw/internal/sparql"
 )
 
 func init() {
@@ -144,6 +145,31 @@ func (s *Server) handleTraces(rw http.ResponseWriter, r *http.Request) {
 	}
 	if resp.SlowLog == nil {
 		resp.SlowLog = []obs.SlowQuery{}
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// MisestimatesResponse is the JSON shape of GET /api/misestimates.
+type MisestimatesResponse struct {
+	// Threshold is the factor by which an operator estimate must be off
+	// before an analyzed execution lands here.
+	Threshold    float64           `json:"threshold"`
+	Misestimates []obs.Misestimate `json:"misestimates"`
+}
+
+// handleMisestimates serves the planner-misestimation log: statements
+// whose analyzed executions found an operator estimate off by at least
+// the threshold factor, worst first. ?n= limits the number of rows.
+func (s *Server) handleMisestimates(rw http.ResponseWriter, r *http.Request) {
+	resp := MisestimatesResponse{
+		Threshold:    sparql.MisestimateThreshold(),
+		Misestimates: obs.DefaultMisestimates().Snapshot(),
+	}
+	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(resp.Misestimates) {
+		resp.Misestimates = resp.Misestimates[:n]
+	}
+	if resp.Misestimates == nil {
+		resp.Misestimates = []obs.Misestimate{}
 	}
 	writeJSON(rw, http.StatusOK, resp)
 }

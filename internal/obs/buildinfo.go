@@ -1,0 +1,20 @@
+package obs
+
+import "runtime"
+
+// Version identifies the build. Release builds stamp it at link time:
+//
+//	go build -ldflags "-X mdw/internal/obs.Version=$(git describe --always)"
+//
+// and plain `go build` keeps the "dev" default. The value is exported as
+// the constant-1 gauge mdw_build_info with the version and Go toolchain
+// as labels — the Prometheus convention for joining "what is deployed
+// where" against every other series.
+var Version = "dev"
+
+func init() {
+	defaultRegistry.SetHelp("mdw_build_info",
+		"Build metadata as labels; the value is always 1.")
+	defaultRegistry.Gauge("mdw_build_info",
+		"version", Version, "goversion", runtime.Version()).Set(1)
+}

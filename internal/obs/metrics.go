@@ -111,13 +111,13 @@ func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
 // inside the bucket the quantile falls in — the same model Prometheus's
 // histogram_quantile uses — with the first bucket anchored at 0. A
 // quantile landing in the +Inf bucket clamps to the highest finite
-// bound; an empty histogram yields NaN.
+// bound; an empty histogram or mismatched slice lengths yield NaN.
 func Quantile(bounds []float64, cumulative []int64, q float64) float64 {
 	n := len(cumulative)
-	if n == 0 || cumulative[n-1] == 0 {
+	if n == 0 || len(bounds) != n || cumulative[n-1] == 0 {
 		return math.NaN()
 	}
-	if q < 0 {
+	if q < 0 || math.IsNaN(q) {
 		q = 0
 	}
 	if q > 1 {
@@ -125,7 +125,15 @@ func Quantile(bounds []float64, cumulative []int64, q float64) float64 {
 	}
 	total := float64(cumulative[n-1])
 	rank := q * total
-	i := sort.Search(n, func(i int) bool { return float64(cumulative[i]) >= rank })
+	// The extra cumulative[i] > 0 conjunct keeps q=0 (rank 0) out of
+	// empty leading buckets: the 0-quantile is the lower edge of the
+	// first bucket that actually holds an observation, not bound 0 of a
+	// histogram whose observations all live further right. Both
+	// conjuncts are monotone over the cumulative counts, so the search
+	// invariant holds.
+	i := sort.Search(n, func(i int) bool {
+		return cumulative[i] > 0 && float64(cumulative[i]) >= rank
+	})
 	if i >= n {
 		i = n - 1
 	}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMisestimateCapacity bounds the default misestimation log: the
+// worst offenders by ratio survive; at capacity a new fingerprint evicts
+// the entry with the smallest maximum ratio.
+const DefaultMisestimateCapacity = 128
+
+// Misestimate is one planner blind spot: a statement whose analyzed
+// execution found an operator estimate off by at least the reporting
+// threshold, keyed by fingerprint and folded across executions.
+type Misestimate struct {
+	Fingerprint string `json:"fingerprint"`
+	Query       string `json:"query"` // example text: first misestimated execution seen
+	// Count is how many analyzed executions of the fingerprint crossed
+	// the threshold.
+	Count int64 `json:"count"`
+	// Ratio is the latest worst per-operator estimate/actual factor;
+	// MaxRatio the largest ever seen for the fingerprint.
+	Ratio    float64 `json:"ratio"`
+	MaxRatio float64 `json:"maxRatio"`
+	// WorstOp names the operator (rendered pattern) of the worst
+	// misestimation, with the analyzed plan it came from.
+	WorstOp  string    `json:"worstOp"`
+	Plan     string    `json:"plan,omitempty"`
+	LastSeen time.Time `json:"lastSeen"`
+}
+
+// MisestLog is a bounded fingerprint → misestimation table, safe for
+// concurrent use.
+type MisestLog struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*Misestimate
+}
+
+// NewMisestLog returns a log retaining at most cap fingerprints
+// (cap <= 0 selects DefaultMisestimateCapacity).
+func NewMisestLog(cap int) *MisestLog {
+	if cap <= 0 {
+		cap = DefaultMisestimateCapacity
+	}
+	return &MisestLog{cap: cap, m: make(map[string]*Misestimate)}
+}
+
+// Record folds one threshold-crossing execution into the fingerprint's
+// entry. The worst-offender operator and plan are kept from the largest
+// ratio seen, so the entry always explains its MaxRatio.
+func (l *MisestLog) Record(m Misestimate) {
+	if m.Fingerprint == "" {
+		return
+	}
+	if m.LastSeen.IsZero() {
+		m.LastSeen = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.m[m.Fingerprint]
+	if !ok {
+		if len(l.m) >= l.cap {
+			l.evictLocked()
+		}
+		m.Count = 1
+		m.MaxRatio = m.Ratio
+		l.m[m.Fingerprint] = &m
+		return
+	}
+	e.Count++
+	e.Ratio = m.Ratio
+	e.LastSeen = m.LastSeen
+	if m.Ratio > e.MaxRatio {
+		e.MaxRatio = m.Ratio
+		e.WorstOp = m.WorstOp
+		e.Plan = m.Plan
+	}
+}
+
+// evictLocked removes the entry with the smallest maximum ratio. Called
+// with l.mu held, only when a new fingerprint arrives at capacity.
+func (l *MisestLog) evictLocked() {
+	var victim string
+	least := 0.0
+	first := true
+	for fp, e := range l.m {
+		if first || e.MaxRatio < least {
+			victim, least, first = fp, e.MaxRatio, false
+		}
+	}
+	if victim != "" {
+		delete(l.m, victim)
+	}
+}
+
+// Len returns the number of retained fingerprints.
+func (l *MisestLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// Reset clears the log (tests, mdw top -reset).
+func (l *MisestLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m = make(map[string]*Misestimate)
+}
+
+// Snapshot returns the log sorted by maximum ratio, worst first.
+func (l *MisestLog) Snapshot() []Misestimate {
+	l.mu.Lock()
+	out := make([]Misestimate, 0, len(l.m))
+	for _, e := range l.m {
+		out = append(out, *e)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxRatio != out[j].MaxRatio {
+			return out[i].MaxRatio > out[j].MaxRatio
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

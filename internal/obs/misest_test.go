@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMisestLogMergeAndEvict(t *testing.T) {
+	l := NewMisestLog(3)
+	l.Record(Misestimate{Fingerprint: "a", Query: "qa", Ratio: 10, WorstOp: "op-a1", Plan: "plan-a1"})
+	l.Record(Misestimate{Fingerprint: "a", Query: "qa", Ratio: 4, WorstOp: "op-a2", Plan: "plan-a2"})
+	got := l.Snapshot()
+	if len(got) != 1 {
+		t.Fatalf("snapshot has %d entries, want 1", len(got))
+	}
+	e := got[0]
+	// The fold keeps the worst observation's explanation but tracks the
+	// latest ratio.
+	if e.Count != 2 || e.MaxRatio != 10 || e.Ratio != 4 || e.WorstOp != "op-a1" || e.Plan != "plan-a1" {
+		t.Fatalf("bad folded entry: %+v", e)
+	}
+
+	l.Record(Misestimate{Fingerprint: "b", Ratio: 2})
+	l.Record(Misestimate{Fingerprint: "c", Ratio: 50})
+	// At capacity: a new fingerprint evicts the smallest MaxRatio ("b").
+	l.Record(Misestimate{Fingerprint: "d", Ratio: 7})
+	got = l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3 (bounded)", len(got))
+	}
+	order := []string{got[0].Fingerprint, got[1].Fingerprint, got[2].Fingerprint}
+	if order[0] != "c" || order[1] != "a" || order[2] != "d" {
+		t.Fatalf("snapshot order %v, want worst-first [c a d]", order)
+	}
+
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+	// Ignored inputs must not allocate rows.
+	l.Record(Misestimate{Fingerprint: "", Ratio: 99})
+	if l.Len() != 0 {
+		t.Fatal("empty fingerprint was recorded")
+	}
+}
+
+func TestMisestLogDefaultCapacity(t *testing.T) {
+	l := NewMisestLog(0)
+	for i := 0; i < DefaultMisestimateCapacity+10; i++ {
+		l.Record(Misestimate{Fingerprint: fmt.Sprintf("fp%d", i), Ratio: float64(i + 2)})
+	}
+	if l.Len() != DefaultMisestimateCapacity {
+		t.Fatalf("len = %d, want %d", l.Len(), DefaultMisestimateCapacity)
+	}
+	// The survivors are the worst offenders: the lowest ratios were evicted.
+	for _, e := range l.Snapshot() {
+		if e.Ratio < 12 {
+			t.Fatalf("low-ratio entry %+v survived eviction", e)
+		}
+	}
+}

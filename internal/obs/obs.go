@@ -31,6 +31,7 @@ var (
 	defaultTracer     = NewTracer(DefaultTraceCapacity)
 	defaultSlowLog    = NewSlowLog(DefaultSlowLogCapacity, DefaultSlowQueryThreshold)
 	defaultStatements = NewStatements(DefaultStatementCapacity)
+	defaultMisest     = NewMisestLog(DefaultMisestimateCapacity)
 )
 
 func init() {
@@ -51,6 +52,10 @@ func DefaultTracer() *Tracer { return defaultTracer }
 
 // DefaultSlowLog returns the process-wide slow-query log.
 func DefaultSlowLog() *SlowLog { return defaultSlowLog }
+
+// DefaultMisestimates returns the process-wide planner-misestimation log
+// (GET /api/misestimates, `mdw top -misest`).
+func DefaultMisestimates() *MisestLog { return defaultMisest }
 
 // StartSpan starts a root span of a new trace on the default tracer.
 func StartSpan(name string) *Span { return defaultTracer.Start(name) }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the estimator's boundary behavior: empty
+// histograms, a single sample, the extreme quantiles, out-of-range q,
+// and malformed input. The headline cases are q=0 over empty leading
+// buckets (the 0-quantile is the lower edge of the first bucket that
+// holds an observation, not bound 0 of the histogram) and the
+// length-mismatch guard (NaN, never a panic).
+func TestQuantileEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	std := []float64{0.01, 0.1, 1, inf}
+	tests := []struct {
+		name   string
+		bounds []float64
+		cum    []int64
+		q      float64
+		want   float64 // math.NaN() for "must be NaN"
+	}{
+		{"empty histogram", std, []int64{0, 0, 0, 0}, 0.5, math.NaN()},
+		{"nil slices", nil, nil, 0.5, math.NaN()},
+		{"length mismatch long bounds", std, []int64{1, 1}, 0.5, math.NaN()},
+		{"length mismatch short bounds", []float64{0.01}, []int64{1, 2, 3}, 0.5, math.NaN()},
+
+		// One observation in (0.01, 0.1]: every quantile interpolates
+		// inside that bucket; q=0 anchors at its lower edge, q=1 at its
+		// upper edge.
+		{"single sample q=0", std, []int64{0, 1, 1, 1}, 0, 0.01},
+		{"single sample q=0.5", std, []int64{0, 1, 1, 1}, 0.5, 0.055},
+		{"single sample q=1", std, []int64{0, 1, 1, 1}, 1, 0.1},
+
+		// q=0 must skip empty leading buckets, landing on the lower edge
+		// of the first populated one — not on the histogram's origin.
+		{"q=0 skips empty buckets", std, []int64{0, 0, 10, 10}, 0, 0.1},
+		{"q=0 first bucket populated", std, []int64{5, 10, 10, 10}, 0, 0},
+
+		// q=1 lands on the populated extreme, and clamps to the last
+		// finite bound when the max lives in +Inf.
+		{"q=1 full histogram", std, []int64{50, 90, 100, 100}, 1, 1},
+		{"q=1 in +Inf bucket", std, []int64{50, 90, 100, 110}, 1, 1},
+
+		// Out-of-range and NaN q clamp instead of corrupting the rank.
+		{"q below range", std, []int64{0, 1, 1, 1}, -3, 0.01},
+		{"q above range", std, []int64{0, 1, 1, 1}, 7, 0.1},
+		{"q NaN", std, []int64{0, 1, 1, 1}, math.NaN(), 0.01},
+
+		// Interior sanity (the documented interpolation model).
+		{"median interpolates", std, []int64{50, 90, 100, 100}, 0.5, 0.01},
+		{"p95 interpolates", std, []int64{50, 90, 100, 100}, 0.95, 0.55},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Quantile(tc.bounds, tc.cum, tc.q)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%v, %v, %v) = %v, want NaN", tc.bounds, tc.cum, tc.q, got)
+				}
+				return
+			}
+			if math.IsNaN(got) || math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v, %v, %v) = %v, want %v", tc.bounds, tc.cum, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuantileMonotone: for a fixed histogram, the estimate must be
+// non-decreasing in q — the property the search predicate's extra
+// conjunct must not break.
+func TestQuantileMonotone(t *testing.T) {
+	bounds := []float64{0.005, 0.01, 0.05, 0.1, 1, math.Inf(1)}
+	cum := []int64{0, 3, 3, 40, 41, 41}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := Quantile(bounds, cum, q)
+		if math.IsNaN(got) {
+			t.Fatalf("q=%v: NaN on a populated histogram", q)
+		}
+		if got < prev {
+			t.Fatalf("q=%v: estimate %v below previous %v", q, got, prev)
+		}
+		prev = got
+	}
+}

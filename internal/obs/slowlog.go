@@ -22,12 +22,17 @@ type Stage struct {
 
 // SlowQuery is one slow-query log entry.
 type SlowQuery struct {
-	When   time.Time     `json:"when"`
-	Query  string        `json:"query"`          // SPARQL text as submitted
-	Plan   string        `json:"plan,omitempty"` // rendered evaluation plan
-	Rows   int           `json:"rows"`
-	Total  time.Duration `json:"totalNs"`
-	Stages []Stage       `json:"stages,omitempty"`
+	When  time.Time     `json:"when"`
+	Query string        `json:"query"`          // SPARQL text as submitted
+	Plan  string        `json:"plan,omitempty"` // rendered evaluation plan
+	Rows  int           `json:"rows"`
+	Total time.Duration `json:"totalNs"`
+	// Analyzed marks entries whose Plan carries EXPLAIN ANALYZE
+	// annotations (actual rows and operator timings) rather than the
+	// estimate-only rendering — the engine re-runs a slow fingerprint
+	// once with stats collection armed to capture them.
+	Analyzed bool    `json:"analyzed,omitempty"`
+	Stages   []Stage `json:"stages,omitempty"`
 }
 
 // SlowLog is a bounded ring of the most recent queries whose total

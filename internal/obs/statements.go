@@ -31,6 +31,12 @@ type StatementStat struct {
 	// Parallelism is the degree of parallelism of the last recorded plan
 	// (1 = serial; 0 = the plan did not report one).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Resource accounting, accumulated from analyzed executions only
+	// (AnalyzedCalls of the Calls): index triples scanned and dictionary
+	// terms decoded on behalf of the statement.
+	RowsScanned   int64 `json:"rowsScanned,omitempty"`
+	TermDecodes   int64 `json:"termDecodes,omitempty"`
+	AnalyzedCalls int64 `json:"analyzedCalls,omitempty"`
 }
 
 // ParallelPlan is optionally implemented by recorded plans that carry a
@@ -53,6 +59,9 @@ type stmtEntry struct {
 	lastPlan fmt.Stringer
 	lastPar  int
 	lastSeen time.Time
+	scanned  int64
+	decodes  int64
+	analyzed int64
 }
 
 // Statements is a bounded fingerprint → statistics table, safe for
@@ -108,6 +117,26 @@ func (s *Statements) Record(fp, query string, rows int, d time.Duration, plan fm
 		}
 	}
 	e.lastSeen = now
+}
+
+// AddResources folds one analyzed execution's resource counters into the
+// fingerprint's row. Only analyzed executions pay the per-triple counting,
+// so the sums are a sample, not a census — AnalyzedCalls says how big.
+// A fingerprint not in the table is ignored: Record creates rows,
+// AddResources only annotates existing ones.
+func (s *Statements) AddResources(fp string, scanned, decodes int64) {
+	if fp == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[fp]
+	if !ok {
+		return
+	}
+	e.scanned += scanned
+	e.decodes += decodes
+	e.analyzed++
 }
 
 // evictLocked removes the entry with the least total time. Called with
@@ -174,6 +203,10 @@ func (s *Statements) Snapshot() []StatementStat {
 			Max:         e.max,
 			LastSeen:    e.lastSeen,
 			Parallelism: e.lastPar,
+
+			RowsScanned:   e.scanned,
+			TermDecodes:   e.decodes,
+			AnalyzedCalls: e.analyzed,
 		}
 		if e.calls > 0 {
 			st.Mean = e.total / time.Duration(e.calls)

@@ -29,7 +29,7 @@ func TestListing1Plan(t *testing.T) {
   BGP (3 patterns, join order):
     1. ?object dm:hasName ?term  [est 1]
       FILTER REGEX(?term, "(?i)customer") (pushed down)
-    2. ?object rdf:type ?c  [est 1]
+    2. ?object rdf:type ?c  [est 2]
     3. ?c rdfs:label ?class  [est 1]
 GROUP BY ?class ?object
 `

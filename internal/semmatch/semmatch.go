@@ -68,6 +68,28 @@ func (r Request) ExecCtx(ctx context.Context, st *store.Store) (*sparql.Result, 
 	return q.ExecCtx(ctx, src, st.Dict())
 }
 
+// ExecAnalyze is ExecAnalyzeCtx with a background context.
+func (r Request) ExecAnalyze(st *store.Store) (*sparql.Result, *sparql.ExecStats, error) {
+	return r.ExecAnalyzeCtx(context.Background(), st)
+}
+
+// ExecAnalyzeCtx is ExecCtx with operator-level instrumentation: the
+// returned ExecStats carries actual rows, loops, and wall time for every
+// operator of the plan the call executed (EXPLAIN ANALYZE).
+func (r Request) ExecAnalyzeCtx(ctx context.Context, st *store.Store) (*sparql.Result, *sparql.ExecStats, error) {
+	sp, ctx := obs.StartChildCtx(ctx, "semmatch")
+	defer sp.Finish()
+	src, err := r.source(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := sparql.ParseCtx(ctx, r.QueryText())
+	if err != nil {
+		return nil, nil, err
+	}
+	return q.ExecAnalyzeCtx(ctx, src, st.Dict())
+}
+
 // Explain renders the evaluation plan the request would execute —
 // the statistics-driven join order with estimated cardinalities against
 // the request's model view. It is the same Plan structure Exec runs.
@@ -182,6 +204,16 @@ func ExecCtx(ctx context.Context, st *store.Store, call string) (*sparql.Result,
 		return nil, err
 	}
 	return req.ExecCtx(ctx, st)
+}
+
+// ExecAnalyzeCtx parses a textual SEM_MATCH call and runs it analyzed
+// (see Request.ExecAnalyzeCtx).
+func ExecAnalyzeCtx(ctx context.Context, st *store.Store, call string) (*sparql.Result, *sparql.ExecStats, error) {
+	req, err := ParseCall(call)
+	if err != nil {
+		return nil, nil, err
+	}
+	return req.ExecAnalyzeCtx(ctx, st)
 }
 
 // ParseCall parses the textual SEM_MATCH argument list into a Request.

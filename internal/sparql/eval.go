@@ -78,10 +78,33 @@ func (q *Query) ExecCtx(ctx context.Context, src store.Source, dict *store.Dict)
 // execUncached is the pre-results-cache execution path: plan-cache
 // probe, (re)planning, execution.
 func (q *Query) execUncached(ctx context.Context, src store.Source, dict *store.Dict) (*Result, error) {
+	p, ctx := q.planFor(ctx, src, dict)
+	return p.ExecCtx(ctx)
+}
+
+// ExecAnalyze is ExecAnalyzeCtx with a background context.
+func (q *Query) ExecAnalyze(src store.Source, dict *store.Dict) (*Result, *ExecStats, error) {
+	return q.ExecAnalyzeCtx(context.Background(), src, dict)
+}
+
+// ExecAnalyzeCtx executes the query with operator-level instrumentation
+// and returns the runtime statistics next to the result (EXPLAIN
+// ANALYZE). It reuses the memoized plan exactly like ExecCtx but always
+// bypasses the results cache: analyzed statistics must come from a real
+// execution, never from a cached result that executed nothing.
+func (q *Query) ExecAnalyzeCtx(ctx context.Context, src store.Source, dict *store.Dict) (*Result, *ExecStats, error) {
+	p, ctx := q.planFor(ctx, src, dict)
+	return p.ExecAnalyzeCtx(ctx)
+}
+
+// planFor returns the plan to execute — the memoized one when it is
+// still valid for (src, dict), a fresh one otherwise — plus the context
+// to execute under (carrying the planning span on a replan).
+func (q *Query) planFor(ctx context.Context, src store.Source, dict *store.Dict) (*Plan, context.Context) {
 	if p := q.cachedPlan.Load(); p != nil && p.dict == dict && sameSource(p.src, src) &&
 		(!p.unresolved || p.dictLen == dict.Len()) {
 		obsPlanCacheHit.Inc()
-		return p.ExecCtx(ctx)
+		return p, ctx
 	}
 	obsPlanCacheMiss.Inc()
 	sp, ctx := obs.ChildCtx(ctx, "sparql plan")
@@ -90,7 +113,7 @@ func (q *Query) execUncached(ctx context.Context, src store.Source, dict *store.
 	if cacheableSource(src) {
 		q.cachedPlan.Store(p)
 	}
-	return p.ExecCtx(ctx)
+	return p, ctx
 }
 
 // cacheableSource limits plan memoization to pointer-shaped sources,
@@ -132,13 +155,41 @@ func (p *Plan) Exec() (*Result, error) {
 // successful execution — traced or not — also folds into the default
 // statement-statistics table under the query's fingerprint.
 func (p *Plan) ExecCtx(ctx context.Context) (*Result, error) {
+	res, _, err := p.execMeasured(ctx, nil)
+	return res, err
+}
+
+// ExecAnalyze is ExecAnalyzeCtx with a background context.
+func (p *Plan) ExecAnalyze() (*Result, *ExecStats, error) {
+	return p.ExecAnalyzeCtx(context.Background())
+}
+
+// ExecAnalyzeCtx executes the plan with an operator stats record armed
+// (EXPLAIN ANALYZE): every operator counts its loops, rows, and wall
+// time into the returned ExecStats tree.
+func (p *Plan) ExecAnalyzeCtx(ctx context.Context) (*Result, *ExecStats, error) {
+	return p.execMeasured(ctx, newExecStatsRec(p))
+}
+
+// execMeasured is the observed execution path shared by ExecCtx and
+// ExecAnalyzeCtx: tracing, metrics, statement statistics, and the
+// slow-query log. rec is nil for plain execution — unless the query's
+// fingerprint was armed by an earlier slow execution, in which case this
+// execution collects stats once so its slow-log entry (and the
+// misestimation channel) gets an analyzed plan.
+func (p *Plan) execMeasured(ctx context.Context, rec *execStatsRec) (*Result, *ExecStats, error) {
+	fp := p.query.Fingerprint()
+	armed := false
+	if rec == nil && analyzeArmed(fp) {
+		rec, armed = newExecStatsRec(p), true
+	}
 	sp, _ := obs.ChildCtx(ctx, "sparql exec")
 	t0 := time.Now()
-	res, info, err := p.exec(ctx)
+	res, info, err := p.exec(ctx, rec)
 	d := obsExecHist.ObserveSince(t0)
 	if err != nil || res == nil {
 		sp.Finish()
-		return res, err
+		return res, nil, err
 	}
 	rows := len(res.Rows)
 	if p.query.Kind == ConstructQuery {
@@ -153,9 +204,16 @@ func (p *Plan) ExecCtx(ctx context.Context) (*Result, error) {
 	}
 	sp.SetLabel("rows", strconv.Itoa(rows)).Finish()
 	obsRows.Add(int64(rows))
-	obs.DefaultStatements().Record(p.query.Fingerprint(), p.query.Text, rows, d, p)
+	var stats *ExecStats
+	if rec != nil {
+		stats = p.finishAnalyze(rec, info, d, rows)
+	}
+	obs.DefaultStatements().Record(fp, p.query.Text, rows, d, p)
+	if stats != nil {
+		obs.DefaultStatements().AddResources(fp, stats.RowsScanned, stats.TermDecodes)
+	}
 	if sl := obs.DefaultSlowLog(); sl.ShouldLog(d) {
-		sl.Record(obs.SlowQuery{
+		e := obs.SlowQuery{
 			Query: p.query.Text,
 			Plan:  p.String(),
 			Rows:  rows,
@@ -164,9 +222,18 @@ func (p *Plan) ExecCtx(ctx context.Context) (*Result, error) {
 				{Name: "plan", D: p.planDur},
 				{Name: "exec", D: d},
 			},
-		})
+		}
+		if stats != nil {
+			e.Plan, e.Analyzed = stats.String(), true
+		} else {
+			armAnalyze(fp)
+		}
+		sl.Record(e)
 	}
-	return res, err
+	if armed {
+		disarmAnalyze(fp)
+	}
+	return res, stats, err
 }
 
 // execInfo is the parallel-execution evidence one exec produced, fed to
@@ -177,7 +244,7 @@ type execInfo struct {
 	tasks    int
 }
 
-func (p *Plan) exec(ctx context.Context) (*Result, execInfo, error) {
+func (p *Plan) exec(ctx context.Context, rec *execStatsRec) (*Result, execInfo, error) {
 	if p.src == nil || p.dict == nil {
 		return nil, execInfo{}, errors.New("sparql: plan was built without a source; use Query.Plan(src, dict)")
 	}
@@ -187,7 +254,7 @@ func (p *Plan) exec(ctx context.Context) (*Result, execInfo, error) {
 		}
 	}
 	q := p.query
-	ev := &evaluator{src: p.src, dict: p.dict, ctx: ctx, plan: p}
+	ev := &evaluator{src: p.src, dict: p.dict, ctx: ctx, plan: p, stats: rec}
 	res, err := ev.execKind(q)
 	return res, execInfo{strategy: ev.parStrategy, workers: ev.parWorkers, tasks: ev.parTasks}, err
 }
@@ -263,6 +330,11 @@ type evaluator struct {
 	// parStop, when set, is the merger's early-termination flag of the
 	// parallel run this (worker) evaluator belongs to.
 	parStop *atomic.Bool
+	// stats, when set, is the EXPLAIN ANALYZE record this execution
+	// accumulates operator statistics into. Worker evaluators share the
+	// parent's record (its counters are atomic); nil means no analysis —
+	// every instrumentation site pays one pointer check and nothing else.
+	stats *execStatsRec
 	// pathWorkers/frontierMin arm parallel frontier BFS in the path
 	// engine (0 = serial traversal).
 	pathWorkers int
@@ -279,6 +351,9 @@ type evaluator struct {
 func (ev *evaluator) term(id store.ID) rdf.Term {
 	if t, ok := ev.terms[id]; ok {
 		return t
+	}
+	if st := ev.stats; st != nil {
+		st.decodes.Add(1)
 	}
 	t := ev.dict.Term(id)
 	if ev.terms == nil {
@@ -311,6 +386,12 @@ func (ev *evaluator) runSteps(steps []planStep, i int, s env, emit func(env) boo
 		}
 		return next(s)
 	case *optionalStep:
+		if rec := ev.stats; rec != nil {
+			op := &rec.ops[st.si]
+			op.loops.Add(1)
+			inner := next
+			next = func(s2 env) bool { op.rows.Add(1); return inner(s2) }
+		}
 		matched := false
 		if !ev.runGroup(st.group, s, func(s2 env) bool {
 			matched = true
@@ -323,11 +404,23 @@ func (ev *evaluator) runSteps(steps []planStep, i int, s env, emit func(env) boo
 		}
 		return true
 	case *unionStep:
+		if rec := ev.stats; rec != nil {
+			op := &rec.ops[st.si]
+			op.loops.Add(1)
+			inner := next
+			next = func(s2 env) bool { op.rows.Add(1); return inner(s2) }
+		}
 		if !ev.runGroup(st.left, s, next) {
 			return false
 		}
 		return ev.runGroup(st.right, s, next)
 	case *groupStep:
+		if rec := ev.stats; rec != nil {
+			op := &rec.ops[st.si]
+			op.loops.Add(1)
+			inner := next
+			next = func(s2 env) bool { op.rows.Add(1); return inner(s2) }
+		}
 		return ev.runGroup(st.group, s, next)
 	default:
 		ev.err = fmt.Errorf("sparql: unknown plan step %T", st)
@@ -376,6 +469,14 @@ func (r *bgpRun) next(idx int) bool {
 		return r.emit(r.s)
 	}
 	pp := r.b.patterns[idx]
+	if st := r.ev.stats; st != nil {
+		op := &st.ops[pp.si]
+		op.loops.Add(1)
+		start := time.Now()
+		// Inclusive timing (deeper patterns run inside this window), the
+		// EXPLAIN ANALYZE convention.
+		defer func() { op.durNs.Add(int64(time.Since(start))) }()
+	}
 	sid, svar, ok := derefNode(pp.s, r.s)
 	if !ok {
 		return true // constant unknown to the dictionary: zero matches
@@ -436,6 +537,9 @@ func (r *bgpRun) onTriple(idx int, t store.ETriple) bool {
 	if r.ev.cancelled() || r.ev.stopped() {
 		r.frames[idx].cont = false
 		return false
+	}
+	if st := r.ev.stats; st != nil {
+		st.scanned.Add(1)
 	}
 	pp := r.b.patterns[idx]
 	f := &r.frames[idx]
@@ -499,6 +603,9 @@ func (r *bgpRun) onTriple(idx int, t store.ETriple) bool {
 // solution, then advances to the next pattern.
 func (r *bgpRun) matched(idx int) bool {
 	pp := r.b.patterns[idx]
+	if st := r.ev.stats; st != nil {
+		st.ops[pp.si].rows.Add(1)
+	}
 	for _, c := range pp.pushed {
 		if !r.ev.constraintHolds(c, r.s) {
 			return r.ev.err == nil // reject this extension, continue matching
@@ -508,9 +615,27 @@ func (r *bgpRun) matched(idx int) bool {
 }
 
 // constraintHolds applies a planned FILTER or (NOT) EXISTS constraint to
-// the current solution under SPARQL error semantics (evaluation error →
-// false).
+// the current solution, counting tested/passed solutions and wall time
+// when an analyze record is armed.
 func (ev *evaluator) constraintHolds(c *plannedConstraint, s env) bool {
+	st := ev.stats
+	if st == nil {
+		return ev.constraintEval(c, s)
+	}
+	op := &st.ops[c.si]
+	op.loops.Add(1)
+	start := time.Now()
+	ok := ev.constraintEval(c, s)
+	op.durNs.Add(int64(time.Since(start)))
+	if ok {
+		op.rows.Add(1)
+	}
+	return ok
+}
+
+// constraintEval evaluates the constraint under SPARQL error semantics
+// (evaluation error → false).
+func (ev *evaluator) constraintEval(c *plannedConstraint, s env) bool {
 	if c.exists != nil {
 		found := false
 		ev.runGroup(c.group, s, func(env) bool {
@@ -582,14 +707,22 @@ func (ev *evaluator) selectRows(q *Query) (*Result, error) {
 	if needed != 0 {
 		ev.runRoot(func(s env) bool {
 			b := make(Binding, len(vars))
+			decoded := int64(0)
 			for _, v := range vars {
 				if id, ok := s[v]; ok {
 					b[v] = ev.dict.Term(id)
+					decoded++
 				}
+			}
+			if st := ev.stats; st != nil {
+				st.decodes.Add(decoded)
 			}
 			if q.Distinct {
 				key := rowKey(vars, b)
 				if seen[key] {
+					if st := ev.stats; st != nil {
+						st.distinctDropped++
+					}
 					return true
 				}
 				seen[key] = true
@@ -602,6 +735,9 @@ func (ev *evaluator) selectRows(q *Query) (*Result, error) {
 		}
 		if needed >= 0 && len(rows) >= needed {
 			obsEarlyLimit.Inc()
+			if st := ev.stats; st != nil {
+				st.limitStopped = true
+			}
 		}
 	}
 	if len(q.OrderBy) > 0 {
@@ -697,6 +833,9 @@ func (ev *evaluator) aggregateRows(q *Query) (*Result, error) {
 	})
 	if ev.err != nil {
 		return nil, ev.err
+	}
+	if st := ev.stats; st != nil {
+		st.groups = int64(len(order))
 	}
 	// With no solutions and no GROUP BY, aggregates still yield one row.
 	if len(order) == 0 && len(q.GroupBy) == 0 {

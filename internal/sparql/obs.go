@@ -26,6 +26,10 @@ var (
 	obsParWorkers    = obs.Default().Counter("mdw_sparql_parallel_workers_total")
 	obsParMorsels    = obs.Default().Counter("mdw_sparql_parallel_morsels_total")
 	obsParPathLevels = obs.Default().Counter("mdw_sparql_parallel_path_levels_total")
+
+	// Misestimation feedback: analyzed executions whose worst operator
+	// estimate was off by at least the threshold factor.
+	obsMisestimate = obs.Default().Counter("mdw_sparql_misestimate_total")
 )
 
 func init() {
@@ -42,4 +46,5 @@ func init() {
 	r.SetHelp("mdw_sparql_parallel_workers_total", "Workers launched by parallel executions.")
 	r.SetHelp("mdw_sparql_parallel_morsels_total", "Candidate morsels dispatched by parallel BGP scans.")
 	r.SetHelp("mdw_sparql_parallel_path_levels_total", "BFS frontier levels expanded in parallel by path closures.")
+	r.SetHelp("mdw_sparql_misestimate_total", "Analyzed executions whose worst per-operator estimate/actual ratio reached the misestimation threshold.")
 }

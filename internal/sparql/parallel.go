@@ -312,6 +312,11 @@ func (ev *evaluator) runMorselRoot(emit func(env) bool) {
 		pid = pp.pid
 	}
 	cands := collectMatches(ev.src, sid, pid, oid)
+	if st := ev.stats; st != nil {
+		// The first pattern runs as one logical scan over the candidate
+		// set; its matches are counted per morsel as workers replay them.
+		st.ops[pp.si].loops.Add(1)
+	}
 	msize := p.par.morsel
 	if len(cands) < 2*msize {
 		obsParFallback.Inc()
@@ -371,8 +376,14 @@ func (ev *evaluator) runUnionRoot(emit func(env) bool) {
 	obsParExecUnion.Inc()
 	obsParWorkers.Add(2)
 	ev.parStrategy, ev.parWorkers, ev.parTasks = "union", 2, 2
+	if st := ev.stats; st != nil {
+		st.ops[u.si].loops.Add(1)
+	}
 	ev.orderedRun(2, 2, func(wev *evaluator, task int, bufEmit func(env) bool) {
 		wev.runGroup(branches[task], env{}, func(s env) bool {
+			if st := wev.stats; st != nil {
+				st.ops[u.si].rows.Add(1)
+			}
 			return wev.runSteps(p.root.steps, 1, s, bufEmit)
 		})
 	}, emit)
@@ -454,7 +465,7 @@ func (ev *evaluator) orderedRun(workers, ntasks int, task func(wev *evaluator, t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wev := &evaluator{src: ev.src, dict: ev.dict, ctx: ev.ctx, parStop: &pr.stop}
+			wev := &evaluator{src: ev.src, dict: ev.dict, ctx: ev.ctx, parStop: &pr.stop, stats: ev.stats}
 			for {
 				select {
 				case <-sem:

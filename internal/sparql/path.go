@@ -78,7 +78,7 @@ func (ev *evaluator) allPairsParallel(p Path, nodes []store.ID) [][2]store.ID {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wev := &evaluator{src: ev.src, dict: ev.dict, ctx: ev.ctx, parStop: ev.parStop}
+			wev := &evaluator{src: ev.src, dict: ev.dict, ctx: ev.ctx, parStop: ev.parStop, stats: ev.stats}
 			for {
 				ci := int(next.Add(1)) - 1
 				if ci >= nchunks || cancelled.Load() {
@@ -123,10 +123,16 @@ func (ev *evaluator) step(p Path, from store.ID, forward bool) []store.ID {
 		if !ok {
 			return nil
 		}
+		var ns []store.ID
 		if forward {
-			return ev.src.Objects(from, pid)
+			ns = ev.src.Objects(from, pid)
+		} else {
+			ns = ev.src.Subjects(pid, from)
 		}
-		return ev.src.Subjects(pid, from)
+		if st := ev.stats; st != nil {
+			st.scanned.Add(int64(len(ns)))
+		}
+		return ns
 	case PathInverse:
 		return ev.step(pp.P, from, !forward)
 	case PathAlt:
@@ -254,7 +260,7 @@ func (ev *evaluator) expandFrontier(p Path, frontier []store.ID, visited map[sto
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wev := &evaluator{src: ev.src, dict: ev.dict, ctx: ev.ctx, parStop: ev.parStop}
+			wev := &evaluator{src: ev.src, dict: ev.dict, ctx: ev.ctx, parStop: ev.parStop, stats: ev.stats}
 			for {
 				ci := int(nextChunk.Add(1)) - 1
 				if ci >= nchunks || cancelled.Load() {

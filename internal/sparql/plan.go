@@ -46,6 +46,10 @@ type Plan struct {
 	// same cardinality estimates that chose the join order. The zero
 	// value (parNone) means serial execution.
 	par parDecision
+
+	// nstats is the number of operator stat slots assignStatSlots handed
+	// out; analyzed executions allocate one opStats per slot.
+	nstats int
 }
 
 // planGroup is the planned form of a GroupPattern: an ordered step
@@ -79,6 +83,8 @@ type patternPlan struct {
 	pk   pathKind
 	pid  store.ID // pk == pkSimple: the predicate's ID
 	pvar string   // pk == pkVar: the predicate variable's name
+	// si is the operator's stat slot (assignStatSlots).
+	si int
 }
 
 // nodeRef is a subject/object position resolved at plan time: either a
@@ -105,14 +111,17 @@ type filterStep struct {
 
 type optionalStep struct {
 	group *planGroup
+	si    int // stat slot (assignStatSlots)
 }
 
 type unionStep struct {
 	left, right *planGroup
+	si          int // stat slot (assignStatSlots)
 }
 
 type groupStep struct {
 	group *planGroup
+	si    int // stat slot (assignStatSlots)
 }
 
 func (*bgpStep) planStep()      {}
@@ -143,6 +152,8 @@ type plannedConstraint struct {
 	fastID    store.ID
 	fastKnown bool // constant IRI exists in the dictionary
 	fastNeg   bool // != instead of =
+	// si is the operator's stat slot (assignStatSlots).
+	si int
 }
 
 // varset tracks variables certainly bound at a point in the pipeline.
@@ -186,6 +197,7 @@ func (q *Query) PlanOpts(src store.Source, dict *store.Dict, par ParOptions) *Pl
 	pl := &planner{src: src, dict: dict, plan: p}
 	p.root, _ = pl.group(q.Where, varset{})
 	p.decidePar(par)
+	p.assignStatSlots()
 	p.planDur = obsPlanHist.ObserveSince(t0)
 	return p
 }
@@ -714,7 +726,12 @@ func exprVars(e Expr) []string {
 // concurrently with Record, Snapshot, and replanning. The -race test
 // TestConcurrentRecordSnapshotReplan enforces this; keep any new Plan
 // field construction-only or the statement table will race.
-func (p *Plan) String() string {
+func (p *Plan) String() string { return p.render(nil) }
+
+// render is String with an optional execution record: when rec is
+// non-nil (EXPLAIN ANALYZE, ExecStats.String) every operator line gains
+// its actual row count, loop count, and time next to the estimate.
+func (p *Plan) render(rec *execStatsRec) string {
 	var b strings.Builder
 	q := p.query
 	switch q.Kind {
@@ -749,7 +766,7 @@ func (p *Plan) String() string {
 		fmt.Fprintf(&b, "PARALLEL path BFS: up to %d workers on frontiers >= %d (est %.0f edges)\n",
 			p.par.workers, p.par.frontierMin, p.par.est)
 	}
-	p.renderGroup(&b, p.root, 1)
+	p.renderGroup(&b, p.root, 1, rec)
 	if len(q.GroupBy) > 0 {
 		fmt.Fprintf(&b, "GROUP BY ?%s\n", strings.Join(q.GroupBy, " ?"))
 	}
@@ -773,7 +790,7 @@ func (p *Plan) String() string {
 	return b.String()
 }
 
-func (p *Plan) renderGroup(b *strings.Builder, g *planGroup, depth int) {
+func (p *Plan) renderGroup(b *strings.Builder, g *planGroup, depth int, rec *execStatsRec) {
 	pad := strings.Repeat("  ", depth)
 	for _, st := range g.steps {
 		switch s := st.(type) {
@@ -781,29 +798,30 @@ func (p *Plan) renderGroup(b *strings.Builder, g *planGroup, depth int) {
 			fmt.Fprintf(b, "%sBGP (%d patterns, join order):\n", pad, len(s.patterns))
 			for n, pp := range s.patterns {
 				fmt.Fprintf(b, "%s  %d. %s %s %s%s\n", pad, n+1,
-					explainNode(pp.tp.S), explainPath(pp.tp.P), explainNode(pp.tp.O), p.estLabel(pp.est))
+					explainNode(pp.tp.S), explainPath(pp.tp.P), explainNode(pp.tp.O),
+					p.patternLabel(pp, rec))
 				for _, c := range pp.pushed {
-					p.renderConstraint(b, c, depth+2)
+					p.renderConstraint(b, c, depth+2, rec)
 				}
 			}
 		case *filterStep:
-			p.renderConstraint(b, s.c, depth)
+			p.renderConstraint(b, s.c, depth, rec)
 		case *optionalStep:
-			fmt.Fprintf(b, "%sOPTIONAL (left join):\n", pad)
-			p.renderGroup(b, s.group, depth+1)
+			fmt.Fprintf(b, "%sOPTIONAL (left join)%s:\n", pad, stepLabel(s.si, rec))
+			p.renderGroup(b, s.group, depth+1, rec)
 		case *unionStep:
-			fmt.Fprintf(b, "%sUNION left:\n", pad)
-			p.renderGroup(b, s.left, depth+1)
+			fmt.Fprintf(b, "%sUNION%s left:\n", pad, stepLabel(s.si, rec))
+			p.renderGroup(b, s.left, depth+1, rec)
 			fmt.Fprintf(b, "%sUNION right:\n", pad)
-			p.renderGroup(b, s.right, depth+1)
+			p.renderGroup(b, s.right, depth+1, rec)
 		case *groupStep:
-			fmt.Fprintf(b, "%sGROUP:\n", pad)
-			p.renderGroup(b, s.group, depth+1)
+			fmt.Fprintf(b, "%sGROUP%s:\n", pad, stepLabel(s.si, rec))
+			p.renderGroup(b, s.group, depth+1, rec)
 		}
 	}
 }
 
-func (p *Plan) renderConstraint(b *strings.Builder, c *plannedConstraint, depth int) {
+func (p *Plan) renderConstraint(b *strings.Builder, c *plannedConstraint, depth int, rec *execStatsRec) {
 	pad := strings.Repeat("  ", depth)
 	where := "applied at group end"
 	if c.pushed {
@@ -814,15 +832,61 @@ func (p *Plan) renderConstraint(b *strings.Builder, c *plannedConstraint, depth 
 		if c.exists.Negated {
 			neg = "NOT "
 		}
-		fmt.Fprintf(b, "%sFILTER %sEXISTS (%s, per-solution subquery):\n", pad, neg, where)
-		p.renderGroup(b, c.group, depth+1)
+		fmt.Fprintf(b, "%sFILTER %sEXISTS (%s, per-solution subquery)%s:\n", pad, neg, where, constraintLabel(c.si, rec))
+		p.renderGroup(b, c.group, depth+1, rec)
 		return
 	}
 	note := ""
 	if c.fastVar != "" {
 		note = ", ID fast path"
 	}
-	fmt.Fprintf(b, "%sFILTER %s (%s%s)\n", pad, exprString(c.filter.Expr), where, note)
+	fmt.Fprintf(b, "%sFILTER %s (%s%s)%s\n", pad, exprString(c.filter.Expr), where, note, constraintLabel(c.si, rec))
+}
+
+// patternLabel annotates a triple pattern with its estimate and, in
+// analyze mode, the per-loop actual row count with the misestimation
+// ratio — the estimate and the actual compare per application of the
+// pattern, which is exactly what the planner's estimate models.
+func (p *Plan) patternLabel(pp *patternPlan, rec *execStatsRec) string {
+	if rec == nil {
+		return p.estLabel(pp.est)
+	}
+	op := &rec.ops[pp.si]
+	loops, rows := op.loops.Load(), op.rows.Load()
+	est := "-"
+	if p.src != nil {
+		est = fmtCount(pp.est)
+	}
+	if loops == 0 {
+		return fmt.Sprintf("  [estimated=%s actual=(never executed)]", est)
+	}
+	actual := float64(rows) / float64(loops)
+	label := fmt.Sprintf("  [estimated=%s actual=%s", est, fmtCount(actual))
+	if p.src != nil {
+		label += fmt.Sprintf(" (x%.1f)", misestRatio(pp.est, actual))
+	}
+	return label + fmt.Sprintf(" loops=%d time=%s]", loops, fmtDur(time.Duration(op.durNs.Load())))
+}
+
+// constraintLabel annotates a FILTER with tested/passed counts in
+// analyze mode.
+func constraintLabel(si int, rec *execStatsRec) string {
+	if rec == nil {
+		return ""
+	}
+	op := &rec.ops[si]
+	return fmt.Sprintf(" [in=%d actual=%d time=%s]",
+		op.loops.Load(), op.rows.Load(), fmtDur(time.Duration(op.durNs.Load())))
+}
+
+// stepLabel annotates a structural step (OPTIONAL/UNION/GROUP) with its
+// input and output solution counts in analyze mode.
+func stepLabel(si int, rec *execStatsRec) string {
+	if rec == nil {
+		return ""
+	}
+	op := &rec.ops[si]
+	return fmt.Sprintf(" [in=%d actual=%d]", op.loops.Load(), op.rows.Load())
 }
 
 func (p *Plan) estLabel(est float64) string {

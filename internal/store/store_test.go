@@ -323,6 +323,40 @@ func TestViewSubjectsObjects(t *testing.T) {
 	}
 }
 
+// TestViewPredStats pins the combination rule for planner statistics
+// over a multi-model view: triples and distinct objects are summed
+// (upper bounds, like EstCount), but distinct subjects take the max
+// across members — derived-index members re-state the base model's
+// subjects, and summing them would inflate the denominator of the
+// planner's per-subject fanout estimate.
+func TestViewPredStats(t *testing.T) {
+	s := New()
+	// base: s1-p->{o1,o2}, s2-p->o1. idx re-states both subjects (the
+	// entailment-index overlap case) with one new derived object.
+	s.Add("base", rdf.T(iri("s1"), iri("p"), iri("o1")))
+	s.Add("base", rdf.T(iri("s1"), iri("p"), iri("o2")))
+	s.Add("base", rdf.T(iri("s2"), iri("p"), iri("o1")))
+	s.Add("idx", rdf.T(iri("s1"), iri("p"), iri("o3")))
+	s.Add("idx", rdf.T(iri("s2"), iri("p"), iri("o3")))
+	v := s.ViewOf("base", "idx")
+	p, _ := s.Dict().Lookup(iri("p"))
+	ps := v.PredStats(p)
+	if ps.Triples != 5 {
+		t.Errorf("Triples = %d, want 5 (sum of members)", ps.Triples)
+	}
+	if ps.DistinctSubjects != 2 {
+		t.Errorf("DistinctSubjects = %d, want 2 (max, not sum 4)", ps.DistinctSubjects)
+	}
+	if ps.DistinctObjects != 3 {
+		t.Errorf("DistinctObjects = %d, want 3 (sum of {2,1})", ps.DistinctObjects)
+	}
+	// A predicate absent everywhere yields zeros.
+	q, _ := s.Dict().Lookup(iri("o1"))
+	if z := v.PredStats(q); z != (PredStats{}) {
+		t.Errorf("PredStats of non-predicate = %+v", z)
+	}
+}
+
 // Property: a model behaves as a set of triples — after adding any
 // multiset, Len equals the number of distinct triples and every added
 // triple is contained.
